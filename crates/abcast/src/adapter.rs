@@ -1,0 +1,134 @@
+//! Adapter from CAN controller event logs to Atomic Broadcast traces.
+
+use crate::{AbTrace, MsgId};
+use majorcan_can::{CanEvent, Frame};
+use majorcan_sim::TimedEvent;
+use std::collections::BTreeSet;
+
+/// The message identity of a CAN frame: its 11-bit identifier plus payload.
+///
+/// Retransmissions of the same frame map to the same [`MsgId`], which is
+/// what lets the checker recognise double receptions.
+pub fn msg_id_of(frame: &Frame) -> MsgId {
+    MsgId::new(frame.id().raw(), frame.data().to_vec())
+}
+
+/// Builds an [`AbTrace`] from a raw controller event log.
+///
+/// Mapping:
+///
+/// * the **first** `TxStarted` of a frame at a node ⇒ `Broadcast`;
+/// * `Delivered` at a receiver ⇒ `Deliver`;
+/// * `TxSucceeded` at the transmitter ⇒ `Deliver` to itself (the
+///   link-layer transmitter keeps its own message — self-delivery);
+/// * `Crashed` / `WentBusOff` ⇒ `Crash`.
+///
+/// This is the *link-layer* interpretation used for the CAN / MinorCAN /
+/// MajorCAN experiments; the higher-level protocols build their own traces
+/// from their own delivery events.
+pub fn trace_from_can_events(events: &[TimedEvent<CanEvent>], n_nodes: usize) -> AbTrace {
+    let mut trace = AbTrace::new(n_nodes);
+    let mut broadcast_seen: BTreeSet<(usize, MsgId)> = BTreeSet::new();
+    for e in events {
+        let node = e.node.index();
+        match &e.event {
+            CanEvent::TxStarted { frame, .. } => {
+                let msg = msg_id_of(frame);
+                if broadcast_seen.insert((node, msg.clone())) {
+                    trace.broadcast(e.at, node, msg);
+                }
+            }
+            CanEvent::Delivered { frame, .. } => {
+                trace.deliver(e.at, node, msg_id_of(frame));
+            }
+            CanEvent::TxSucceeded { frame, .. } => {
+                trace.deliver(e.at, node, msg_id_of(frame));
+            }
+            CanEvent::Crashed | CanEvent::WentBusOff => {
+                trace.crash(e.at, node);
+            }
+            _ => {}
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majorcan_can::{DecisionBasis, FrameId};
+    use majorcan_sim::NodeId;
+
+    fn frame(id: u16, data: &[u8]) -> Frame {
+        Frame::new(FrameId::new(id).unwrap(), data).unwrap()
+    }
+
+    fn ev(at: u64, node: usize, event: CanEvent) -> TimedEvent<CanEvent> {
+        TimedEvent {
+            at,
+            node: NodeId(node),
+            event,
+        }
+    }
+
+    #[test]
+    fn maps_clean_broadcast() {
+        let f = frame(0x42, &[1]);
+        let events = vec![
+            ev(0, 0, CanEvent::TxStarted { frame: f.clone(), attempt: 1 }),
+            ev(
+                50,
+                1,
+                CanEvent::Delivered {
+                    frame: f.clone(),
+                    basis: DecisionBasis::CleanEof,
+                },
+            ),
+            ev(
+                51,
+                0,
+                CanEvent::TxSucceeded {
+                    frame: f.clone(),
+                    attempts: 1,
+                    basis: DecisionBasis::CleanEof,
+                },
+            ),
+        ];
+        let trace = trace_from_can_events(&events, 2);
+        assert!(trace.check().atomic_broadcast());
+        assert_eq!(trace.deliveries_of(0), vec![&msg_id_of(&f)]);
+        assert_eq!(trace.deliveries_of(1), vec![&msg_id_of(&f)]);
+    }
+
+    #[test]
+    fn retransmission_maps_to_single_broadcast() {
+        let f = frame(0x42, &[1]);
+        let events = vec![
+            ev(0, 0, CanEvent::TxStarted { frame: f.clone(), attempt: 1 }),
+            ev(100, 0, CanEvent::TxStarted { frame: f.clone(), attempt: 2 }),
+        ];
+        let trace = trace_from_can_events(&events, 1);
+        let broadcasts = trace
+            .events()
+            .iter()
+            .filter(|s| matches!(s.event, crate::AbEvent::Broadcast { .. }))
+            .count();
+        assert_eq!(broadcasts, 1, "retransmissions are not new broadcasts");
+    }
+
+    #[test]
+    fn crash_and_bus_off_map_to_crash() {
+        let events = vec![
+            ev(5, 0, CanEvent::Crashed),
+            ev(9, 1, CanEvent::WentBusOff),
+        ];
+        let trace = trace_from_can_events(&events, 3);
+        assert_eq!(trace.correct_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn msg_identity_distinguishes_payloads() {
+        assert_ne!(msg_id_of(&frame(0x42, &[1])), msg_id_of(&frame(0x42, &[2])));
+        assert_eq!(msg_id_of(&frame(0x42, &[1])), msg_id_of(&frame(0x42, &[1])));
+    }
+}

@@ -1,0 +1,421 @@
+//! The AB1–AB5 property checker.
+//!
+//! The paper (Section 2) adopts the Atomic Broadcast definition of
+//! Hadzilacos & Toueg under benign (crash/omission/timing) failures:
+//!
+//! * **AB1 Validity** — a message broadcast by a correct node is eventually
+//!   delivered to a correct node.
+//! * **AB2 Agreement** — a message delivered to a correct node is delivered
+//!   to all correct nodes.
+//! * **AB3 At-most-once** — no correct node delivers a message twice.
+//! * **AB4 Non-triviality** — every delivered message was broadcast.
+//! * **AB5 Total order** — any two messages delivered at two correct nodes
+//!   are delivered in the same order at both.
+//!
+//! The checker is purely trace-based: it never looks inside a protocol, so
+//! the same verdict machinery judges raw CAN, MinorCAN, MajorCAN and the
+//! higher-level protocols.
+
+use crate::{AbEvent, AbTrace, MsgId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Outcome of one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyResult {
+    /// `true` if no violation was found.
+    pub holds: bool,
+    /// Human-readable violation descriptions (empty when the property
+    /// holds).
+    pub violations: Vec<String>,
+}
+
+impl PropertyResult {
+    fn ok() -> PropertyResult {
+        PropertyResult {
+            holds: true,
+            violations: Vec::new(),
+        }
+    }
+
+    fn violated(violations: Vec<String>) -> PropertyResult {
+        PropertyResult {
+            holds: violations.is_empty(),
+            violations,
+        }
+    }
+}
+
+impl fmt::Display for PropertyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.holds {
+            f.write_str("holds")
+        } else {
+            write!(f, "VIOLATED ({} case(s))", self.violations.len())
+        }
+    }
+}
+
+/// The full AB1–AB5 verdict for a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// AB1 — Validity.
+    pub validity: PropertyResult,
+    /// AB2 — Agreement.
+    pub agreement: PropertyResult,
+    /// AB3 — At-most-once delivery.
+    pub at_most_once: PropertyResult,
+    /// AB4 — Non-triviality.
+    pub non_triviality: PropertyResult,
+    /// AB5 — Total order.
+    pub total_order: PropertyResult,
+    /// Messages suffering an inconsistent message omission: delivered by
+    /// some correct node but missed by at least one other correct node.
+    pub imo_messages: Vec<MsgId>,
+    /// `(node, message)` pairs delivered more than once.
+    pub double_deliveries: Vec<(usize, MsgId)>,
+}
+
+impl Report {
+    /// `true` iff all five Atomic Broadcast properties hold.
+    pub fn atomic_broadcast(&self) -> bool {
+        self.validity.holds
+            && self.agreement.holds
+            && self.at_most_once.holds
+            && self.non_triviality.holds
+            && self.total_order.holds
+    }
+
+    /// `true` iff the trace satisfies Reliable Broadcast (AB1–AB4, i.e.
+    /// everything except total order) — what EDCAN and RELCAN provide.
+    pub fn reliable_broadcast(&self) -> bool {
+        self.validity.holds
+            && self.agreement.holds
+            && self.at_most_once.holds
+            && self.non_triviality.holds
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "AB1 Validity:         {}", self.validity)?;
+        writeln!(f, "AB2 Agreement:        {}", self.agreement)?;
+        writeln!(f, "AB3 At-most-once:     {}", self.at_most_once)?;
+        writeln!(f, "AB4 Non-triviality:   {}", self.non_triviality)?;
+        writeln!(f, "AB5 Total order:      {}", self.total_order)?;
+        write!(
+            f,
+            "=> {}",
+            if self.atomic_broadcast() {
+                "ATOMIC BROADCAST"
+            } else if self.reliable_broadcast() {
+                "reliable broadcast only (no total order)"
+            } else {
+                "NOT atomic broadcast"
+            }
+        )
+    }
+}
+
+/// Checks AB1–AB5 over `trace`. See the module docs for the property
+/// definitions; "correct" means never crashed within the trace.
+pub fn check_trace(trace: &AbTrace) -> Report {
+    let correct: BTreeSet<usize> = trace.correct_nodes().into_iter().collect();
+
+    let mut broadcasts: BTreeMap<MsgId, usize> = BTreeMap::new();
+    // Per node, per msg: delivery count; plus each node's first-delivery
+    // order for the total-order check.
+    let mut delivery_counts: BTreeMap<(usize, MsgId), usize> = BTreeMap::new();
+    let mut delivery_order: BTreeMap<usize, Vec<MsgId>> = BTreeMap::new();
+
+    for stamped in trace.events() {
+        match &stamped.event {
+            AbEvent::Broadcast { node, msg } => {
+                broadcasts.entry(msg.clone()).or_insert(*node);
+            }
+            AbEvent::Deliver { node, msg } => {
+                let count = delivery_counts
+                    .entry((*node, msg.clone()))
+                    .or_insert(0);
+                *count += 1;
+                if *count == 1 {
+                    delivery_order.entry(*node).or_default().push(msg.clone());
+                }
+            }
+            AbEvent::Crash { .. } => {}
+        }
+    }
+
+    // AB1 Validity: broadcast by correct node ⇒ delivered by some correct
+    // node.
+    let mut validity = Vec::new();
+    for (msg, origin) in &broadcasts {
+        if !correct.contains(origin) {
+            continue;
+        }
+        let delivered_somewhere = correct
+            .iter()
+            .any(|n| delivery_counts.contains_key(&(*n, msg.clone())));
+        if !delivered_somewhere {
+            validity.push(format!(
+                "{msg} broadcast by correct n{origin} but never delivered to any correct node"
+            ));
+        }
+    }
+
+    // AB2 Agreement: delivered by one correct node ⇒ delivered by all.
+    let mut agreement = Vec::new();
+    let mut imo_messages = Vec::new();
+    let delivered_msgs: BTreeSet<MsgId> = delivery_counts
+        .keys()
+        .filter(|(n, _)| correct.contains(n))
+        .map(|(_, m)| m.clone())
+        .collect();
+    for msg in &delivered_msgs {
+        let missing: Vec<usize> = correct
+            .iter()
+            .copied()
+            .filter(|n| !delivery_counts.contains_key(&(*n, msg.clone())))
+            .collect();
+        if !missing.is_empty() {
+            imo_messages.push(msg.clone());
+            agreement.push(format!(
+                "{msg} delivered to some correct nodes but not to {}",
+                missing
+                    .iter()
+                    .map(|n| format!("n{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+
+    // AB3 At-most-once.
+    let mut at_most_once = Vec::new();
+    let mut double_deliveries = Vec::new();
+    for ((node, msg), count) in &delivery_counts {
+        if correct.contains(node) && *count > 1 {
+            double_deliveries.push((*node, msg.clone()));
+            at_most_once.push(format!("n{node} delivered {msg} {count} times"));
+        }
+    }
+
+    // AB4 Non-triviality.
+    let mut non_triviality = Vec::new();
+    for (node, msg) in delivery_counts.keys() {
+        if correct.contains(node) && !broadcasts.contains_key(msg) {
+            non_triviality.push(format!(
+                "n{node} delivered {msg}, which nobody broadcast"
+            ));
+        }
+    }
+    non_triviality.dedup();
+
+    // AB5 Total order: pairwise consistency of first-delivery orders.
+    let mut total_order = Vec::new();
+    let correct_vec: Vec<usize> = correct.iter().copied().collect();
+    for (i, &a) in correct_vec.iter().enumerate() {
+        for &b in &correct_vec[i + 1..] {
+            let empty = Vec::new();
+            let oa = delivery_order.get(&a).unwrap_or(&empty);
+            let ob = delivery_order.get(&b).unwrap_or(&empty);
+            let pos_a: BTreeMap<&MsgId, usize> =
+                oa.iter().enumerate().map(|(i, m)| (m, i)).collect();
+            let pos_b: BTreeMap<&MsgId, usize> =
+                ob.iter().enumerate().map(|(i, m)| (m, i)).collect();
+            let common: Vec<&MsgId> = oa
+                .iter()
+                .filter(|m| pos_b.contains_key(m))
+                .collect();
+            for (x, m1) in common.iter().enumerate() {
+                for m2 in &common[x + 1..] {
+                    let fwd_a = pos_a[*m1] < pos_a[*m2];
+                    let fwd_b = pos_b[*m1] < pos_b[*m2];
+                    if fwd_a != fwd_b {
+                        total_order.push(format!(
+                            "n{a} delivers {m1} before {m2}, n{b} the other way around"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Report {
+        validity: PropertyResult::violated(validity),
+        agreement: PropertyResult::violated(agreement),
+        at_most_once: PropertyResult::violated(at_most_once),
+        non_triviality: PropertyResult::violated(non_triviality),
+        total_order: PropertyResult::violated(total_order),
+        imo_messages,
+        double_deliveries,
+    }
+}
+
+impl PropertyResult {
+    /// A passing result (used by tests of downstream crates).
+    pub fn passing() -> PropertyResult {
+        PropertyResult::ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(n: u16) -> MsgId {
+        MsgId::new(n, vec![n as u8])
+    }
+
+    #[test]
+    fn clean_broadcast_satisfies_all() {
+        let m = msg(1);
+        let mut t = AbTrace::new(3);
+        t.broadcast(0, 0, m.clone());
+        for n in 0..3 {
+            t.deliver(10, n, m.clone());
+        }
+        let r = t.check();
+        assert!(r.atomic_broadcast(), "{r}");
+        assert!(r.imo_messages.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_is_trivially_atomic() {
+        assert!(AbTrace::new(5).check().atomic_broadcast());
+    }
+
+    #[test]
+    fn validity_violation_detected() {
+        let mut t = AbTrace::new(3);
+        t.broadcast(0, 0, msg(1)); // never delivered anywhere
+        let r = t.check();
+        assert!(!r.validity.holds);
+        assert!(r.validity.violations[0].contains("never delivered"));
+    }
+
+    #[test]
+    fn validity_excused_for_crashed_broadcaster() {
+        let mut t = AbTrace::new(3);
+        t.broadcast(0, 0, msg(1));
+        t.crash(5, 0);
+        let r = t.check();
+        assert!(r.validity.holds, "a crashed broadcaster owes nothing");
+    }
+
+    #[test]
+    fn agreement_violation_is_an_imo() {
+        // The Fig. 1c / Fig. 3a shape: delivered at n2, missed at n1.
+        let m = msg(1);
+        let mut t = AbTrace::new(3);
+        t.broadcast(0, 0, m.clone());
+        t.deliver(9, 0, m.clone());
+        t.deliver(10, 2, m.clone());
+        let r = t.check();
+        assert!(!r.agreement.holds);
+        assert_eq!(r.imo_messages, vec![m]);
+        assert!(!r.atomic_broadcast());
+    }
+
+    #[test]
+    fn agreement_ignores_crashed_nodes() {
+        let m = msg(1);
+        let mut t = AbTrace::new(3);
+        t.broadcast(0, 0, m.clone());
+        t.deliver(9, 0, m.clone());
+        t.deliver(10, 2, m.clone());
+        t.crash(11, 1); // the missing node crashed: no violation
+        assert!(t.check().agreement.holds);
+    }
+
+    #[test]
+    fn double_delivery_breaks_at_most_once() {
+        // The Fig. 1b shape: Y delivers twice.
+        let m = msg(1);
+        let mut t = AbTrace::new(3);
+        t.broadcast(0, 0, m.clone());
+        t.deliver(5, 0, m.clone());
+        t.deliver(9, 1, m.clone());
+        t.deliver(10, 2, m.clone());
+        t.deliver(20, 2, m.clone());
+        let r = t.check();
+        assert!(!r.at_most_once.holds);
+        assert_eq!(r.double_deliveries, vec![(2, m)]);
+        assert!(r.agreement.holds, "everyone got it — only AB3 broken");
+    }
+
+    #[test]
+    fn non_triviality_catches_spurious_delivery() {
+        let mut t = AbTrace::new(2);
+        t.deliver(1, 0, msg(9));
+        let r = t.check();
+        assert!(!r.non_triviality.holds);
+        assert!(r.non_triviality.violations[0].contains("nobody broadcast"));
+    }
+
+    #[test]
+    fn total_order_violation_detected() {
+        // The CAN5 shape: n1 sees A,B — n2 sees B,A.
+        let a = msg(1);
+        let b = msg(2);
+        let mut t = AbTrace::new(3);
+        t.broadcast(0, 0, a.clone());
+        t.broadcast(0, 0, b.clone());
+        t.deliver(1, 0, a.clone());
+        t.deliver(2, 0, b.clone());
+        t.deliver(10, 1, a.clone());
+        t.deliver(11, 1, b.clone());
+        t.deliver(10, 2, b.clone());
+        t.deliver(11, 2, a.clone());
+        let r = t.check();
+        assert!(!r.total_order.holds);
+        assert!(r.reliable_broadcast(), "AB1-AB4 still hold");
+        assert!(!r.atomic_broadcast());
+    }
+
+    #[test]
+    fn total_order_with_disjoint_deliveries_holds() {
+        let a = msg(1);
+        let b = msg(2);
+        let mut t = AbTrace::new(2);
+        t.broadcast(0, 0, a.clone());
+        t.broadcast(0, 1, b.clone());
+        t.deliver(1, 0, a.clone());
+        t.deliver(1, 1, b.clone());
+        // Disjoint delivery sets: order is vacuously consistent, but
+        // agreement fails (each message missing at the other node).
+        let r = t.check();
+        assert!(r.total_order.holds);
+        assert!(!r.agreement.holds);
+    }
+
+    #[test]
+    fn double_delivery_uses_first_occurrence_for_order() {
+        // n1: A, B, A(dup). n2: A, B. Orders agree on first deliveries.
+        let a = msg(1);
+        let b = msg(2);
+        let mut t = AbTrace::new(2);
+        t.broadcast(0, 0, a.clone());
+        t.broadcast(0, 0, b.clone());
+        for n in 0..2 {
+            t.deliver(1, n, a.clone());
+            t.deliver(2, n, b.clone());
+        }
+        t.deliver(3, 0, a.clone());
+        let r = t.check();
+        assert!(r.total_order.holds);
+        assert!(!r.at_most_once.holds);
+    }
+
+    #[test]
+    fn report_display_readable() {
+        let mut t = AbTrace::new(2);
+        let m = msg(1);
+        t.broadcast(0, 0, m.clone());
+        t.deliver(1, 0, m.clone());
+        t.deliver(1, 1, m);
+        let text = t.check().to_string();
+        assert!(text.contains("AB1 Validity:         holds"));
+        assert!(text.contains("ATOMIC BROADCAST"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Human-readable rendering of traces: the node × message delivery matrix.
+
+use crate::{AbEvent, AbTrace, MsgId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders `trace` as a delivery matrix: one row per node, one column per
+/// broadcast message (in broadcast order), each cell the delivery count.
+/// Crashed nodes are marked with `†`; the originator of each message with
+/// `*` next to its count.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_abcast::{render_delivery_matrix, AbTrace, MsgId};
+///
+/// let m = MsgId::new(0x42, vec![1]);
+/// let mut t = AbTrace::new(2);
+/// t.broadcast(0, 0, m.clone());
+/// t.deliver(5, 0, m.clone());
+/// t.deliver(6, 1, m);
+/// let text = render_delivery_matrix(&t);
+/// assert!(text.contains("n0"));
+/// assert!(text.contains("1*"), "originator marked: {text}");
+/// ```
+pub fn render_delivery_matrix(trace: &AbTrace) -> String {
+    // Message columns in first-broadcast order; unbroadcast-but-delivered
+    // messages appended after.
+    let mut columns: Vec<MsgId> = Vec::new();
+    let mut origin: BTreeMap<MsgId, usize> = BTreeMap::new();
+    let mut counts: BTreeMap<(usize, MsgId), usize> = BTreeMap::new();
+    let mut crashed: Vec<bool> = vec![false; trace.n_nodes()];
+    for s in trace.events() {
+        match &s.event {
+            AbEvent::Broadcast { node, msg } => {
+                if !origin.contains_key(msg) {
+                    origin.insert(msg.clone(), *node);
+                    columns.push(msg.clone());
+                }
+            }
+            AbEvent::Deliver { node, msg } => {
+                if !origin.contains_key(msg) && !columns.contains(msg) {
+                    columns.push(msg.clone());
+                }
+                *counts.entry((*node, msg.clone())).or_insert(0) += 1;
+            }
+            AbEvent::Crash { node } => crashed[*node] = true,
+        }
+    }
+
+    let mut out = String::new();
+    let _ = write!(out, "{:>5} |", "");
+    for (i, _) in columns.iter().enumerate() {
+        let _ = write!(out, " {:>4}", format!("m{i}"));
+    }
+    out.push('\n');
+    for (node, node_crashed) in crashed.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{:>5} |",
+            format!("n{node}{}", if *node_crashed { "†" } else { "" })
+        );
+        for msg in &columns {
+            let count = counts.get(&(node, msg.clone())).copied().unwrap_or(0);
+            let star = origin.get(msg) == Some(&node);
+            let cell = match (count, star) {
+                (0, _) => "·".to_owned(),
+                (c, true) => format!("{c}*"),
+                (c, false) => c.to_string(),
+            };
+            let _ = write!(out, " {cell:>4}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "legend:");
+    for (i, msg) in columns.iter().enumerate() {
+        let _ = writeln!(out, "  m{i} = {msg}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shows_counts_origin_and_crashes() {
+        let a = MsgId::new(1, vec![0xAA]);
+        let b = MsgId::new(2, vec![0xBB]);
+        let mut t = AbTrace::new(3);
+        t.broadcast(0, 0, a.clone());
+        t.broadcast(1, 1, b.clone());
+        t.deliver(5, 0, a.clone());
+        t.deliver(6, 2, a.clone());
+        t.deliver(7, 2, a.clone()); // double reception
+        t.deliver(8, 2, b.clone());
+        t.crash(9, 1);
+        let text = render_delivery_matrix(&t);
+        assert!(text.contains("n1†"), "crash marker: {text}");
+        assert!(text.contains("1*"), "originator delivery: {text}");
+        assert!(text.contains('2'), "double delivery count: {text}");
+        assert!(text.contains('·'), "missing delivery dot: {text}");
+        assert!(text.contains("m0 = 0x001#aa"));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let text = render_delivery_matrix(&AbTrace::new(2));
+        assert!(text.contains("n0"));
+        assert!(text.contains("n1"));
+    }
+
+    #[test]
+    fn unbroadcast_deliveries_get_columns() {
+        let ghost = MsgId::new(9, vec![]);
+        let mut t = AbTrace::new(1);
+        t.deliver(1, 0, ghost);
+        let text = render_delivery_matrix(&t);
+        assert!(text.contains("m0 = 0x009#"));
+    }
+}

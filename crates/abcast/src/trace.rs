@@ -1,0 +1,237 @@
+//! Broadcast/delivery traces: the protocol-agnostic input of the checker.
+
+use std::fmt;
+
+/// Identifies a broadcast message across the whole network.
+///
+/// Two deliveries are "the same message" iff their `MsgId`s are equal; the
+/// identifier is structural (channel number plus payload bytes) so that a
+/// retransmitted frame carries the same identity — which is exactly what
+/// makes double receptions visible to the checker.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId {
+    /// Logical channel (for CAN traces, the 11-bit frame identifier).
+    pub channel: u16,
+    /// Message payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl MsgId {
+    /// Creates a message identity from channel and payload.
+    pub fn new(channel: u16, payload: impl Into<Vec<u8>>) -> MsgId {
+        MsgId {
+            channel,
+            payload: payload.into(),
+        }
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#05x}#", self.channel)?;
+        for b in &self.payload {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One observable protocol action, in the vocabulary of the Atomic
+/// Broadcast definition (Hadzilacos & Toueg, as adapted by the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbEvent {
+    /// `node` initiated the broadcast of `msg`.
+    Broadcast {
+        /// Originating node index.
+        node: usize,
+        /// Message identity.
+        msg: MsgId,
+    },
+    /// `msg` was delivered to the host at `node`.
+    Deliver {
+        /// Delivering node index.
+        node: usize,
+        /// Message identity.
+        msg: MsgId,
+    },
+    /// `node` crashed (fail silent); it is not *correct* from here on.
+    Crash {
+        /// Crashing node index.
+        node: usize,
+    },
+}
+
+impl AbEvent {
+    /// The node the event concerns.
+    pub fn node(&self) -> usize {
+        match self {
+            AbEvent::Broadcast { node, .. }
+            | AbEvent::Deliver { node, .. }
+            | AbEvent::Crash { node } => *node,
+        }
+    }
+}
+
+impl fmt::Display for AbEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbEvent::Broadcast { node, msg } => write!(f, "n{node} broadcast {msg}"),
+            AbEvent::Deliver { node, msg } => write!(f, "n{node} deliver {msg}"),
+            AbEvent::Crash { node } => write!(f, "n{node} crash"),
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stamped {
+    /// Bit time (or any monotone clock) of the event.
+    pub at: u64,
+    /// The event.
+    pub event: AbEvent,
+}
+
+/// An ordered log of broadcast/delivery/crash events over `n_nodes` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_abcast::{AbTrace, MsgId};
+///
+/// let m = MsgId::new(0x42, vec![1]);
+/// let mut t = AbTrace::new(3);
+/// t.broadcast(0, 0, m.clone());
+/// t.deliver(10, 0, m.clone());
+/// t.deliver(10, 1, m.clone());
+/// t.deliver(10, 2, m);
+/// assert!(t.check().atomic_broadcast());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AbTrace {
+    events: Vec<Stamped>,
+    n_nodes: usize,
+}
+
+impl AbTrace {
+    /// An empty trace over `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> AbTrace {
+        AbTrace {
+            events: Vec::new(),
+            n_nodes,
+        }
+    }
+
+    /// Number of nodes in the system.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The recorded events, in insertion (time) order.
+    pub fn events(&self) -> &[Stamped] {
+        &self.events
+    }
+
+    /// Records a broadcast.
+    pub fn broadcast(&mut self, at: u64, node: usize, msg: MsgId) -> &mut Self {
+        self.push(at, AbEvent::Broadcast { node, msg })
+    }
+
+    /// Records a delivery.
+    pub fn deliver(&mut self, at: u64, node: usize, msg: MsgId) -> &mut Self {
+        self.push(at, AbEvent::Deliver { node, msg })
+    }
+
+    /// Records a crash.
+    pub fn crash(&mut self, at: u64, node: usize) -> &mut Self {
+        self.push(at, AbEvent::Crash { node })
+    }
+
+    /// Appends an arbitrary event.
+    pub fn push(&mut self, at: u64, event: AbEvent) -> &mut Self {
+        debug_assert!(event.node() < self.n_nodes, "node out of range");
+        self.events.push(Stamped { at, event });
+        self
+    }
+
+    /// Nodes that never crashed — the *correct* nodes of the AB definition.
+    pub fn correct_nodes(&self) -> Vec<usize> {
+        let crashed: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|s| match s.event {
+                AbEvent::Crash { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        (0..self.n_nodes).filter(|n| !crashed.contains(n)).collect()
+    }
+
+    /// Messages delivered by `node`, as `(first-delivery index, count)` per
+    /// message, in delivery order.
+    pub fn deliveries_of(&self, node: usize) -> Vec<&MsgId> {
+        self.events
+            .iter()
+            .filter_map(|s| match &s.event {
+                AbEvent::Deliver { node: n, msg } if *n == node => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Runs the full AB1–AB5 check. Convenience for
+    /// [`check_trace`](crate::check_trace).
+    pub fn check(&self) -> crate::Report {
+        crate::check_trace(self)
+    }
+}
+
+impl Extend<Stamped> for AbTrace {
+    fn extend<T: IntoIterator<Item = Stamped>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_identity_and_display() {
+        let a = MsgId::new(0x42, vec![1, 2]);
+        let b = MsgId::new(0x42, vec![1, 2]);
+        let c = MsgId::new(0x42, vec![1, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "0x042#0102");
+    }
+
+    #[test]
+    fn correct_nodes_excludes_crashed() {
+        let mut t = AbTrace::new(4);
+        t.crash(5, 2);
+        assert_eq!(t.correct_nodes(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn deliveries_in_order() {
+        let m1 = MsgId::new(1, vec![]);
+        let m2 = MsgId::new(2, vec![]);
+        let mut t = AbTrace::new(2);
+        t.deliver(0, 0, m2.clone());
+        t.deliver(1, 0, m1.clone());
+        t.deliver(2, 1, m1.clone());
+        assert_eq!(t.deliveries_of(0), vec![&m2, &m1]);
+        assert_eq!(t.deliveries_of(1), vec![&m1]);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = AbEvent::Broadcast {
+            node: 3,
+            msg: MsgId::new(1, vec![]),
+        };
+        assert_eq!(e.node(), 3);
+        assert!(e.to_string().contains("n3 broadcast"));
+        assert_eq!(AbEvent::Crash { node: 1 }.to_string(), "n1 crash");
+    }
+}

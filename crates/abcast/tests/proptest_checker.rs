@@ -1,0 +1,118 @@
+//! Property-based tests of the AB1–AB5 checker: metamorphic properties
+//! that must hold for arbitrary traces.
+
+use majorcan_abcast::{AbTrace, MsgId};
+use proptest::prelude::*;
+
+fn arb_msg() -> impl Strategy<Value = MsgId> {
+    (0u16..8, proptest::collection::vec(any::<u8>(), 0..3))
+        .prop_map(|(ch, payload)| MsgId::new(ch, payload))
+}
+
+/// A small random trace over `n` nodes.
+fn arb_trace(n: usize) -> impl Strategy<Value = AbTrace> {
+    let event = (0u8..4, 0usize..n, arb_msg(), 0u64..1000);
+    proptest::collection::vec(event, 0..40).prop_map(move |events| {
+        let mut t = AbTrace::new(n);
+        for (kind, node, msg, at) in events {
+            match kind {
+                0 => {
+                    t.broadcast(at, node, msg);
+                }
+                1 | 2 => {
+                    t.deliver(at, node, msg);
+                }
+                _ => {
+                    t.crash(at, node);
+                }
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn checker_never_panics(trace in arb_trace(4)) {
+        let _ = trace.check();
+    }
+
+    #[test]
+    fn atomic_implies_reliable(trace in arb_trace(4)) {
+        let report = trace.check();
+        if report.atomic_broadcast() {
+            prop_assert!(report.reliable_broadcast());
+        }
+    }
+
+    #[test]
+    fn crashing_every_node_satisfies_everything_vacuously(trace in arb_trace(3)) {
+        let mut t = trace.clone();
+        for n in 0..3 {
+            t.crash(2_000, n);
+        }
+        let report = t.check();
+        prop_assert!(report.atomic_broadcast(), "{}", report);
+    }
+
+    #[test]
+    fn completing_deliveries_repairs_agreement(trace in arb_trace(4)) {
+        // Metamorphic repair: deliver every message already delivered by a
+        // correct node to EVERY correct node — Agreement must then hold.
+        let mut t = trace.clone();
+        let correct = t.correct_nodes();
+        let delivered: Vec<MsgId> = correct
+            .iter()
+            .flat_map(|&n| t.deliveries_of(n).into_iter().cloned().collect::<Vec<_>>())
+            .collect();
+        for msg in delivered {
+            for &n in &correct {
+                t.deliver(5_000, n, msg.clone());
+            }
+        }
+        let report = t.check();
+        prop_assert!(report.agreement.holds, "{}", report);
+    }
+
+    #[test]
+    fn broadcasting_everything_repairs_non_triviality(trace in arb_trace(4)) {
+        let mut t = AbTrace::new(4);
+        // Prepend a broadcast for every message the original trace touches.
+        for s in trace.events() {
+            if let majorcan_abcast::AbEvent::Deliver { msg, .. } = &s.event {
+                t.broadcast(0, 0, msg.clone());
+            }
+        }
+        t.extend(trace.events().iter().cloned());
+        prop_assert!(t.check().non_triviality.holds);
+    }
+
+    #[test]
+    fn identical_delivery_sequences_have_total_order(
+        msgs in proptest::collection::vec(arb_msg(), 0..10),
+        n in 2usize..5,
+    ) {
+        // Same first-delivery sequence at every node ⇒ AB5 holds.
+        let mut t = AbTrace::new(n);
+        for m in &msgs {
+            t.broadcast(0, 0, m.clone());
+        }
+        for node in 0..n {
+            for (i, m) in msgs.iter().enumerate() {
+                t.deliver(10 + i as u64, node, m.clone());
+            }
+        }
+        let report = t.check();
+        prop_assert!(report.total_order.holds, "{}", report);
+        prop_assert!(report.agreement.holds);
+    }
+
+    #[test]
+    fn single_node_systems_are_trivially_ordered(trace in arb_trace(1)) {
+        let report = trace.check();
+        prop_assert!(report.total_order.holds);
+        prop_assert!(report.agreement.holds);
+    }
+}

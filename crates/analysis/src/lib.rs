@@ -1,0 +1,45 @@
+//! # majorcan-analysis — the paper's analytic probability model
+//!
+//! Section 4 of the MajorCAN paper quantifies how often standard CAN breaks
+//! Agreement. This crate reproduces that evaluation:
+//!
+//! * [`ber_star`], [`p_new_scenario`] (Eq. 4), [`p_old_scenario`] (Eq. 5) —
+//!   the closed-form per-frame probabilities under the spatial error model
+//!   `ber* = ber/N`;
+//! * [`table1`] / [`render_table1`] — **Table 1** regenerated at the
+//!   paper's reference configuration (1 Mbps, 32 nodes, 90 % load, 110-bit
+//!   frames), side by side with the printed values;
+//! * [`estimate_new_scenario`] / [`estimate_old_scenario`] — Monte-Carlo
+//!   cross-validation of the closed forms by direct event sampling;
+//! * [`recommend_m`] / [`residual_incidents_per_hour`] — the Section 5
+//!   design aid: how large must `m` be for a given channel quality.
+//!
+//! # Examples
+//!
+//! ```
+//! use majorcan_analysis::{table1_row, NetworkParams};
+//!
+//! let params = NetworkParams::paper_reference();
+//! let row = table1_row(&params, 1e-4);
+//! // Paper, Table 1 first row: IMOnew/hour = 8.80e-3.
+//! assert!((row.imo_new_per_hour - 8.80e-3).abs() / 8.80e-3 < 5e-3);
+//! // …which is far above the 1e-9/hour aerospace safety bound.
+//! assert!(row.imo_new_per_hour > 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod m_choice;
+mod model;
+mod montecarlo;
+mod table1;
+
+pub use m_choice::{
+    p_more_than_m_errors, recommend_m, residual_incidents_per_hour, MChoice,
+};
+pub use model::{ber_star, binomial, p_new_scenario, p_old_scenario};
+pub use montecarlo::{estimate_new_scenario, estimate_old_scenario, McEstimate};
+pub use table1::{
+    render_table1, table1, table1_row, NetworkParams, Table1Row, PAPER_TABLE1,
+};

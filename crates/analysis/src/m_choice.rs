@@ -1,0 +1,212 @@
+//! Choosing the error tolerance `m` — the design aid behind Section 5's
+//! opening paragraph.
+//!
+//! The paper fixes `m = 5` to match the CRC's detection capability, but
+//! notes that "this decision strongly depends on the ber value. If ber is
+//! larger then larger values of m should be considered. So the new
+//! protocol … is designed to be parametrisable in m to make the upgrade
+//! simpler." This module quantifies that trade-off:
+//!
+//! * [`p_more_than_m_errors`] — the probability that a frame suffers more
+//!   disturbed bit-views than MajorCAN_m guarantees against (the residual
+//!   risk of the agreement machinery being outvoted);
+//! * [`residual_incidents_per_hour`] — the same as an hourly rate at a
+//!   given network configuration;
+//! * [`recommend_m`] — the smallest `m` whose residual rate clears a
+//!   target bound (e.g. the 10⁻⁹/h aerospace reference), together with its
+//!   wire overhead.
+
+use crate::{binomial, NetworkParams};
+
+/// Probability that strictly more than `m` of the `n · tau_data` bit-views
+/// of one frame are disturbed, with each view independently corrupted at
+/// `ber_star` (the paper's error model).
+///
+/// This upper-bounds the probability that MajorCAN_m's per-frame guarantee
+/// does not apply; it is conservative because most > m patterns are still
+/// absorbed (the sweep experiments show random placements rarely
+/// concentrate enough corruption to outvote a node).
+///
+/// # Panics
+///
+/// Panics if `ber_star` is not a probability or the frame is empty.
+pub fn p_more_than_m_errors(m: usize, n: usize, ber_star: f64, tau_data: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&ber_star), "ber* must be a probability");
+    assert!(n > 0 && tau_data > 0, "frame must have views");
+    let views = n * tau_data;
+    if ber_star == 0.0 || m >= views {
+        return 0.0;
+    }
+    // P(X > m) = Σ_{k=m+1}^{views} C(views, k) b^k (1-b)^{views-k},
+    // summed directly from the small end in log space — the complement
+    // form (1 - CDF) is catastrophically cancelled when the tail is tiny.
+    let b = ber_star;
+    let log_b = b.ln();
+    let log_q = (-b).ln_1p();
+    let mut tail = 0.0f64;
+    for k in (m + 1)..=views {
+        let log_term =
+            log_binomial(views, k) + k as f64 * log_b + (views - k) as f64 * log_q;
+        let term = log_term.exp();
+        tail += term;
+        // Terms decay geometrically once k exceeds the mean; stop when the
+        // remainder cannot move the sum.
+        if term < tail * 1e-18 && k as f64 > views as f64 * b + 10.0 {
+            break;
+        }
+    }
+    tail.min(1.0)
+}
+
+/// `ln C(n, k)` via `ln Γ`-free products (exact enough for the ranges the
+/// model uses).
+fn log_binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    if k < 30 {
+        return binomial(n, k).ln();
+    }
+    let mut acc = 0.0;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// Residual incidents/hour for MajorCAN_m at a network configuration:
+/// frames/hour × P{> m disturbed views in a frame}, with the MajorCAN
+/// frame extension (2m − 7 bits) folded into the frame length.
+pub fn residual_incidents_per_hour(m: usize, params: &NetworkParams, ber: f64) -> f64 {
+    let tau = (params.tau_data as isize + (2 * m as isize - 7)).max(1) as usize;
+    let b = crate::ber_star(ber, params.n_nodes);
+    p_more_than_m_errors(m, params.n_nodes, b, tau) * params.frames_per_hour()
+}
+
+/// One row of the m-selection table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MChoice {
+    /// The error tolerance.
+    pub m: usize,
+    /// Residual incidents/hour (conservative upper bound).
+    pub residual_per_hour: f64,
+    /// Error-free wire overhead in bits (2m − 7).
+    pub overhead_bits: isize,
+}
+
+/// The smallest `m ≥ 3` whose residual rate clears `target_per_hour`
+/// (searching up to `m = 40`), with the full table of candidates tried.
+///
+/// Returns `(choice, table)`; `choice` is `None` if even `m = 40` fails.
+pub fn recommend_m(
+    params: &NetworkParams,
+    ber: f64,
+    target_per_hour: f64,
+) -> (Option<MChoice>, Vec<MChoice>) {
+    let mut table = Vec::new();
+    let mut choice = None;
+    for m in 3..=40usize {
+        let row = MChoice {
+            m,
+            residual_per_hour: residual_incidents_per_hour(m, params, ber),
+            overhead_bits: 2 * m as isize - 7,
+        };
+        table.push(row);
+        if choice.is_none() && row.residual_per_hour <= target_per_hour {
+            choice = Some(row);
+            if m >= 12 {
+                break;
+            }
+        }
+        if choice.is_some() && m >= choice.unwrap().m + 2 {
+            break;
+        }
+    }
+    (choice, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_means_zero_risk() {
+        assert_eq!(p_more_than_m_errors(5, 32, 0.0, 110), 0.0);
+    }
+
+    #[test]
+    fn more_tolerance_never_increases_risk() {
+        let (n, b, tau) = (32, 1e-5, 110);
+        let mut prev = f64::INFINITY;
+        for m in 1..=10 {
+            let p = p_more_than_m_errors(m, n, b, tau);
+            assert!(p <= prev, "m={m}: {p} > {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn matches_direct_binomial_for_small_cases() {
+        // n·tau = 12 views, b = 0.1, m = 2: compare against a hand-rolled
+        // complement sum.
+        let (n, tau, b, m) = (3usize, 4usize, 0.1f64, 2usize);
+        let views = n * tau;
+        let mut direct = 0.0;
+        for k in (m + 1)..=views {
+            direct += binomial(views, k) * b.powi(k as i32) * (1.0 - b).powi((views - k) as i32);
+        }
+        let ours = p_more_than_m_errors(m, n, b, tau);
+        assert!((ours - direct).abs() < 1e-12, "{ours} vs {direct}");
+    }
+
+    #[test]
+    fn m_exceeding_views_is_riskless() {
+        assert_eq!(p_more_than_m_errors(1000, 3, 0.5, 10), 0.0);
+    }
+
+    #[test]
+    fn paper_configuration_m5_clears_the_bound_at_moderate_ber() {
+        // At the paper's reference configuration, m = 5 clears the 1e-9/h
+        // bound for ber ≤ 1e-5 even under this very conservative criterion
+        // (every > m-error frame counted as an incident). At the most
+        // aggressive ber = 1e-4 the conservative bound asks for m = 6 —
+        // matching the paper's own caveat that "if ber is larger then
+        // larger values of m should be considered".
+        let params = NetworkParams::paper_reference();
+        assert!(residual_incidents_per_hour(5, &params, 1e-5) < 1e-9);
+        assert!(residual_incidents_per_hour(5, &params, 1e-6) < 1e-9);
+        let at_worst_ber = residual_incidents_per_hour(5, &params, 1e-4);
+        assert!(
+            at_worst_ber > 1e-9 && at_worst_ber < 1e-6,
+            "conservative residual at m=5, ber=1e-4: {at_worst_ber:.3e}"
+        );
+        assert!(residual_incidents_per_hour(6, &params, 1e-4) < 1e-9);
+    }
+
+    #[test]
+    fn harsher_channels_need_larger_m() {
+        let params = NetworkParams::paper_reference();
+        let (choice_mild, _) = recommend_m(&params, 1e-4, 1e-9);
+        let (choice_harsh, _) = recommend_m(&params, 3e-2, 1e-9);
+        let mild = choice_mild.expect("mild channel solvable");
+        let harsh = choice_harsh.expect("harsh channel solvable");
+        assert!(mild.m <= 7, "paper regime: small m suffices (got {})", mild.m);
+        assert!(
+            harsh.m > mild.m,
+            "harsher channel must demand more tolerance: {} vs {}",
+            harsh.m,
+            mild.m
+        );
+    }
+
+    #[test]
+    fn recommendation_table_is_monotone() {
+        let params = NetworkParams::paper_reference();
+        let (_, table) = recommend_m(&params, 1e-3, 1e-9);
+        for pair in table.windows(2) {
+            assert!(pair[1].residual_per_hour <= pair[0].residual_per_hour);
+            assert_eq!(pair[1].overhead_bits - pair[0].overhead_bits, 2);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The paper's analytic probability model (Section 4, Eq. 1–5).
+//!
+//! The model rests on Charzinski's spatial error distribution: a bit error
+//! occurring *somewhere* in the network is effective at a given node with
+//! probability `p_eff = 1/N`, so the per-node per-bit error probability is
+//!
+//! ```text
+//! ber* = ber / N                                  (Eq. 2-3)
+//! ```
+//!
+//! With `b = ber*`, `τ = τ_data` (frame length in bits) and `N` nodes, the
+//! probability that one frame suffers the **new** scenario of Fig. 3a —
+//! at least one receiver hit exactly at the last-but-one bit, at least one
+//! receiver clean, and the transmitter blinded at the last bit — is
+//!
+//! ```text
+//! P{new} = Σ_{i=1}^{N-2} C(N-1, i) · ((1-b)^{τ-2} b)^i
+//!          · ((1-b)^{τ-1})^{N-1-i} · (1-b)^{τ-1} · b       (Eq. 4)
+//! ```
+//!
+//! and the probability of the **old** scenario of Fig. 1c (same receiver
+//! pattern, transmitter crash before retransmission) is
+//!
+//! ```text
+//! P{old} = Σ_{i=1}^{N-2} C(N-1, i) · ((1-b)^{τ-2} b)^i
+//!          · ((1-b)^{τ-1})^{N-1-i} · (1-b)^{τ-2} · (1-e^{-λΔt})  (Eq. 5)
+//! ```
+//!
+//! Implemented exactly as printed; [`crate::table1`] turns them into
+//! incidents/hour and reproduces Table 1 to three significant digits.
+
+/// `ber* = ber / N` (Eq. 3): the probability for a given node's view of a
+/// given bit to be corrupted, under uniformly spread errors.
+///
+/// # Panics
+///
+/// Panics if `ber` is not a probability or `n == 0`.
+pub fn ber_star(ber: f64, n: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&ber), "ber must be a probability");
+    assert!(n > 0, "network must have nodes");
+    ber / n as f64
+}
+
+/// Binomial coefficient `C(n, k)` in `f64` (exact for the small arguments
+/// the model uses).
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0f64;
+    for i in 0..k {
+        num *= (n - i) as f64 / (i + 1) as f64;
+    }
+    num
+}
+
+/// Eq. 4: per-frame probability of the paper's **new** inconsistency
+/// scenario (Fig. 3a) in an `n`-node network with `tau_data`-bit frames and
+/// per-view error probability `ber_star`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (the scenario needs a transmitter plus non-empty X and
+/// Y sets), `tau_data < 2`, or `ber_star` is not a probability.
+pub fn p_new_scenario(n: usize, ber_star: f64, tau_data: usize) -> f64 {
+    assert!(n >= 3, "scenario needs tx + X + Y, got {n} nodes");
+    assert!(tau_data >= 2, "frames have at least 2 bits");
+    assert!(
+        (0.0..=1.0).contains(&ber_star),
+        "ber* must be a probability"
+    );
+    let b = ber_star;
+    let q = 1.0 - b;
+    let tau = tau_data as f64;
+    let affected = q.powf(tau - 2.0) * b; // one receiver: clean then hit at τ-1
+    let clean = q.powf(tau - 1.0); // one receiver fully clean
+    let tx_blinded = q.powf(tau - 1.0) * b; // tx clean, hit at the last bit
+    let mut sum = 0.0;
+    for i in 1..=(n - 2) {
+        sum += binomial(n - 1, i)
+            * affected.powi(i as i32)
+            * clean.powi((n - 1 - i) as i32);
+    }
+    sum * tx_blinded
+}
+
+/// Eq. 5: per-frame probability of the **old** scenario (Fig. 1c) under the
+/// same `ber*` model, with transmitter failure rate `lambda_per_hour` and
+/// recovery window `delta_t_secs` (the paper: `λ = 10⁻³/h`, `Δt = 5 ms`).
+///
+/// # Panics
+///
+/// As [`p_new_scenario`], plus non-negativity of the failure parameters.
+pub fn p_old_scenario(
+    n: usize,
+    ber_star: f64,
+    tau_data: usize,
+    lambda_per_hour: f64,
+    delta_t_secs: f64,
+) -> f64 {
+    assert!(n >= 3, "scenario needs tx + X + Y, got {n} nodes");
+    assert!(tau_data >= 2, "frames have at least 2 bits");
+    assert!(
+        (0.0..=1.0).contains(&ber_star),
+        "ber* must be a probability"
+    );
+    assert!(lambda_per_hour >= 0.0 && delta_t_secs >= 0.0);
+    let b = ber_star;
+    let q = 1.0 - b;
+    let tau = tau_data as f64;
+    let affected = q.powf(tau - 2.0) * b;
+    let clean = q.powf(tau - 1.0);
+    let p_crash = -(-lambda_per_hour * (delta_t_secs / 3600.0)).exp_m1();
+    let tx_term = q.powf(tau - 2.0) * p_crash;
+    let mut sum = 0.0;
+    for i in 1..=(n - 2) {
+        sum += binomial(n - 1, i)
+            * affected.powi(i as i32)
+            * clean.powi((n - 1 - i) as i32);
+    }
+    sum * tx_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_star_is_ber_over_n() {
+        assert_eq!(ber_star(1e-4, 32), 3.125e-6);
+        assert_eq!(ber_star(0.0, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have nodes")]
+    fn ber_star_rejects_empty_network() {
+        ber_star(0.1, 0);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(31, 0), 1.0);
+        assert_eq!(binomial(31, 1), 31.0);
+        assert_eq!(binomial(31, 2), 465.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(4, 7), 0.0);
+        assert_eq!(binomial(10, 3), 120.0);
+    }
+
+    #[test]
+    fn zero_error_rate_gives_zero_probability() {
+        assert_eq!(p_new_scenario(32, 0.0, 110), 0.0);
+        assert_eq!(p_old_scenario(32, 0.0, 110, 1e-3, 5e-3), 0.0);
+    }
+
+    #[test]
+    fn new_scenario_first_order_is_31_b_squared() {
+        // At small b the i=1 term dominates: P ≈ C(31,1)·b² modulo the
+        // (1-b)^... attenuation.
+        let b = 1e-9;
+        let p = p_new_scenario(32, b, 110);
+        let approx = 31.0 * b * b;
+        assert!((p - approx).abs() / approx < 1e-3, "p={p}, approx={approx}");
+    }
+
+    #[test]
+    fn old_scenario_first_order_is_31_b_pcrash() {
+        let b = 1e-9;
+        let p = p_old_scenario(32, b, 110, 1e-3, 5e-3);
+        let p_crash = 1e-3 * 5e-3 / 3600.0;
+        let approx = 31.0 * b * p_crash;
+        assert!((p - approx).abs() / approx < 1e-3, "p={p}");
+    }
+
+    #[test]
+    fn new_scenario_grows_with_error_rate_and_nodes() {
+        let p1 = p_new_scenario(32, 1e-6, 110);
+        let p2 = p_new_scenario(32, 1e-5, 110);
+        assert!(p2 > p1);
+        let p3 = p_new_scenario(8, 1e-6, 110);
+        let p4 = p_new_scenario(16, 1e-6, 110);
+        assert!(p4 > p3, "more receivers, more ways to split");
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        for &b in &[0.0, 1e-6, 1e-3, 0.1, 0.5, 1.0] {
+            for &n in &[3usize, 4, 32, 64] {
+                let p = p_new_scenario(n, b, 110);
+                assert!((0.0..=1.0).contains(&p), "p_new({n},{b})={p}");
+                let q = p_old_scenario(n, b, 110, 1e-3, 5e-3);
+                assert!((0.0..=1.0).contains(&q), "p_old({n},{b})={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_network_size() {
+        // n = 3: exactly one X and one Y candidate; the sum has one term.
+        let b = 1e-4;
+        let p = p_new_scenario(3, b, 110);
+        let q: f64 = 1.0 - b;
+        let expected = 2.0
+            * (q.powf(108.0) * b)
+            * q.powf(109.0)
+            * (q.powf(109.0) * b);
+        assert!((p - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tx + X + Y")]
+    fn too_small_network_rejected() {
+        p_new_scenario(2, 1e-6, 110);
+    }
+}

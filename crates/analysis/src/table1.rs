@@ -1,0 +1,240 @@
+//! Table 1 of the paper: incidents/hour for the old and new scenarios.
+//!
+//! Reference configuration (Section 4): a 1 Mbps network, 32 nodes, 90 %
+//! bus load, 110-bit frames; transmitter failures at `λ = 10⁻³/h` with a
+//! `Δt = 5 ms` recovery window; `ber` swept over 10⁻⁴..10⁻⁶.
+
+use crate::{ber_star, p_new_scenario, p_old_scenario};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The network configuration behind Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkParams {
+    /// Bus bitrate in bits/second.
+    pub bitrate: f64,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Fraction of the bandwidth carrying frames (0–1).
+    pub load: f64,
+    /// Frame length in bits (`τ_data`).
+    pub tau_data: usize,
+    /// Transmitter failure rate, failures/hour (Eq. 5).
+    pub lambda_per_hour: f64,
+    /// Recovery window Δt in seconds (Eq. 5).
+    pub delta_t_secs: f64,
+}
+
+impl NetworkParams {
+    /// The paper's reference configuration.
+    pub fn paper_reference() -> NetworkParams {
+        NetworkParams {
+            bitrate: 1e6,
+            n_nodes: 32,
+            load: 0.9,
+            tau_data: 110,
+            lambda_per_hour: 1e-3,
+            delta_t_secs: 5e-3,
+        }
+    }
+
+    /// Frames transmitted per hour at this load:
+    /// `bitrate · 3600 · load / τ_data`.
+    pub fn frames_per_hour(&self) -> f64 {
+        self.bitrate * 3600.0 * self.load / self.tau_data as f64
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// The global bit error rate swept in the table.
+    pub ber: f64,
+    /// Our Eq. 4 prediction: new-scenario incidents/hour (column
+    /// "IMOnew/hour").
+    pub imo_new_per_hour: f64,
+    /// The value Rufino et al.'s own model gives for the old scenario
+    /// (column "IMO/hour", cited from the paper — their model is not
+    /// restated in the text).
+    pub imo_rufino_cited: Option<f64>,
+    /// Our Eq. 5 prediction for the old scenario (column "IMO*/hour").
+    pub imo_star_per_hour: f64,
+}
+
+/// The values printed in the paper's Table 1, used to verify the
+/// reproduction: `(ber, IMOnew/hour, IMO/hour, IMO*/hour)`.
+pub const PAPER_TABLE1: [(f64, f64, f64, f64); 3] = [
+    (1e-4, 8.80e-3, 3.94e-6, 3.92e-6),
+    (1e-5, 8.91e-5, 3.98e-7, 3.96e-7),
+    (1e-6, 8.92e-7, 3.98e-8, 3.96e-8),
+];
+
+/// Computes one Table 1 row for a given `ber` under `params`.
+pub fn table1_row(params: &NetworkParams, ber: f64) -> Table1Row {
+    let b = ber_star(ber, params.n_nodes);
+    let fph = params.frames_per_hour();
+    let cited = PAPER_TABLE1
+        .iter()
+        .find(|(pb, ..)| (pb - ber).abs() / ber < 1e-9)
+        .map(|&(_, _, rufino, _)| rufino);
+    Table1Row {
+        ber,
+        imo_new_per_hour: p_new_scenario(params.n_nodes, b, params.tau_data) * fph,
+        imo_rufino_cited: cited,
+        imo_star_per_hour: p_old_scenario(
+            params.n_nodes,
+            b,
+            params.tau_data,
+            params.lambda_per_hour,
+            params.delta_t_secs,
+        ) * fph,
+    }
+}
+
+/// Regenerates the full Table 1 at the paper's three `ber` values.
+pub fn table1(params: &NetworkParams) -> Vec<Table1Row> {
+    PAPER_TABLE1
+        .iter()
+        .map(|&(ber, ..)| table1_row(params, ber))
+        .collect()
+}
+
+/// Renders Table 1 side by side with the paper's printed values.
+pub fn render_table1(params: &NetworkParams) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — inconsistent message omissions per hour \
+         (N={}, {} Mbps, load {:.0}%, τ_data={})",
+        params.n_nodes,
+        params.bitrate / 1e6,
+        params.load * 100.0,
+        params.tau_data
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} | {:>12} {:>12} | {:>12} | {:>12} {:>12}",
+        "ber", "IMOnew/h", "paper", "IMO/h(cited)", "IMO*/h", "paper"
+    );
+    for (row, &(_, p_new, _, p_star)) in table1(params).iter().zip(PAPER_TABLE1.iter()) {
+        let _ = writeln!(
+            out,
+            "{:>8.0e} | {:>12.3e} {:>12.2e} | {:>12.2e} | {:>12.3e} {:>12.2e}",
+            row.ber,
+            row.imo_new_per_hour,
+            p_new,
+            row.imo_rufino_cited.unwrap_or(f64::NAN),
+            row.imo_star_per_hour,
+            p_star,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "reference safety bound: 1e-9 incidents/hour — every row exceeds it"
+    );
+    out
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ber={:.0e}: IMOnew/h={:.3e}, IMO*/h={:.3e}",
+            self.ber, self.imo_new_per_hour, self.imo_star_per_hour
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(ours: f64, paper: f64) -> f64 {
+        (ours - paper).abs() / paper
+    }
+
+    #[test]
+    fn frames_per_hour_reference() {
+        let fph = NetworkParams::paper_reference().frames_per_hour();
+        assert!((fph - 2.945_454e7).abs() < 1e2, "fph={fph}");
+    }
+
+    #[test]
+    fn table1_reproduces_paper_values() {
+        // Eq. 4/5 as printed reproduce every printed value within 0.5 %.
+        let params = NetworkParams::paper_reference();
+        for &(ber, paper_new, _, paper_star) in &PAPER_TABLE1 {
+            let row = table1_row(&params, ber);
+            assert!(
+                rel_err(row.imo_new_per_hour, paper_new) < 5e-3,
+                "IMOnew at ber={ber}: ours={:.4e}, paper={paper_new:.2e}",
+                row.imo_new_per_hour
+            );
+            assert!(
+                rel_err(row.imo_star_per_hour, paper_star) < 5e-3,
+                "IMO* at ber={ber}: ours={:.4e}, paper={paper_star:.2e}",
+                row.imo_star_per_hour
+            );
+        }
+    }
+
+    #[test]
+    fn new_scenario_dominates_old_at_every_ber() {
+        // The paper's headline: the new scenarios are "larger than the
+        // previously reported scenarios" at every ber — by ≈ ber*/P{crash},
+        // i.e. 2250× at ber = 1e-4 down to ≈ 22× at ber = 1e-6.
+        let params = NetworkParams::paper_reference();
+        let expected_ratio =
+            |ber: f64| ber / params.n_nodes as f64 / (1e-3 * 5e-3 / 3600.0);
+        for row in table1(&params) {
+            let ratio = row.imo_new_per_hour / row.imo_star_per_hour;
+            assert!(ratio > 10.0, "ratio at ber={}: {ratio}", row.ber);
+            let expect = expected_ratio(row.ber);
+            assert!(
+                (ratio - expect).abs() / expect < 0.01,
+                "ber={}: ratio {ratio} vs expected {expect}",
+                row.ber
+            );
+        }
+    }
+
+    #[test]
+    fn every_row_exceeds_the_safety_bound() {
+        let params = NetworkParams::paper_reference();
+        for row in table1(&params) {
+            assert!(row.imo_new_per_hour > 1e-9, "aerospace bound");
+        }
+    }
+
+    #[test]
+    fn our_old_scenario_model_matches_rufinos_cited_values() {
+        // The paper's own check: "the model we have introduced based in
+        // ber* permits to reproduce the results obtained [by Rufino et
+        // al.] for the old scenarios" — within ~1 %.
+        let params = NetworkParams::paper_reference();
+        for row in table1(&params) {
+            let cited = row.imo_rufino_cited.expect("cited value present");
+            assert!(
+                rel_err(row.imo_star_per_hour, cited) < 0.02,
+                "ber={}: ours={:.3e} vs Rufino {cited:.2e}",
+                row.ber,
+                row.imo_star_per_hour
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = render_table1(&NetworkParams::paper_reference());
+        assert!(text.contains("1e-4"));
+        assert!(text.contains("1e-6"));
+        assert!(text.contains("IMOnew/h"));
+        assert!(text.contains("1e-9 incidents/hour"));
+    }
+
+    #[test]
+    fn row_display() {
+        let row = table1_row(&NetworkParams::paper_reference(), 1e-5);
+        assert!(row.to_string().contains("ber=1e-5"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the analytic model: bounds, monotonicity and
+//! structural identities of Eq. 2–5 across the parameter space.
+
+use majorcan_analysis::{
+    ber_star, binomial, p_new_scenario, p_old_scenario, table1_row, NetworkParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn probabilities_are_probabilities(
+        n in 3usize..64,
+        ber in 0.0f64..1.0,
+        tau in 2usize..300,
+    ) {
+        let b = ber_star(ber, n);
+        let p = p_new_scenario(n, b, tau);
+        prop_assert!((0.0..=1.0).contains(&p), "p_new={p}");
+        let q = p_old_scenario(n, b, tau, 1e-3, 5e-3);
+        prop_assert!((0.0..=1.0).contains(&q), "p_old={q}");
+    }
+
+    #[test]
+    fn monotone_in_ber_star(
+        n in 3usize..40,
+        tau in 10usize..200,
+        b in 1e-9f64..1e-5,
+    ) {
+        // In the small-b regime the scenario probability grows with b (at
+        // large b·n·τ the (1-b)^... attenuation eventually dominates and
+        // the relation genuinely reverses, so the range stays small).
+        let p_lo = p_new_scenario(n, b, tau);
+        let p_hi = p_new_scenario(n, b * 2.0, tau);
+        prop_assert!(p_hi > p_lo);
+    }
+
+    #[test]
+    fn decreasing_in_frame_length(
+        n in 3usize..40,
+        b in 1e-7f64..1e-4,
+        tau in 10usize..150,
+    ) {
+        // Longer frames give more chances for a disqualifying error, so the
+        // per-frame probability of the exact pattern shrinks.
+        let p_short = p_new_scenario(n, b, tau);
+        let p_long = p_new_scenario(n, b, tau + 50);
+        prop_assert!(p_long < p_short);
+    }
+
+    #[test]
+    fn small_b_first_order_matches_n_minus_1_b_squared(
+        n in 3usize..40,
+        tau in 10usize..150,
+    ) {
+        let b = 1e-12;
+        let p = p_new_scenario(n, b, tau);
+        let approx = (n as f64 - 1.0) * b * b;
+        prop_assert!((p - approx).abs() <= approx * 1e-3);
+    }
+
+    #[test]
+    fn old_scenario_scales_linearly_with_crash_window(
+        n in 3usize..40,
+        b in 1e-7f64..1e-4,
+        tau in 10usize..150,
+    ) {
+        // In the linear regime of 1 - e^{-λΔt}, doubling Δt doubles P.
+        let p1 = p_old_scenario(n, b, tau, 1e-3, 5e-3);
+        let p2 = p_old_scenario(n, b, tau, 1e-3, 10e-3);
+        prop_assert!((p2 / p1 - 2.0).abs() < 1e-6, "ratio {}", p2 / p1);
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal(n in 1usize..40, k in 0usize..40) {
+        prop_assume!(k <= n);
+        prop_assert_eq!(binomial(n, k), binomial(n, n - k));
+        if k >= 1 {
+            // Pascal's rule, up to f64 rounding of the multiplicative form.
+            let lhs = binomial(n + 1, k);
+            let rhs = binomial(n, k) + binomial(n, k - 1);
+            prop_assert!((lhs - rhs).abs() <= rhs * 1e-12, "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn incidents_per_hour_scale_with_load(load in 0.05f64..1.0) {
+        let mut params = NetworkParams::paper_reference();
+        params.load = load;
+        let row = table1_row(&params, 1e-5);
+        let reference = table1_row(&NetworkParams::paper_reference(), 1e-5);
+        let expected = reference.imo_new_per_hour * load / 0.9;
+        prop_assert!((row.imo_new_per_hour - expected).abs() < expected * 1e-9);
+    }
+}

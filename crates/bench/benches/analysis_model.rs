@@ -1,0 +1,37 @@
+//! Criterion bench: evaluation cost of the analytic model (Eq. 4/5 and the
+//! full Table 1), and of its Monte-Carlo estimator per trial.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use majorcan_analysis::{
+    estimate_new_scenario, p_new_scenario, p_old_scenario, table1, NetworkParams,
+};
+
+fn bench_closed_forms(c: &mut Criterion) {
+    c.bench_function("eq4_p_new_scenario_n32", |b| {
+        b.iter(|| p_new_scenario(black_box(32), black_box(3.125e-6), black_box(110)))
+    });
+    c.bench_function("eq5_p_old_scenario_n32", |b| {
+        b.iter(|| {
+            p_old_scenario(
+                black_box(32),
+                black_box(3.125e-6),
+                black_box(110),
+                black_box(1e-3),
+                black_box(5e-3),
+            )
+        })
+    });
+    c.bench_function("table1_full", |b| {
+        let params = NetworkParams::paper_reference();
+        b.iter(|| table1(black_box(&params)))
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    c.bench_function("eq4_mc_10k_trials", |b| {
+        b.iter(|| estimate_new_scenario(black_box(8), black_box(0.01), black_box(20), 10_000, 42))
+    });
+}
+
+criterion_group!(benches, bench_closed_forms, bench_monte_carlo);
+criterion_main!(benches);

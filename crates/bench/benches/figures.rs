@@ -1,0 +1,34 @@
+//! Criterion bench for the figure pipeline: cost of executing each
+//! scripted scenario end-to-end (probe pass, bit-level run, trace
+//! recording, property check), with a verification pass on every run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use majorcan_bench::figures::{figure_under, reproduce};
+use majorcan_can::StandardCan;
+use majorcan_core::MajorCan;
+use majorcan_faults::Scenario;
+
+fn bench_figures(c: &mut Criterion) {
+    // Guard: the headline verdicts must hold before we time anything.
+    assert!(!reproduce("fig1b")[0].at_most_once, "fig1b regression");
+    assert!(!reproduce("fig3a")[0].agreement, "fig3a regression");
+    assert!(reproduce("fig5")[0].agreement, "fig5 regression");
+
+    let mut group = c.benchmark_group("figure_scenarios");
+    group.sample_size(30);
+    for scenario in Scenario::all() {
+        group.bench_with_input(
+            BenchmarkId::new("standard_can", scenario.name),
+            &scenario,
+            |b, s| b.iter(|| figure_under(&StandardCan, s)),
+        );
+    }
+    group.bench_function(BenchmarkId::new("majorcan5", "fig5"), |b| {
+        let s = Scenario::fig5();
+        b.iter(|| figure_under(&MajorCan::proposed(), &s))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: wall-clock cost of simulating one clean broadcast per
+//! protocol variant (the DESIGN.md ▸ ablation of the variant abstraction),
+//! plus the higher-level protocols' frame machinery.
+//!
+//! The wire-overhead *numbers* are asserted in unit tests and printed by
+//! the `overhead` binary; this bench tracks that the single-controller
+//! variant design keeps all variants equally cheap to simulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use majorcan_bench::overhead::{measure_clean_frame_bits, measure_hlp_frames_per_message};
+use majorcan_can::{StandardCan, Variant};
+use majorcan_core::{MajorCan, MinorCan};
+use majorcan_hlp::{EdCan, RelCan, TotCan};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clean_broadcast");
+    fn run<V: Variant>(v: &V) -> u64 {
+        measure_clean_frame_bits(v)
+    }
+    group.bench_with_input(BenchmarkId::new("variant", "CAN"), &(), |b, _| {
+        b.iter(|| run(&StandardCan))
+    });
+    group.bench_with_input(BenchmarkId::new("variant", "MinorCAN"), &(), |b, _| {
+        b.iter(|| run(&MinorCan))
+    });
+    group.bench_with_input(BenchmarkId::new("variant", "MajorCAN_5"), &(), |b, _| {
+        b.iter(|| run(&MajorCan::proposed()))
+    });
+    group.finish();
+}
+
+fn bench_hlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hlp_broadcast_4_nodes");
+    group.sample_size(20);
+    group.bench_function("EDCAN", |b| {
+        b.iter(|| measure_hlp_frames_per_message(EdCan::new, 4))
+    });
+    group.bench_function("RELCAN", |b| {
+        b.iter(|| measure_hlp_frames_per_message(RelCan::new, 4))
+    });
+    group.bench_function("TOTCAN", |b| {
+        b.iter(|| measure_hlp_frames_per_message(TotCan::new, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_hlp);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: raw simulation speed — bit times per second for
+//! fault-free buses of increasing width, and under a random error channel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use majorcan_can::{Controller, Frame, FrameId, StandardCan};
+use majorcan_faults::IndependentBitErrors;
+use majorcan_sim::{NoFaults, NodeId, Simulator};
+
+const BITS: u64 = 20_000;
+
+fn saturated_sim<C: majorcan_sim::ChannelModel<majorcan_can::WirePos>>(
+    n: usize,
+    channel: C,
+) -> Simulator<Controller<StandardCan>, C> {
+    let mut sim = Simulator::new(channel);
+    for _ in 0..n {
+        sim.attach(Controller::new(StandardCan));
+    }
+    // Keep the bus saturated so the bench exercises real frame machinery.
+    for k in 0..40u16 {
+        let node = (k as usize) % n;
+        sim.node_mut(NodeId(node))
+            .enqueue(Frame::new(FrameId::new(0x100 + k).unwrap(), &[k as u8; 8]).unwrap());
+    }
+    sim
+}
+
+fn bench_fault_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_fault_free");
+    for n in [2usize, 8, 32] {
+        group.throughput(Throughput::Elements(BITS * n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = saturated_sim(n, NoFaults);
+                sim.run(BITS);
+                sim.events().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_with_random_errors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_random_errors");
+    {
+        let n = 8usize;
+        group.throughput(Throughput::Elements(BITS * n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = saturated_sim(n, IndependentBitErrors::new(1e-3, 7));
+                sim.run(BITS);
+                sim.events().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_free, bench_with_random_errors);
+criterion_main!(benches);

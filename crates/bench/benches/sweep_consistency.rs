@@ -1,0 +1,32 @@
+//! Criterion bench for the consistency sweep: cost per randomized
+//! fault-injection trial under each protocol, with a spot verification of
+//! the headline result on every run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use majorcan_bench::sweep::sweep;
+use majorcan_can::StandardCan;
+use majorcan_core::{MajorCan, MinorCan};
+
+fn bench_sweep(c: &mut Criterion) {
+    // Headline spot-check before timing.
+    assert!(
+        sweep(&MajorCan::proposed(), 4, 5, 40, 0xA11CE).spotless(),
+        "MajorCAN_5 must stay atomic within its 5-error budget"
+    );
+
+    let mut group = c.benchmark_group("sweep_trials_x20");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("protocol", "CAN"), |b| {
+        b.iter(|| sweep(&StandardCan, 4, 2, 20, 1))
+    });
+    group.bench_function(BenchmarkId::new("protocol", "MinorCAN"), |b| {
+        b.iter(|| sweep(&MinorCan, 4, 2, 20, 1))
+    });
+    group.bench_function(BenchmarkId::new("protocol", "MajorCAN_5"), |b| {
+        b.iter(|| sweep(&MajorCan::proposed(), 4, 2, 20, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

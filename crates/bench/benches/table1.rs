@@ -1,0 +1,26 @@
+//! Criterion bench for the Table 1 pipeline: regeneration cost and a
+//! verification pass against the paper's printed values on every run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use majorcan_analysis::{table1, NetworkParams, PAPER_TABLE1};
+
+fn bench_table1(c: &mut Criterion) {
+    // Verify once per bench run that the regenerated table still matches
+    // the paper before timing it — a bench of wrong numbers is worthless.
+    let params = NetworkParams::paper_reference();
+    for (row, &(_, p_new, _, p_star)) in table1(&params).iter().zip(PAPER_TABLE1.iter()) {
+        assert!(
+            (row.imo_new_per_hour - p_new).abs() / p_new < 5e-3,
+            "Table 1 regression at ber={}",
+            row.ber
+        );
+        assert!((row.imo_star_per_hour - p_star).abs() / p_star < 5e-3);
+    }
+    c.bench_function("table1_regeneration", |b| b.iter(|| table1(&params)));
+    c.bench_function("table1_render", |b| {
+        b.iter(|| majorcan_analysis::render_table1(&params))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,280 @@
+//! E16 — the single-error atlas: one view-flip at **every** position of a
+//! frame, for every node, under each protocol variant, classified by the
+//! Atomic Broadcast checker.
+//!
+//! This maps the complete single-error behaviour of each protocol:
+//!
+//! * which positions are **benign** (recovered by a retransmission or the
+//!   agreement machinery),
+//! * which cause **double receptions** (standard CAN's EOF asymmetry),
+//! * which cause **omissions** — under a *single* error these are always
+//!   desynchronization cases (finding F1): flips of stuff bits or
+//!   field-length-relevant bits that shift the victim's frame clock.
+
+use majorcan_abcast::trace_from_can_events;
+use majorcan_can::{encode_frame, Controller, Field, Variant};
+use majorcan_core::{MajorCan, MinorCan};
+use majorcan_faults::{scenario_frame, Disturbance, ScriptedFaults};
+use majorcan_sim::{NodeId, Simulator};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Verdict of a single-flip trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// All Atomic Broadcast properties held.
+    Consistent,
+    /// AB3 broken: someone delivered the frame twice.
+    DoubleReception,
+    /// AB2 broken: a correct node was left without the frame.
+    Omission,
+    /// AB1 broken: the frame reached nobody despite a correct transmitter.
+    ValidityLoss,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Consistent => "consistent",
+            Verdict::DoubleReception => "double reception",
+            Verdict::Omission => "OMISSION",
+            Verdict::ValidityLoss => "VALIDITY LOSS",
+        })
+    }
+}
+
+/// One atlas entry: where the flip landed and what happened.
+#[derive(Debug, Clone)]
+pub struct AtlasEntry {
+    /// Victim node (0 = transmitter).
+    pub node: usize,
+    /// The disturbed position.
+    pub disturbance: Disturbance,
+    /// Checker verdict.
+    pub verdict: Verdict,
+}
+
+/// Every on-wire position of the reference frame under `variant`,
+/// stuff bits included.
+pub fn frame_positions<V: Variant>(variant: &V) -> Vec<(Field, u16, bool)> {
+    encode_frame(&scenario_frame(), variant)
+        .into_iter()
+        .map(|wb| (wb.pos.field, wb.pos.index, wb.pos.stuff))
+        .collect()
+}
+
+fn classify<V: Variant>(variant: &V, d: Disturbance) -> Verdict {
+    let script = ScriptedFaults::new(vec![d]);
+    let mut sim = Simulator::new(script);
+    for _ in 0..3 {
+        sim.attach(Controller::new(variant.clone()));
+    }
+    sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+    sim.run(2_500);
+    let report = trace_from_can_events(sim.events(), 3).check();
+    if !report.validity.holds {
+        Verdict::ValidityLoss
+    } else if !report.agreement.holds {
+        Verdict::Omission
+    } else if !report.at_most_once.holds {
+        Verdict::DoubleReception
+    } else {
+        Verdict::Consistent
+    }
+}
+
+/// Builds the full single-error atlas for `variant`: every frame position
+/// of every node's view, flipped once.
+pub fn build_atlas<V: Variant>(variant: &V) -> Vec<AtlasEntry> {
+    let mut entries = Vec::new();
+    for node in 0..3usize {
+        for (field, index, stuff) in frame_positions(variant) {
+            let d = if stuff {
+                Disturbance::stuff_bit(node, field, index)
+            } else {
+                Disturbance::first(node, field, index)
+            };
+            entries.push(AtlasEntry {
+                node,
+                disturbance: d.clone(),
+                verdict: classify(variant, d),
+            });
+        }
+    }
+    entries
+}
+
+/// Aggregates an atlas into per-(field, verdict) counts.
+pub fn summarize(entries: &[AtlasEntry]) -> BTreeMap<(String, Verdict), usize> {
+    let mut counts = BTreeMap::new();
+    for e in entries {
+        let key = (
+            format!(
+                "{}{}",
+                e.disturbance.field,
+                if e.disturbance.stuff { "+s" } else { "" }
+            ),
+            e.verdict,
+        );
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Renders the atlas of one protocol as a field × verdict table.
+pub fn render_atlas<V: Variant>(variant: &V) -> String {
+    let entries = build_atlas(variant);
+    let counts = summarize(&entries);
+    let mut out = String::new();
+    let total = entries.len();
+    let _ = writeln!(
+        out,
+        "Single-error atlas for {} ({} trials: 3 nodes × every frame position)",
+        variant.name(),
+        total
+    );
+    let fields: Vec<String> = {
+        let mut f: Vec<String> = counts.keys().map(|(f, _)| f.clone()).collect();
+        f.dedup();
+        f
+    };
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>10} | {:>10} | {:>9} | {:>9}",
+        "field", "consistent", "double rx", "omission", "validity"
+    );
+    for field in fields {
+        let get = |v: Verdict| counts.get(&(field.clone(), v)).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>10} | {:>10} | {:>9} | {:>9}",
+            field,
+            get(Verdict::Consistent),
+            get(Verdict::DoubleReception),
+            get(Verdict::Omission),
+            get(Verdict::ValidityLoss),
+        );
+    }
+    let omissions: Vec<&AtlasEntry> = entries
+        .iter()
+        .filter(|e| e.verdict == Verdict::Omission || e.verdict == Verdict::ValidityLoss)
+        .collect();
+    if omissions.is_empty() {
+        let _ = writeln!(out, "no single-error omissions");
+    } else {
+        let _ = writeln!(out, "omission-causing flips ({}):", omissions.len());
+        for e in omissions.iter().take(24) {
+            let _ = writeln!(out, "  {} -> {}", e.disturbance, e.verdict);
+        }
+        if omissions.len() > 24 {
+            let _ = writeln!(out, "  … and {} more", omissions.len() - 24);
+        }
+    }
+    out
+}
+
+/// Renders the full atlas comparison across the three link-layer variants.
+pub fn render_all() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", render_atlas(&majorcan_can::StandardCan));
+    let _ = writeln!(out, "{}", render_atlas(&MinorCan));
+    let _ = writeln!(out, "{}", render_atlas(&MajorCan::proposed()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majorcan_can::StandardCan;
+
+    #[test]
+    fn atlas_covers_three_views_of_every_position() {
+        let entries = build_atlas(&StandardCan);
+        assert_eq!(entries.len(), 3 * frame_positions(&StandardCan).len());
+    }
+
+    #[test]
+    fn standard_can_single_error_map() {
+        let entries = build_atlas(&StandardCan);
+        // Double receptions arise exactly from the EOF asymmetry: a flip at
+        // a receiver's last-but-one EOF bit, or at the transmitter's view
+        // of its own tail.
+        let doubles: Vec<&AtlasEntry> = entries
+            .iter()
+            .filter(|e| e.verdict == Verdict::DoubleReception)
+            .collect();
+        assert!(!doubles.is_empty());
+        for e in &doubles {
+            assert!(
+                matches!(
+                    e.disturbance.field,
+                    Field::Eof | Field::AckDelim | Field::CrcDelim | Field::AckSlot
+                ),
+                "unexpected double-reception source: {}",
+                e.disturbance
+            );
+        }
+        // Single-error omissions, if any, are desynchronization cases:
+        // they originate in the stuffed body (stuff bits or field bits),
+        // never in the EOF region itself.
+        for e in entries
+            .iter()
+            .filter(|e| e.verdict == Verdict::Omission)
+        {
+            assert!(
+                !matches!(e.disturbance.field, Field::Eof),
+                "single EOF flip must not cause an omission on CAN: {}",
+                e.disturbance
+            );
+        }
+    }
+
+    #[test]
+    fn majorcan_eof_region_is_single_error_proof() {
+        let entries = build_atlas(&MajorCan::proposed());
+        for e in &entries {
+            if e.disturbance.field == Field::Eof {
+                assert_eq!(
+                    e.verdict,
+                    Verdict::Consistent,
+                    "MajorCAN_5 EOF flip must be absorbed: {}",
+                    e.disturbance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn majorcan_single_error_omissions_are_exactly_the_desync_class() {
+        // The F1 finding, pinned down: every single-flip omission under
+        // MajorCAN_5 comes from the stuffed frame body (where a flip can
+        // shift the victim's frame clock), never from the EOF/tail.
+        let entries = build_atlas(&MajorCan::proposed());
+        let omissions: Vec<&AtlasEntry> = entries
+            .iter()
+            .filter(|e| e.verdict == Verdict::Omission)
+            .collect();
+        assert!(
+            !omissions.is_empty(),
+            "the desynchronization hole must be visible in the atlas"
+        );
+        for e in &omissions {
+            assert!(
+                matches!(
+                    e.disturbance.field,
+                    Field::Sof
+                        | Field::Id
+                        | Field::Rtr
+                        | Field::Ide
+                        | Field::R0
+                        | Field::Dlc
+                        | Field::Data
+                        | Field::Crc
+                ),
+                "omission outside the desync class: {}",
+                e.disturbance
+            );
+            assert_ne!(e.node, 0, "the transmitter cannot desync on its own frame");
+        }
+    }
+}

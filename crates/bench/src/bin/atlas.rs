@@ -1,0 +1,10 @@
+//! E16 — prints the single-error atlas: the verdict of one view-flip at
+//! every frame position, per node, per protocol (see EXPERIMENTS.md, F1).
+//!
+//! ```text
+//! cargo run --release -p majorcan-bench --bin atlas
+//! ```
+
+fn main() {
+    println!("{}", majorcan_bench::atlas::render_all());
+}

@@ -1,0 +1,94 @@
+//! Monte-Carlo validation of the paper's probability model (E1b) plus the
+//! desynchronization finding.
+//!
+//! Three layers of validation, strongest last:
+//!
+//! 1. direct sampling of Eq. 4/5's own event definitions (from
+//!    `majorcan-analysis`) against the closed forms;
+//! 2. the bit-level simulator under EOF-confined random errors against the
+//!    Eq. 4 pattern probability;
+//! 3. the bit-level simulator under unrestricted random errors — exposing
+//!    the first-order desynchronization omissions outside the paper's
+//!    model (EXPERIMENTS.md, finding F1).
+//!
+//! ```text
+//! cargo run --release -p majorcan-bench --bin montecarlo [-- <frames>]
+//! ```
+
+use majorcan_analysis::{
+    estimate_new_scenario, estimate_old_scenario, p_new_scenario, p_old_scenario,
+};
+use majorcan_bench::montecarlo::{
+    measure_imo_rate, measure_imo_rate_global, render_measurement, ErrorDomain,
+};
+use majorcan_can::StandardCan;
+use majorcan_core::{MajorCan, MinorCan};
+
+fn main() {
+    let frames: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+
+    println!("== 1. Direct sampling of the Eq. 4/5 event definitions ==");
+    let (n, b, tau) = (8, 0.01, 20);
+    let analytic = p_new_scenario(n, b, tau);
+    let mc = estimate_new_scenario(n, b, tau, 2_000_000, 42);
+    println!(
+        "Eq.4  (N={n}, ber*={b}, tau={tau}): closed form {analytic:.4e}, sampled {:.4e} ± {:.1e}",
+        mc.p_hat, mc.std_err
+    );
+    let (lambda, dt) = (1e-3, 5e-3);
+    let analytic5 = p_old_scenario(6, 0.02, 16, lambda, dt);
+    let mc5 = estimate_old_scenario(6, 0.02, 16, lambda, dt, 1_000_000, 7);
+    println!(
+        "Eq.5  (N=6, ber*=0.02, tau=16):   closed form {analytic5:.4e}, sampled {:.4e} ± {:.1e}",
+        mc5.p_hat, mc5.std_err
+    );
+
+    println!("\n== 2. Bit-level simulator, EOF-confined errors (the paper's domain) ==");
+    for measurement in [
+        measure_imo_rate(&StandardCan, 4, 0.02, frames, 0xFEED, ErrorDomain::EofOnly),
+        measure_imo_rate(&MinorCan, 4, 0.02, frames / 2, 0xFEED, ErrorDomain::EofOnly),
+        measure_imo_rate(
+            &MajorCan::proposed(),
+            4,
+            0.02,
+            frames / 2,
+            0xFEED,
+            ErrorDomain::EofOnly,
+        ),
+    ] {
+        print!("{}", render_measurement(&measurement));
+    }
+    println!("(CAN matches the Eq.4 pattern; MinorCAN kills the double receptions but keeps");
+    println!(" the two-flip omission; MajorCAN_5 is spotless in this domain.)");
+
+    println!("\n== 2b. Channel-model ablation (independent ber* vs global events) ==");
+    let global = measure_imo_rate_global(&StandardCan, 4, 0.02 * 4.0, frames / 2, 0xFEED);
+    print!("{}", render_measurement(&global));
+    println!("(Charzinski's two-stage model correlates hits within a bit time: the");
+    println!(" hit-and-clean pairing of Fig. 3a carries (1-p_eff) where the independent");
+    println!(" model has (1-ber*), so at N=4 the global-event rate sits ≈0.75× below the");
+    println!(" independent one; the models converge as N grows — at the paper's N=32 the");
+    println!(" Eq. 3 simplification costs under 4%.)");
+
+    println!("\n== 3. Bit-level simulator, unrestricted errors (finding F1) ==");
+    for measurement in [
+        measure_imo_rate(&StandardCan, 4, 4e-3, frames / 4, 0xFACE, ErrorDomain::FullFrame),
+        measure_imo_rate(&MinorCan, 4, 4e-3, frames / 4, 0xFACE, ErrorDomain::FullFrame),
+        measure_imo_rate(
+            &MajorCan::proposed(),
+            4,
+            4e-3,
+            frames / 4,
+            0xFACE,
+            ErrorDomain::FullFrame,
+        ),
+    ] {
+        print!("{}", render_measurement(&measurement));
+    }
+    println!("(Unrestricted flips desynchronize receivers' frame decoding; the resulting");
+    println!(" omissions are first-order in ber* and affect every variant — a failure class");
+    println!(" outside the paper's synchronized-node error model. See EXPERIMENTS.md, F1.)");
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's Section 5/6 overhead comparison: measured
+//! on-wire frame lengths per protocol variant, the `2m−7` / `4m−9`
+//! formulas, and the frames-per-message cost of the higher-level
+//! protocols.
+//!
+//! ```text
+//! cargo run --release -p majorcan-bench --bin overhead [-- <n_nodes>]
+//! ```
+
+use majorcan_bench::overhead::{measure_error_episode, render_comparison};
+use majorcan_can::StandardCan;
+use majorcan_core::MajorCan;
+
+fn main() {
+    let n_nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    println!("{}", render_comparison(n_nodes));
+
+    println!("Error-episode bus occupation (disturbance in the EOF second sub-field):");
+    let (clean_can, episode_can) = measure_error_episode(&StandardCan, 6);
+    println!(
+        "  CAN        : clean episode {clean_can:>4} bits, with error {episode_can:>4} bits (+{})",
+        episode_can - clean_can
+    );
+    for m in [4usize, 5, 6] {
+        let v = MajorCan::new(m).expect("valid m");
+        let (clean, episode) = measure_error_episode(&v, (m + 3) as u16);
+        println!(
+            "  MajorCAN_{m} : clean episode {clean:>4} bits, with error {episode:>4} bits (+{})",
+            episode - clean
+        );
+    }
+    println!(
+        "\npaper: best-case overhead 2m-7 (= 3 bits at m=5), worst-case 4m-9 (= 11 bits);\n\
+         every higher-level protocol costs more than one full CAN frame per message."
+    );
+}

@@ -1,0 +1,35 @@
+//! The Section 5 headline experiment (E13): randomized tail-region error
+//! sweep over CAN, MinorCAN and MajorCAN_5.
+//!
+//! ```text
+//! cargo run --release -p majorcan-bench --bin sweep [-- <trials> [n_nodes]]
+//! ```
+
+use majorcan_bench::sweep::{render_sweep, sweep, sweep_table};
+use majorcan_core::MajorCan;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+    let n_nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let rows = sweep_table(n_nodes, trials, 0xC0FFEE);
+    println!("{}", render_sweep(&rows));
+
+    // The guarantee boundary: beyond m errors MajorCAN_m's budget is
+    // exhausted; show where violations start appearing.
+    println!("MajorCAN_m at and beyond its error budget:");
+    for m in [3usize, 5] {
+        let v = MajorCan::new(m).expect("valid m");
+        for errors in [m, m + 1, m + 3] {
+            let outcome = sweep(&v, n_nodes, errors, trials, 0xDEC0DE + errors as u64);
+            println!(
+                "  MajorCAN_{m} with {errors} tail errors: AB2 broken {} / AB3 broken {} of {} trials{}",
+                outcome.agreement_violations,
+                outcome.double_deliveries,
+                outcome.trials,
+                if errors <= m { "  (within budget)" } else { "" }
+            );
+        }
+    }
+}

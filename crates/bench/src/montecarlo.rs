@@ -1,0 +1,425 @@
+//! End-to-end Monte-Carlo validation of the paper's probability model
+//! against the bit-level simulator.
+//!
+//! The `majorcan-analysis` crate already validates Eq. 4/5 by sampling the
+//! model's own event definition. This module closes the remaining gap: it
+//! runs the **actual protocol machinery** under an independent per-view
+//! error channel and counts real inconsistent message omissions, then
+//! compares the measured per-frame rate against Eq. 4 evaluated at the
+//! measured frame length.
+//!
+//! At order `ber*²` the only no-crash IMO pattern in standard CAN is
+//! exactly Fig. 3a (a receiver hit at the last-but-one EOF bit plus the
+//! transmitter blinded at the last bit), so at moderately elevated `ber*`
+//! the measured rate must match Eq. 4 within sampling error.
+//!
+//! # Reproduction finding: the desynchronization hole
+//!
+//! Running **MajorCAN** under the same unrestricted channel exposes a
+//! failure mode outside the paper's analysis. A single early-frame flip in
+//! one receiver's view (e.g. a DLC bit) desynchronizes that receiver's
+//! frame-length decoding; its stuff error then fires only in the recessive
+//! tail (six equal bits after the ACK), so its rejection flag starts at
+//! true EOF bit 6 — which the paper's m = 5 geometry places in the
+//! *accepting* second sub-field. The other nodes read the flag as an
+//! acceptance notification, the transmitter never retransmits, and the
+//! desynchronized receiver is omitted: an IMO from **one** error, rate
+//! O(ber*). Standard CAN self-heals in the same situation precisely
+//! because EOF bit 6 lies in its rejecting region (flag ⇒ global
+//! retransmission). The paper's sub-field sizing argument considers only
+//! CRC-error flags (which start at EOF bit 1); it implicitly assumes all
+//! nodes stay frame-synchronized, as do all its figures (every scenario
+//! places errors in the EOF region). Within that synchronized-error model
+//! MajorCAN_m is spotless up to m errors — see `crate::sweep` — but the
+//! desynchronization hole is a real property of the protocol as specified,
+//! measured here and documented in EXPERIMENTS.md.
+
+use majorcan_abcast::trace_from_can_events;
+use majorcan_analysis::p_new_scenario;
+use majorcan_can::{CanEvent, Controller, ControllerConfig, Frame, FrameId, Variant};
+use majorcan_faults::{ActiveAfter, FieldFiltered, GlobalEventErrors, IndependentBitErrors};
+use majorcan_sim::{NodeId, Simulator};
+use std::fmt::Write as _;
+
+/// Where the random channel is allowed to strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorDomain {
+    /// Flips anywhere in the frame (after bus integration). Exposes the
+    /// desynchronization classes the paper does not model.
+    FullFrame,
+    /// Flips confined to the EOF bits — the region every paper scenario
+    /// lives in; validates Eq. 4's pattern directly.
+    EofOnly,
+}
+
+/// Result of an end-to-end IMO-rate measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImoMeasurement {
+    /// Protocol name.
+    pub protocol: String,
+    /// The error domain the channel was confined to.
+    pub domain: ErrorDomain,
+    /// Per-view bit error probability used.
+    pub ber_star: f64,
+    /// Frames attempted.
+    pub frames: u64,
+    /// Frames ending in an Agreement violation (an IMO).
+    pub imo_frames: u64,
+    /// Frames ending in a double reception.
+    pub double_frames: u64,
+    /// Retransmissions scheduled across all trials (the paper's Section 3
+    /// performance metric: MinorCAN and MajorCAN avoid retransmissions
+    /// standard CAN must make).
+    pub retransmissions: u64,
+    /// Measured on-wire frame length (bits, error-free).
+    pub tau_data: u64,
+    /// Eq. 4's prediction at (`n`, `ber_star`, `tau_data`).
+    pub predicted_imo_per_frame: f64,
+}
+
+impl ImoMeasurement {
+    /// Measured IMO probability per frame.
+    pub fn measured_imo_per_frame(&self) -> f64 {
+        self.imo_frames as f64 / self.frames as f64
+    }
+
+    /// Binomial standard error of the measured rate.
+    pub fn std_err(&self) -> f64 {
+        let p = self.measured_imo_per_frame();
+        (p * (1.0 - p) / self.frames as f64).sqrt()
+    }
+}
+
+fn trial_frame() -> Frame {
+    Frame::new(FrameId::new(0x2A5).unwrap(), &[0x5C]).unwrap()
+}
+
+/// Measured clean on-wire length of the trial frame under `variant`.
+pub fn measured_tau<V: Variant>(variant: &V) -> u64 {
+    crate::overhead::measure_clean_frame_bits_of(variant, &trial_frame())
+}
+
+/// Runs `frames` independent single-broadcast trials of `variant` under an
+/// [`IndependentBitErrors`] channel at `ber_star` and grades each with the
+/// Atomic Broadcast checker.
+///
+/// Counter-based shutoffs are disabled for the measurement (each trial uses
+/// a fresh bus, so confinement plays no role anyway) to keep nodes correct
+/// throughout.
+pub fn measure_imo_rate<V: Variant>(
+    variant: &V,
+    n_nodes: usize,
+    ber_star: f64,
+    frames: u64,
+    seed: u64,
+    domain: ErrorDomain,
+) -> ImoMeasurement {
+    let tau = measured_tau(variant);
+    let mut imo = 0u64;
+    let mut double = 0u64;
+    let mut retx = 0u64;
+    for trial in 0..frames {
+        let raw = IndependentBitErrors::new(ber_star, seed ^ (trial.wrapping_mul(0x9E3779B9)));
+        // Faults only arm once every node has integrated (11 recessive
+        // bits): the model has no start-up phase.
+        let fields = match domain {
+            ErrorDomain::FullFrame => None,
+            ErrorDomain::EofOnly => Some(FieldFiltered::eof_only(raw.clone())),
+        };
+        let mut sim_events;
+        match fields {
+            Some(filtered) => {
+                let mut sim = Simulator::new(ActiveAfter::new(11, filtered));
+                for _ in 0..n_nodes {
+                    sim.attach(Controller::with_config(
+                        variant.clone(),
+                        ControllerConfig {
+                            shutoff_at_warning: false,
+                            fail_at: None,
+                        },
+                    ));
+                }
+                sim.node_mut(NodeId(0)).enqueue(trial_frame());
+                crate::quiesce::run_until_quiescent(&mut sim, 25, 4_000);
+                sim_events = sim.take_events();
+            }
+            None => {
+                let mut sim = Simulator::new(ActiveAfter::new(11, raw));
+                for _ in 0..n_nodes {
+                    sim.attach(Controller::with_config(
+                        variant.clone(),
+                        ControllerConfig {
+                            shutoff_at_warning: false,
+                            fail_at: None,
+                        },
+                    ));
+                }
+                sim.node_mut(NodeId(0)).enqueue(trial_frame());
+                crate::quiesce::run_until_quiescent(&mut sim, 25, 4_000);
+                sim_events = sim.take_events();
+            }
+        }
+        let report = trace_from_can_events(&sim_events, n_nodes).check();
+        retx += sim_events
+            .iter()
+            .filter(|e| matches!(e.event, CanEvent::RetransmissionScheduled { .. }))
+            .count() as u64;
+        sim_events.clear();
+        if !report.agreement.holds {
+            imo += 1;
+        }
+        if !report.at_most_once.holds {
+            double += 1;
+        }
+    }
+    // The Eq. 4 prediction: over the whole frame for the unrestricted
+    // domain; for the EOF-only domain the clean-bit exponents collapse to
+    // the two decisive positions (τ = 2 in the formula's structure).
+    let predicted = match domain {
+        ErrorDomain::FullFrame => p_new_scenario(n_nodes, ber_star, tau as usize),
+        ErrorDomain::EofOnly => p_new_scenario(n_nodes, ber_star, 2),
+    };
+    ImoMeasurement {
+        protocol: variant.name(),
+        domain,
+        ber_star,
+        frames,
+        imo_frames: imo,
+        double_frames: double,
+        retransmissions: retx,
+        tau_data: tau,
+        predicted_imo_per_frame: predicted,
+    }
+}
+
+/// The DESIGN.md ▸ channel-model ablation: the same EOF-confined
+/// measurement under Charzinski's two-stage model (a global error event
+/// with probability `ber` per bit, effective at each node with
+/// `p_eff = 1/N`) instead of independent per-view errors.
+///
+/// Both models share the per-view marginal `ber* = ber/N`, but the global
+/// model correlates hits *within* a bit time: when an event strikes, it may
+/// corrupt several nodes' views of the same bit. The Fig. 3a pattern needs
+/// one receiver hit and another clean at the *same* bit position, so the
+/// correlation enters as a `(1 − p_eff)` factor where the independent model
+/// has `(1 − ber*)`: at small N the global-event rate sits measurably below
+/// the independent-model rate (≈ 0.75× at N = 4), and the two models
+/// converge as N grows (`p_eff = 1/N → 0`) — at the paper's N = 32 the
+/// difference is under 4 %. This quantifies exactly what the paper's
+/// Eq. 3 simplification costs: nothing, at the network sizes it studies.
+pub fn measure_imo_rate_global<V: Variant>(
+    variant: &V,
+    n_nodes: usize,
+    ber: f64,
+    frames: u64,
+    seed: u64,
+) -> ImoMeasurement {
+    let tau = measured_tau(variant);
+    let mut imo = 0u64;
+    let mut double = 0u64;
+    let mut retx = 0u64;
+    for trial in 0..frames {
+        let raw = GlobalEventErrors::with_uniform_spread(
+            ber,
+            n_nodes,
+            seed ^ (trial.wrapping_mul(0x9E3779B9)),
+        );
+        let channel = ActiveAfter::new(11, FieldFiltered::eof_only(raw));
+        let mut sim = Simulator::new(channel);
+        for _ in 0..n_nodes {
+            sim.attach(Controller::with_config(
+                variant.clone(),
+                ControllerConfig {
+                    shutoff_at_warning: false,
+                    fail_at: None,
+                },
+            ));
+        }
+        sim.node_mut(NodeId(0)).enqueue(trial_frame());
+        crate::quiesce::run_until_quiescent(&mut sim, 25, 4_000);
+        let report = trace_from_can_events(sim.events(), n_nodes).check();
+        retx += sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, CanEvent::RetransmissionScheduled { .. }))
+            .count() as u64;
+        if !report.agreement.holds {
+            imo += 1;
+        }
+        if !report.at_most_once.holds {
+            double += 1;
+        }
+    }
+    let ber_star = ber / n_nodes as f64;
+    ImoMeasurement {
+        protocol: format!("{} (global-event channel)", variant.name()),
+        domain: ErrorDomain::EofOnly,
+        ber_star,
+        frames,
+        imo_frames: imo,
+        double_frames: double,
+        retransmissions: retx,
+        tau_data: tau,
+        predicted_imo_per_frame: p_new_scenario(n_nodes, ber_star, 2),
+    }
+}
+
+/// Renders a measurement against the model prediction.
+pub fn render_measurement(m: &ImoMeasurement) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: ber*={:.1e} ({:?} domain), {} frames of {} bits",
+        m.protocol, m.ber_star, m.domain, m.frames, m.tau_data
+    );
+    let _ = writeln!(
+        out,
+        "  measured IMO/frame: {:.3e} ± {:.1e}   Eq.4 prediction: {:.3e}",
+        m.measured_imo_per_frame(),
+        m.std_err(),
+        m.predicted_imo_per_frame
+    );
+    let _ = writeln!(
+        out,
+        "  double receptions/frame: {:.3e}   retransmissions/frame: {:.3e}",
+        m.double_frames as f64 / m.frames as f64,
+        m.retransmissions as f64 / m.frames as f64
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majorcan_can::StandardCan;
+    use majorcan_core::{MajorCan, MinorCan};
+
+    #[test]
+    fn simulator_imo_rate_matches_eq4_pattern_in_eof_domain() {
+        // EOF-confined flips at ber* = 0.02 on a 4-node bus: the only
+        // order-b² IMO pattern is exactly Fig. 3a, predicted at
+        // ≈ 3·b²·(1-b)^… ≈ 1.15e-3 per frame. Statistics only in release;
+        // debug stays smoke-level.
+        let frames: u64 = if cfg!(debug_assertions) { 500 } else { 30_000 };
+        let m = measure_imo_rate(&StandardCan, 4, 0.02, frames, 0xFEED, ErrorDomain::EofOnly);
+        assert!(m.predicted_imo_per_frame > 0.0);
+        if frames >= 30_000 {
+            let measured = m.measured_imo_per_frame();
+            let err = m.std_err().max(1e-6);
+            assert!(
+                (measured - m.predicted_imo_per_frame).abs()
+                    < 4.0 * err + 0.35 * m.predicted_imo_per_frame,
+                "measured {measured:.3e} vs predicted {:.3e} (±{err:.1e})",
+                m.predicted_imo_per_frame
+            );
+        }
+    }
+
+    #[test]
+    fn majorcan_measures_zero_imo_in_the_papers_error_domain() {
+        // Within the paper's error model (EOF-region errors on synchronized
+        // nodes), MajorCAN_5 must be spotless.
+        let frames: u64 = if cfg!(debug_assertions) { 300 } else { 10_000 };
+        let m = measure_imo_rate(
+            &MajorCan::proposed(),
+            4,
+            0.02,
+            frames,
+            0xFACE,
+            ErrorDomain::EofOnly,
+        );
+        assert_eq!(m.imo_frames, 0, "{m:?}");
+        assert_eq!(m.double_frames, 0, "{m:?}");
+    }
+
+    #[test]
+    fn desynchronization_finding_full_frame_errors_break_every_protocol() {
+        // The reproduction finding (see module docs): unrestricted random
+        // view-flips desynchronize receivers' frame decoding and produce
+        // first-order omissions in CAN *and* MajorCAN — a class outside
+        // the paper's model.
+        let frames: u64 = if cfg!(debug_assertions) { 400 } else { 4_000 };
+        let major = measure_imo_rate(
+            &MajorCan::proposed(),
+            4,
+            4e-3,
+            frames,
+            0xFACE,
+            ErrorDomain::FullFrame,
+        );
+        assert!(
+            major.imo_frames > 0,
+            "the desynchronization hole must reproduce: {major:?}"
+        );
+        let can = measure_imo_rate(&StandardCan, 4, 4e-3, frames, 0xFACE, ErrorDomain::FullFrame);
+        assert!(
+            can.measured_imo_per_frame() > 10.0 * can.predicted_imo_per_frame,
+            "desync omissions dominate Eq. 4's pattern: {can:?}"
+        );
+    }
+
+    #[test]
+    fn channel_model_ablation_rates_agree() {
+        // Independent ber* vs Charzinski's global-event model with
+        // p_eff = 1/N: identical per-view marginals, so the EOF-domain IMO
+        // rates must agree within sampling error. Statistics in release;
+        // smoke in debug.
+        let frames: u64 = if cfg!(debug_assertions) { 400 } else { 30_000 };
+        let n = 4;
+        let ber_star = 0.02;
+        let indep = measure_imo_rate(&StandardCan, n, ber_star, frames, 0xAB1E, ErrorDomain::EofOnly);
+        let global =
+            measure_imo_rate_global(&StandardCan, n, ber_star * n as f64, frames, 0xAB1E);
+        assert!((global.ber_star - indep.ber_star).abs() < 1e-12);
+        if frames >= 30_000 {
+            let (a, b) = (indep.measured_imo_per_frame(), global.measured_imo_per_frame());
+            let err = (indep.std_err() + global.std_err()).max(1e-6);
+            // At N = 4 the within-bit correlation attenuates the
+            // hit-and-clean pairing by ≈ (1 − p_eff)/(1 − ber*) ≈ 0.77.
+            let attenuation = (1.0 - 1.0 / n as f64) / (1.0 - ber_star);
+            assert!(
+                (a * attenuation - b).abs() < 4.0 * err + 0.3 * a.max(b),
+                "independent {a:.3e} (×{attenuation:.2}) vs global-event {b:.3e} (±{err:.1e})"
+            );
+        }
+    }
+
+    #[test]
+    fn minorcan_and_majorcan_retransmit_less_than_can() {
+        // Section 3's performance claim, measured: under EOF-region errors
+        // standard CAN retransmits on every transmitter-side last-bit error
+        // and every last-but-one receiver error; MinorCAN's Primary_error
+        // rule and MajorCAN's second sub-field avoid most of those.
+        let frames: u64 = if cfg!(debug_assertions) { 800 } else { 8_000 };
+        let b = 0.02;
+        let can = measure_imo_rate(&StandardCan, 4, b, frames, 0x9A9A, ErrorDomain::EofOnly);
+        let minor = measure_imo_rate(&MinorCan, 4, b, frames, 0x9A9A, ErrorDomain::EofOnly);
+        let major = measure_imo_rate(
+            &MajorCan::proposed(),
+            4,
+            b,
+            frames,
+            0x9A9A,
+            ErrorDomain::EofOnly,
+        );
+        assert!(
+            minor.retransmissions < can.retransmissions,
+            "MinorCAN {} vs CAN {}",
+            minor.retransmissions,
+            can.retransmissions
+        );
+        assert!(
+            major.retransmissions < can.retransmissions,
+            "MajorCAN {} vs CAN {}",
+            major.retransmissions,
+            can.retransmissions
+        );
+    }
+
+    #[test]
+    fn measured_tau_is_plausible() {
+        let tau = measured_tau(&StandardCan);
+        // 1-byte frame: 37 fixed + 8 data + 7 EOF = 52 unstuffed, + stuff.
+        assert!((52..=60).contains(&tau), "tau={tau}");
+    }
+}

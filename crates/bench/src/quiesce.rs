@@ -1,0 +1,69 @@
+//! Running a bus until it settles.
+
+use majorcan_can::{Controller, Variant, WirePos};
+use majorcan_sim::{ChannelModel, Simulator};
+
+/// Steps `sim` until every controller is idle with an empty queue and the
+/// bus has stayed that way for `settle` consecutive bits, or until
+/// `max_bits` elapse. Returns the number of bits simulated.
+///
+/// Scenario measurements use this instead of fixed budgets so slow error
+/// recoveries are never truncated (a truncated run would look like a
+/// message omission and corrupt the statistics).
+pub fn run_until_quiescent<V: Variant, C: ChannelModel<WirePos>>(
+    sim: &mut Simulator<Controller<V>, C>,
+    settle: u64,
+    max_bits: u64,
+) -> u64 {
+    let mut calm = 0u64;
+    for done in 0..max_bits {
+        sim.step();
+        let quiet = sim.nodes().all(|n| {
+            (n.is_idle() && n.pending() == 0) || n.is_crashed()
+        });
+        calm = if quiet { calm + 1 } else { 0 };
+        if calm >= settle {
+            return done + 1;
+        }
+    }
+    max_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majorcan_can::{Frame, FrameId, StandardCan};
+    use majorcan_sim::{NoFaults, NodeId};
+
+    #[test]
+    fn settles_after_traffic_completes() {
+        let mut sim = Simulator::new(NoFaults);
+        for _ in 0..3 {
+            sim.attach(Controller::new(StandardCan));
+        }
+        sim.node_mut(NodeId(0))
+            .enqueue(Frame::new(FrameId::new(0x42).unwrap(), &[1]).unwrap());
+        let bits = run_until_quiescent(&mut sim, 20, 10_000);
+        assert!(bits < 10_000, "settled early at {bits}");
+        assert!(sim.nodes().all(|n| n.pending() == 0));
+    }
+
+    #[test]
+    fn respects_budget_when_never_quiet() {
+        use majorcan_can::ControllerConfig;
+        let mut sim = Simulator::new(NoFaults);
+        // A lonely transmitter retries forever (ACK errors); disable the
+        // warning shutoff so it never crashes into quiescence.
+        sim.attach(Controller::with_config(
+            StandardCan,
+            ControllerConfig {
+                shutoff_at_warning: false,
+                fail_at: None,
+            },
+        ));
+        sim.node_mut(NodeId(0))
+            .enqueue(Frame::new(FrameId::new(0x42).unwrap(), &[1]).unwrap());
+        let bits = run_until_quiescent(&mut sim, 20, 2_000);
+        assert_eq!(bits, 2_000);
+    }
+}

@@ -1,0 +1,207 @@
+//! Randomized consistency sweeps — the paper's Section 5 headline claim,
+//! tested adversarially:
+//!
+//! > MajorCAN_m provides Atomic Broadcast in the presence of up to `m`
+//! > randomly distributed errors per frame.
+//!
+//! Each trial broadcasts one frame over a fresh bus while up to
+//! `errors_per_frame` random view-flips land in the frame's *tail region*
+//! (the EOF, agreement window and early interframe space — the only region
+//! where accept/reject decisions can diverge; errors elsewhere force a
+//! plain retransmission). The Atomic Broadcast checker then grades the run.
+//!
+//! Standard CAN and MinorCAN accumulate Agreement/At-most-once violations
+//! already at 1–2 errors; MajorCAN_m must stay spotless for every trial
+//! with ≤ m errors.
+
+use majorcan_abcast::trace_from_can_events;
+use majorcan_can::{Controller, Field, StandardCan, Variant};
+use majorcan_core::{MajorCan, MinorCan};
+use majorcan_faults::{scenario_frame, Disturbance, ScriptedFaults};
+use majorcan_sim::{NodeId, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Aggregate outcome of a consistency sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Protocol variant name.
+    pub protocol: String,
+    /// Number of injected errors per frame.
+    pub errors_per_frame: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Trials violating AB2 Agreement (inconsistent message omissions).
+    pub agreement_violations: usize,
+    /// Trials violating AB3 At-most-once (double receptions).
+    pub double_deliveries: usize,
+    /// Trials violating AB1 Validity.
+    pub validity_violations: usize,
+}
+
+impl SweepOutcome {
+    /// `true` when no property was ever violated.
+    pub fn spotless(&self) -> bool {
+        self.agreement_violations == 0
+            && self.double_deliveries == 0
+            && self.validity_violations == 0
+    }
+}
+
+/// Draws one random tail-region disturbance for a bus of `n_nodes` nodes
+/// under a variant with `eof_len` EOF bits and agreement end `agree_end`
+/// (EOF-relative, 0 when absent).
+fn random_tail_disturbance<R: Rng>(
+    rng: &mut R,
+    n_nodes: usize,
+    eof_len: usize,
+    agree_end: usize,
+) -> Disturbance {
+    let node = rng.gen_range(0..n_nodes);
+    // Weight the EOF bits heavily; sprinkle agreement-hold and intermission
+    // positions where they exist.
+    let roll = rng.gen_range(0..100);
+    if roll < 70 || agree_end == 0 {
+        Disturbance::eof(node, rng.gen_range(1..=eof_len) as u16)
+    } else if roll < 90 {
+        Disturbance::first(
+            node,
+            Field::AgreementHold,
+            rng.gen_range(eof_len + 1..=agree_end) as u16,
+        )
+    } else {
+        Disturbance::first(node, Field::Intermission, rng.gen_range(0..3))
+    }
+}
+
+/// Runs `trials` single-broadcast trials under `variant` with exactly
+/// `errors_per_frame` random tail-region disturbances each, and grades
+/// every run with the Atomic Broadcast checker.
+pub fn sweep<V: Variant>(
+    variant: &V,
+    n_nodes: usize,
+    errors_per_frame: usize,
+    trials: usize,
+    seed: u64,
+) -> SweepOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let eof_len = variant.eof_len();
+    let agree_end = variant.agreement_end().unwrap_or(0);
+    let mut outcome = SweepOutcome {
+        protocol: variant.name(),
+        errors_per_frame,
+        trials,
+        agreement_violations: 0,
+        double_deliveries: 0,
+        validity_violations: 0,
+    };
+    for _ in 0..trials {
+        let disturbances: Vec<Disturbance> = (0..errors_per_frame)
+            .map(|_| random_tail_disturbance(&mut rng, n_nodes, eof_len, agree_end))
+            .collect();
+        let script = ScriptedFaults::new(disturbances);
+        let mut sim = Simulator::new(script);
+        for _ in 0..n_nodes {
+            sim.attach(Controller::new(variant.clone()));
+        }
+        sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+        crate::quiesce::run_until_quiescent(&mut sim, 25, 5_000);
+        let report = trace_from_can_events(sim.events(), n_nodes).check();
+        if !report.agreement.holds {
+            outcome.agreement_violations += 1;
+        }
+        if !report.at_most_once.holds {
+            outcome.double_deliveries += 1;
+        }
+        if !report.validity.holds {
+            outcome.validity_violations += 1;
+        }
+    }
+    outcome
+}
+
+/// The full sweep table: every protocol × error budget.
+pub fn sweep_table(n_nodes: usize, trials: usize, seed: u64) -> Vec<SweepOutcome> {
+    let mut rows = Vec::new();
+    for errors in 1..=5usize {
+        rows.push(sweep(&StandardCan, n_nodes, errors, trials, seed));
+        rows.push(sweep(&MinorCan, n_nodes, errors, trials, seed));
+        rows.push(sweep(&MajorCan::proposed(), n_nodes, errors, trials, seed));
+    }
+    rows
+}
+
+/// Renders the sweep as the experiment's summary table.
+pub fn render_sweep(rows: &[SweepOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Randomized tail-region error sweep ({} trials per cell)",
+        rows.first().map_or(0, |r| r.trials)
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} | {:>6} | {:>10} | {:>10} | {:>9} | verdict",
+        "protocol", "errors", "AB2 broken", "AB3 broken", "AB1 broken"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} | {:>6} | {:>10} | {:>10} | {:>9} | {}",
+            r.protocol,
+            r.errors_per_frame,
+            r.agreement_violations,
+            r.double_deliveries,
+            r.validity_violations,
+            if r.spotless() { "atomic" } else { "VIOLATIONS" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIALS: usize = if cfg!(debug_assertions) { 60 } else { 250 };
+
+    #[test]
+    fn majorcan_stays_spotless_up_to_m_errors() {
+        for errors in 1..=5 {
+            let outcome = sweep(&MajorCan::proposed(), 4, errors, TRIALS, 0xCAFE + errors as u64);
+            assert!(
+                outcome.spotless(),
+                "MajorCAN_5 with {errors} errors: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_can_breaks_within_two_errors() {
+        let one = sweep(&StandardCan, 4, 1, TRIALS, 0xBEEF);
+        assert!(
+            one.double_deliveries > 0,
+            "one tail error already yields double receptions: {one:?}"
+        );
+        // The Fig. 3a combination (a receiver hit at the last-but-one EOF
+        // bit AND the transmitter blinded at the last) is one of ~780
+        // equally likely 2-flip placements, so give it enough trials.
+        let two = sweep(&StandardCan, 4, 2, 2_000, 0xBEEF);
+        assert!(
+            two.agreement_violations > 0,
+            "two tail errors yield inconsistent omissions: {two:?}"
+        );
+    }
+
+    #[test]
+    fn minorcan_fixes_single_errors_but_not_two() {
+        let one = sweep(&MinorCan, 4, 1, TRIALS, 0x5EED);
+        assert!(one.spotless(), "MinorCAN handles any single error: {one:?}");
+        let two = sweep(&MinorCan, 4, 2, 4 * TRIALS, 0x5EED);
+        assert!(
+            two.agreement_violations > 0,
+            "the Fig. 3b pattern appears among random 2-error trials: {two:?}"
+        );
+    }
+}

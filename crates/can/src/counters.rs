@@ -1,0 +1,311 @@
+//! Fault confinement: transmit/receive error counters and node states.
+//!
+//! CAN bounds the damage a faulty node can do through two counters. The
+//! paper's dependability argument requires the **error-passive state never
+//! to be reached**: a passive node signals errors with recessive flags that
+//! cannot force a retransmission, so a passive receiver can silently lose a
+//! frame everyone else keeps (violating Agreement). The recommended policy —
+//! implemented here as [`FaultConfinement::shutoff_at_warning`] — disconnects
+//! the node when the *error warning* level (96) is reached, "assuring that
+//! every node is either helping to achieve data consistency or disconnected".
+
+use std::fmt;
+
+/// Counter level at which the error warning notification fires.
+pub const WARNING_LIMIT: u16 = 96;
+/// Counter level at which a node becomes error-passive.
+pub const PASSIVE_LIMIT: u16 = 128;
+/// Transmit counter level at which a node goes bus-off.
+pub const BUS_OFF_LIMIT: u16 = 256;
+
+/// The fault-confinement state of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultState {
+    /// Normal operation: errors are signalled with dominant (active) flags.
+    ErrorActive,
+    /// Degraded: errors are signalled with recessive (passive) flags that
+    /// other nodes cannot see — the state the paper insists must be avoided.
+    ErrorPassive,
+    /// Disconnected after TEC ≥ 256.
+    BusOff,
+}
+
+impl fmt::Display for FaultState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultState::ErrorActive => "error-active",
+            FaultState::ErrorPassive => "error-passive",
+            FaultState::BusOff => "bus-off",
+        })
+    }
+}
+
+/// State-change notifications produced by counter updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfinementEvent {
+    /// An error counter reached [`WARNING_LIMIT`].
+    Warning,
+    /// The node entered the error-passive state.
+    EnteredPassive,
+    /// The node returned to the error-active state.
+    ReturnedActive,
+    /// The node went bus-off.
+    WentBusOff,
+}
+
+/// Transmit/receive error counters plus the derived node state.
+///
+/// Counter arithmetic follows the CAN specification's primary rules;
+/// the rarely-exercised exception rules (e.g. the 8-point bump for a
+/// dominant bit right after an error flag) are implemented where the
+/// paper's scenarios can reach them and documented where simplified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfinement {
+    tec: u16,
+    rec: u16,
+    state: FaultState,
+    warned: bool,
+    /// If `true` (the paper's policy), the node is switched off when a
+    /// counter reaches the warning level, so it never becomes error-passive.
+    pub shutoff_at_warning: bool,
+}
+
+impl Default for FaultConfinement {
+    fn default() -> Self {
+        FaultConfinement::new(true)
+    }
+}
+
+impl FaultConfinement {
+    /// Fresh counters in the error-active state.
+    ///
+    /// `shutoff_at_warning` selects the paper's switch-off-at-96 policy.
+    pub fn new(shutoff_at_warning: bool) -> FaultConfinement {
+        FaultConfinement {
+            tec: 0,
+            rec: 0,
+            state: FaultState::ErrorActive,
+            warned: false,
+            shutoff_at_warning,
+        }
+    }
+
+    /// Current transmit error counter.
+    pub fn tec(&self) -> u16 {
+        self.tec
+    }
+
+    /// Current receive error counter.
+    pub fn rec(&self) -> u16 {
+        self.rec
+    }
+
+    /// Current fault-confinement state.
+    pub fn state(&self) -> FaultState {
+        self.state
+    }
+
+    /// `true` once a counter has reached the warning level.
+    pub fn warning_reached(&self) -> bool {
+        self.warned
+    }
+
+    /// Records a transmitter-detected error (+8 on TEC per the spec).
+    pub fn on_transmit_error(&mut self, events: &mut Vec<ConfinementEvent>) {
+        self.tec = self.tec.saturating_add(8);
+        self.update_state(events);
+    }
+
+    /// Records a receiver-detected error (+1 on REC).
+    pub fn on_receive_error(&mut self, events: &mut Vec<ConfinementEvent>) {
+        self.rec = self.rec.saturating_add(1);
+        self.update_state(events);
+    }
+
+    /// Records the spec's aggravated receiver case: a dominant bit detected
+    /// as the first bit after sending an error flag (+8 on REC).
+    pub fn on_receive_error_aggravated(&mut self, events: &mut Vec<ConfinementEvent>) {
+        self.rec = self.rec.saturating_add(8);
+        self.update_state(events);
+    }
+
+    /// Records a successful transmission (−1 on TEC).
+    pub fn on_transmit_success(&mut self, events: &mut Vec<ConfinementEvent>) {
+        self.tec = self.tec.saturating_sub(1);
+        self.update_state(events);
+    }
+
+    /// Records a successful reception. Per the spec, a REC above 127 is set
+    /// back into the 119–127 band rather than decremented.
+    pub fn on_receive_success(&mut self, events: &mut Vec<ConfinementEvent>) {
+        self.rec = if self.rec > 127 {
+            119
+        } else {
+            self.rec.saturating_sub(1)
+        };
+        self.update_state(events);
+    }
+
+    /// Resets counters after bus-off recovery (128 × 11 recessive bits).
+    pub fn recover_from_bus_off(&mut self, events: &mut Vec<ConfinementEvent>) {
+        self.tec = 0;
+        self.rec = 0;
+        self.warned = false;
+        if self.state != FaultState::ErrorActive {
+            self.state = FaultState::ErrorActive;
+            events.push(ConfinementEvent::ReturnedActive);
+        }
+    }
+
+    fn update_state(&mut self, events: &mut Vec<ConfinementEvent>) {
+        if !self.warned && (self.tec >= WARNING_LIMIT || self.rec >= WARNING_LIMIT) {
+            self.warned = true;
+            events.push(ConfinementEvent::Warning);
+        }
+        let next = if self.tec >= BUS_OFF_LIMIT {
+            FaultState::BusOff
+        } else if self.tec >= PASSIVE_LIMIT || self.rec >= PASSIVE_LIMIT {
+            FaultState::ErrorPassive
+        } else {
+            FaultState::ErrorActive
+        };
+        if next != self.state {
+            // Bus-off is sticky: only `recover_from_bus_off` leaves it.
+            if self.state == FaultState::BusOff {
+                return;
+            }
+            match next {
+                FaultState::ErrorPassive => events.push(ConfinementEvent::EnteredPassive),
+                FaultState::BusOff => events.push(ConfinementEvent::WentBusOff),
+                FaultState::ErrorActive => events.push(ConfinementEvent::ReturnedActive),
+            }
+            self.state = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(fc: &mut FaultConfinement, f: impl Fn(&mut FaultConfinement, &mut Vec<ConfinementEvent>)) -> Vec<ConfinementEvent> {
+        let mut ev = Vec::new();
+        f(fc, &mut ev);
+        ev
+    }
+
+    #[test]
+    fn starts_active_and_zeroed() {
+        let fc = FaultConfinement::default();
+        assert_eq!(fc.tec(), 0);
+        assert_eq!(fc.rec(), 0);
+        assert_eq!(fc.state(), FaultState::ErrorActive);
+        assert!(!fc.warning_reached());
+    }
+
+    #[test]
+    fn transmit_errors_bump_by_eight() {
+        let mut fc = FaultConfinement::default();
+        let mut ev = Vec::new();
+        fc.on_transmit_error(&mut ev);
+        assert_eq!(fc.tec(), 8);
+        fc.on_transmit_success(&mut ev);
+        assert_eq!(fc.tec(), 7);
+    }
+
+    #[test]
+    fn receive_errors_bump_by_one_and_aggravated_by_eight() {
+        let mut fc = FaultConfinement::default();
+        let mut ev = Vec::new();
+        fc.on_receive_error(&mut ev);
+        assert_eq!(fc.rec(), 1);
+        fc.on_receive_error_aggravated(&mut ev);
+        assert_eq!(fc.rec(), 9);
+        fc.on_receive_success(&mut ev);
+        assert_eq!(fc.rec(), 8);
+    }
+
+    #[test]
+    fn counters_never_underflow() {
+        let mut fc = FaultConfinement::default();
+        let mut ev = Vec::new();
+        fc.on_transmit_success(&mut ev);
+        fc.on_receive_success(&mut ev);
+        assert_eq!(fc.tec(), 0);
+        assert_eq!(fc.rec(), 0);
+    }
+
+    #[test]
+    fn warning_fires_once_at_96() {
+        let mut fc = FaultConfinement::new(true);
+        let mut all = Vec::new();
+        for _ in 0..12 {
+            fc.on_transmit_error(&mut all);
+        }
+        assert_eq!(fc.tec(), 96);
+        assert_eq!(
+            all.iter()
+                .filter(|e| matches!(e, ConfinementEvent::Warning))
+                .count(),
+            1
+        );
+        assert!(fc.warning_reached());
+    }
+
+    #[test]
+    fn passive_at_128_and_back_to_active() {
+        let mut fc = FaultConfinement::new(false);
+        let mut ev = Vec::new();
+        for _ in 0..16 {
+            fc.on_transmit_error(&mut ev);
+        }
+        assert_eq!(fc.tec(), 128);
+        assert_eq!(fc.state(), FaultState::ErrorPassive);
+        assert!(ev.contains(&ConfinementEvent::EnteredPassive));
+        ev.clear();
+        fc.on_transmit_success(&mut ev);
+        assert_eq!(fc.state(), FaultState::ErrorActive);
+        assert!(ev.contains(&ConfinementEvent::ReturnedActive));
+    }
+
+    #[test]
+    fn rec_above_127_resets_to_119_on_success() {
+        let mut fc = FaultConfinement::new(false);
+        let mut ev = Vec::new();
+        for _ in 0..17 {
+            fc.on_receive_error_aggravated(&mut ev);
+        }
+        assert_eq!(fc.rec(), 136);
+        assert_eq!(fc.state(), FaultState::ErrorPassive);
+        fc.on_receive_success(&mut ev);
+        assert_eq!(fc.rec(), 119);
+        assert_eq!(fc.state(), FaultState::ErrorActive);
+    }
+
+    #[test]
+    fn bus_off_at_256_and_sticky() {
+        let mut fc = FaultConfinement::new(false);
+        let mut ev = Vec::new();
+        for _ in 0..32 {
+            fc.on_transmit_error(&mut ev);
+        }
+        assert_eq!(fc.state(), FaultState::BusOff);
+        assert!(ev.contains(&ConfinementEvent::WentBusOff));
+        // Successes do not resurrect a bus-off node.
+        for _ in 0..300 {
+            fc.on_transmit_success(&mut ev);
+        }
+        assert_eq!(fc.state(), FaultState::BusOff);
+        let rec = drain(&mut fc, |fc, ev| fc.recover_from_bus_off(ev));
+        assert_eq!(rec, vec![ConfinementEvent::ReturnedActive]);
+        assert_eq!(fc.state(), FaultState::ErrorActive);
+        assert_eq!(fc.tec(), 0);
+    }
+
+    #[test]
+    fn fault_state_display() {
+        assert_eq!(FaultState::ErrorActive.to_string(), "error-active");
+        assert_eq!(FaultState::ErrorPassive.to_string(), "error-passive");
+        assert_eq!(FaultState::BusOff.to_string(), "bus-off");
+    }
+}

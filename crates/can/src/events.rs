@@ -1,0 +1,275 @@
+//! Protocol events emitted by the controller.
+
+use crate::{Frame, WirePos};
+use std::fmt;
+
+/// The five CAN error-detection mechanisms, plus arbitration bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Transmitted level differs from monitored level.
+    Bit,
+    /// Six consecutive equal levels inside the stuffed region.
+    Stuff,
+    /// CRC sequence mismatch (signalled at the first EOF bit).
+    Crc,
+    /// Transmitter monitored no dominant bit in the ACK slot.
+    Ack,
+    /// Dominant level in a fixed-form field (delimiters, EOF).
+    Form,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Bit => "bit error",
+            ErrorKind::Stuff => "stuff error",
+            ErrorKind::Crc => "CRC error",
+            ErrorKind::Ack => "acknowledgment error",
+            ErrorKind::Form => "form error",
+        })
+    }
+}
+
+/// The kind of flag a node transmits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlagKind {
+    /// Active error flag: 6 dominant bits.
+    ActiveError,
+    /// Passive error flag: 6 recessive bits (invisible to other nodes).
+    PassiveError,
+    /// Overload flag: 6 dominant bits, no frame rejection implied.
+    Overload,
+    /// MajorCAN extended error flag: dominant through EOF-relative `3m+5`,
+    /// notifying that the sender accepted the frame.
+    Extended,
+}
+
+impl fmt::Display for FlagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlagKind::ActiveError => "error flag",
+            FlagKind::PassiveError => "passive error flag",
+            FlagKind::Overload => "overload flag",
+            FlagKind::Extended => "extended error flag",
+        })
+    }
+}
+
+/// How an accept/reject decision at the end of a frame was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionBasis {
+    /// No error seen through the commit point.
+    CleanEof,
+    /// Standard CAN's receiver last-bit rule.
+    LastBitRule,
+    /// MinorCAN: the bit following the node's own flag was dominant
+    /// (primary error ⇒ accept) or recessive (secondary ⇒ reject).
+    PrimaryError {
+        /// `true` if the post-flag sample was dominant.
+        dominant_after_flag: bool,
+    },
+    /// MajorCAN: majority vote over the sampling window.
+    Vote {
+        /// Dominant samples seen.
+        dominant: u8,
+        /// Window size (`2m - 1`).
+        window: u8,
+    },
+    /// MajorCAN: error detected in the second EOF sub-field
+    /// (accept + extended flag).
+    SecondSubfield,
+    /// An error before or during the EOF forced rejection.
+    ErrorBeforeCommit,
+}
+
+impl fmt::Display for DecisionBasis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecisionBasis::CleanEof => f.write_str("clean EOF"),
+            DecisionBasis::LastBitRule => f.write_str("last-bit rule"),
+            DecisionBasis::PrimaryError {
+                dominant_after_flag,
+            } => write!(
+                f,
+                "Primary_error sample ({})",
+                if *dominant_after_flag {
+                    "dominant: primary"
+                } else {
+                    "recessive: secondary"
+                }
+            ),
+            DecisionBasis::Vote { dominant, window } => {
+                write!(f, "majority vote ({dominant}/{window} dominant)")
+            }
+            DecisionBasis::SecondSubfield => f.write_str("second EOF sub-field"),
+            DecisionBasis::ErrorBeforeCommit => f.write_str("error before commit point"),
+        }
+    }
+}
+
+/// Every externally observable action of a controller, in bit-time order.
+///
+/// Scenario assertions, figures and the Atomic Broadcast checker are all
+/// driven from this log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanEvent {
+    /// A frame transmission attempt began (SOF driven).
+    TxStarted {
+        /// Frame being sent.
+        frame: Frame,
+        /// 1-based attempt number (increments on each retransmission).
+        attempt: u32,
+    },
+    /// The node backed off during arbitration and turned into a receiver.
+    ArbitrationLost {
+        /// The frame whose transmission was deferred.
+        frame: Frame,
+    },
+    /// An error was detected.
+    ErrorDetected {
+        /// Which detection mechanism fired.
+        kind: ErrorKind,
+        /// Frame-relative position of the offending bit.
+        pos: WirePos,
+    },
+    /// A flag transmission began.
+    FlagStarted {
+        /// Flag kind.
+        kind: FlagKind,
+    },
+    /// An overload condition was recognised.
+    OverloadCondition,
+    /// The receiver delivered a frame to its host.
+    Delivered {
+        /// The delivered frame.
+        frame: Frame,
+        /// Why the frame was accepted.
+        basis: DecisionBasis,
+    },
+    /// The receiver discarded the frame in progress.
+    Rejected {
+        /// Why the frame was rejected.
+        basis: DecisionBasis,
+    },
+    /// The transmitter committed its frame as successfully broadcast.
+    TxSucceeded {
+        /// The transmitted frame.
+        frame: Frame,
+        /// Attempts used (1 = no retransmission).
+        attempts: u32,
+        /// Why the transmission was deemed successful.
+        basis: DecisionBasis,
+    },
+    /// The transmitter scheduled an automatic retransmission.
+    RetransmissionScheduled {
+        /// The frame to retransmit.
+        frame: Frame,
+    },
+    /// The error warning level (counter ≥ 96) was reached.
+    ErrorWarning,
+    /// The node entered the error-passive state.
+    EnteredErrorPassive,
+    /// The node returned to the error-active state.
+    ReturnedErrorActive,
+    /// The node disconnected after TEC ≥ 256.
+    WentBusOff,
+    /// The node crashed (fail-silent), by injected fault or by the
+    /// switch-off-at-warning policy.
+    Crashed,
+}
+
+impl fmt::Display for CanEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanEvent::TxStarted { frame, attempt } => {
+                write!(f, "tx start {frame} (attempt {attempt})")
+            }
+            CanEvent::ArbitrationLost { frame } => {
+                write!(f, "arbitration lost, {frame} deferred")
+            }
+            CanEvent::ErrorDetected { kind, pos } => write!(f, "{kind} at {pos}"),
+            CanEvent::FlagStarted { kind } => write!(f, "{kind} started"),
+            CanEvent::OverloadCondition => f.write_str("overload condition"),
+            CanEvent::Delivered { frame, basis } => {
+                write!(f, "delivered {frame} [{basis}]")
+            }
+            CanEvent::Rejected { basis } => write!(f, "frame rejected [{basis}]"),
+            CanEvent::TxSucceeded {
+                frame,
+                attempts,
+                basis,
+            } => write!(f, "tx success {frame} after {attempts} attempt(s) [{basis}]"),
+            CanEvent::RetransmissionScheduled { frame } => {
+                write!(f, "retransmission scheduled for {frame}")
+            }
+            CanEvent::ErrorWarning => f.write_str("error warning (counter ≥ 96)"),
+            CanEvent::EnteredErrorPassive => f.write_str("entered error-passive"),
+            CanEvent::ReturnedErrorActive => f.write_str("returned error-active"),
+            CanEvent::WentBusOff => f.write_str("went bus-off"),
+            CanEvent::Crashed => f.write_str("crashed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, FrameId};
+
+    #[test]
+    fn display_smoke() {
+        let frame = Frame::new(FrameId::new(0x42).unwrap(), &[1]).unwrap();
+        let samples: Vec<CanEvent> = vec![
+            CanEvent::TxStarted {
+                frame: frame.clone(),
+                attempt: 1,
+            },
+            CanEvent::ErrorDetected {
+                kind: ErrorKind::Form,
+                pos: WirePos::new(Field::Eof, 5),
+            },
+            CanEvent::Delivered {
+                frame: frame.clone(),
+                basis: DecisionBasis::Vote {
+                    dominant: 7,
+                    window: 9,
+                },
+            },
+            CanEvent::Rejected {
+                basis: DecisionBasis::PrimaryError {
+                    dominant_after_flag: false,
+                },
+            },
+            CanEvent::TxSucceeded {
+                frame,
+                attempts: 2,
+                basis: DecisionBasis::CleanEof,
+            },
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+        assert_eq!(ErrorKind::Crc.to_string(), "CRC error");
+        assert_eq!(FlagKind::Extended.to_string(), "extended error flag");
+    }
+
+    #[test]
+    fn decision_basis_display_details() {
+        assert!(DecisionBasis::Vote {
+            dominant: 5,
+            window: 9
+        }
+        .to_string()
+        .contains("5/9"));
+        assert!(DecisionBasis::PrimaryError {
+            dominant_after_flag: true
+        }
+        .to_string()
+        .contains("primary"));
+        assert!(DecisionBasis::PrimaryError {
+            dominant_after_flag: false
+        }
+        .to_string()
+        .contains("secondary"));
+    }
+}

@@ -1,0 +1,313 @@
+//! CAN data frames (base format, 11-bit identifiers).
+
+use std::fmt;
+
+/// Errors arising when constructing frames or identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Identifier exceeds the 11-bit base-format range.
+    IdOutOfRange(u16),
+    /// Identifiers `0x7F0..=0x7FF` are reserved by the CAN specification
+    /// (the seven most significant bits must not be all recessive).
+    IdReserved(u16),
+    /// Payload longer than the 8-byte CAN maximum.
+    PayloadTooLong(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::IdOutOfRange(id) => {
+                write!(f, "identifier {id:#x} does not fit in 11 bits")
+            }
+            FrameError::IdReserved(id) => {
+                write!(f, "identifier {id:#x} is reserved (7 MSBs all recessive)")
+            }
+            FrameError::PayloadTooLong(len) => {
+                write!(f, "payload of {len} bytes exceeds the 8-byte CAN maximum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// An 11-bit CAN base-format identifier.
+///
+/// Lower numeric values are **higher priority**: during arbitration a
+/// dominant (0) bit wins over a recessive (1) bit, so the frame whose
+/// identifier has the first 0 at a differing position takes the bus.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_can::FrameId;
+///
+/// let brake = FrameId::new(0x010)?;
+/// let radio = FrameId::new(0x400)?;
+/// assert!(brake.outranks(radio));
+/// # Ok::<(), majorcan_can::FrameError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(u16);
+
+impl FrameId {
+    /// Number of identifier bits in a base-format frame.
+    pub const BITS: usize = 11;
+
+    /// Creates an identifier, validating the 11-bit range and the CAN rule
+    /// that the seven most significant bits must not be all recessive.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::IdOutOfRange`] if `raw >= 0x800`;
+    /// [`FrameError::IdReserved`] if `raw & 0x7F0 == 0x7F0`.
+    pub fn new(raw: u16) -> Result<FrameId, FrameError> {
+        if raw >= 1 << Self::BITS {
+            Err(FrameError::IdOutOfRange(raw))
+        } else if raw & 0x7F0 == 0x7F0 {
+            Err(FrameError::IdReserved(raw))
+        } else {
+            Ok(FrameId(raw))
+        }
+    }
+
+    /// The raw 11-bit identifier value.
+    #[inline]
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// `true` if this identifier wins arbitration against `other`
+    /// (lower value ⇒ higher priority).
+    #[inline]
+    pub fn outranks(self, other: FrameId) -> bool {
+        self.0 < other.0
+    }
+
+    /// Identifier bit `i` (0 = most significant, transmitted first) as a
+    /// logical bit (`true` = recessive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 11`.
+    #[inline]
+    pub fn bit(self, i: usize) -> bool {
+        assert!(i < Self::BITS, "identifier bit index {i} out of range");
+        (self.0 >> (Self::BITS - 1 - i)) & 1 == 1
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#05x}", self.0)
+    }
+}
+
+impl TryFrom<u16> for FrameId {
+    type Error = FrameError;
+
+    fn try_from(raw: u16) -> Result<Self, Self::Error> {
+        FrameId::new(raw)
+    }
+}
+
+impl fmt::LowerHex for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// A CAN base-format data frame: identifier plus 0–8 payload bytes.
+///
+/// Remote frames (RTR) are supported structurally (a remote frame carries a
+/// DLC but no data field) because the wire codec must handle them, though no
+/// paper experiment uses them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    id: FrameId,
+    rtr: bool,
+    dlc: u8,
+    data: [u8; 8],
+}
+
+impl Frame {
+    /// Creates a data frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::PayloadTooLong`] if `data.len() > 8`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use majorcan_can::{Frame, FrameId};
+    ///
+    /// let frame = Frame::new(FrameId::new(0x123)?, &[0xde, 0xad])?;
+    /// assert_eq!(frame.data(), &[0xde, 0xad]);
+    /// # Ok::<(), majorcan_can::FrameError>(())
+    /// ```
+    pub fn new(id: FrameId, data: &[u8]) -> Result<Frame, FrameError> {
+        if data.len() > 8 {
+            return Err(FrameError::PayloadTooLong(data.len()));
+        }
+        let mut buf = [0u8; 8];
+        buf[..data.len()].copy_from_slice(data);
+        Ok(Frame {
+            id,
+            rtr: false,
+            dlc: data.len() as u8,
+            data: buf,
+        })
+    }
+
+    /// Creates a remote (RTR) frame requesting `dlc` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::PayloadTooLong`] if `dlc > 8`.
+    pub fn new_remote(id: FrameId, dlc: u8) -> Result<Frame, FrameError> {
+        if dlc > 8 {
+            return Err(FrameError::PayloadTooLong(dlc as usize));
+        }
+        Ok(Frame {
+            id,
+            rtr: true,
+            dlc,
+            data: [0u8; 8],
+        })
+    }
+
+    /// The frame identifier.
+    #[inline]
+    pub fn id(&self) -> FrameId {
+        self.id
+    }
+
+    /// `true` for remote (RTR) frames.
+    #[inline]
+    pub fn is_remote(&self) -> bool {
+        self.rtr
+    }
+
+    /// The data length code.
+    #[inline]
+    pub fn dlc(&self) -> u8 {
+        self.dlc
+    }
+
+    /// The payload bytes (empty for remote frames).
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        if self.rtr {
+            &[]
+        } else {
+            &self.data[..self.dlc as usize]
+        }
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rtr {
+            write!(f, "{}#R{}", self.id, self.dlc)
+        } else {
+            write!(f, "{}#", self.id)?;
+            for b in self.data() {
+                write!(f, "{b:02x}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_validation() {
+        assert!(FrameId::new(0).is_ok());
+        assert!(FrameId::new(0x7EF).is_ok());
+        assert_eq!(FrameId::new(0x800), Err(FrameError::IdOutOfRange(0x800)));
+        assert_eq!(FrameId::new(0xFFF), Err(FrameError::IdOutOfRange(0xFFF)));
+        assert_eq!(FrameId::new(0x7F0), Err(FrameError::IdReserved(0x7F0)));
+        assert_eq!(FrameId::new(0x7FF), Err(FrameError::IdReserved(0x7FF)));
+    }
+
+    #[test]
+    fn id_bit_extraction_msb_first() {
+        let id = FrameId::new(0b100_0000_0001).unwrap();
+        assert!(id.bit(0), "MSB transmitted first");
+        assert!(!id.bit(1));
+        assert!(id.bit(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_bit_out_of_range_panics() {
+        FrameId::new(1).unwrap().bit(11);
+    }
+
+    #[test]
+    fn priority_order() {
+        let hi = FrameId::new(0x001).unwrap();
+        let lo = FrameId::new(0x700).unwrap();
+        assert!(hi.outranks(lo));
+        assert!(!lo.outranks(hi));
+        assert!(!hi.outranks(hi));
+    }
+
+    #[test]
+    fn frame_round_trip_accessors() {
+        let f = Frame::new(FrameId::new(0x55).unwrap(), &[1, 2, 3]).unwrap();
+        assert_eq!(f.id().raw(), 0x55);
+        assert_eq!(f.dlc(), 3);
+        assert_eq!(f.data(), &[1, 2, 3]);
+        assert!(!f.is_remote());
+    }
+
+    #[test]
+    fn frame_rejects_long_payload() {
+        let err = Frame::new(FrameId::new(1).unwrap(), &[0; 9]).unwrap_err();
+        assert_eq!(err, FrameError::PayloadTooLong(9));
+    }
+
+    #[test]
+    fn remote_frame_has_dlc_but_no_data() {
+        let f = Frame::new_remote(FrameId::new(0x10).unwrap(), 4).unwrap();
+        assert!(f.is_remote());
+        assert_eq!(f.dlc(), 4);
+        assert!(f.data().is_empty());
+        assert!(Frame::new_remote(FrameId::new(0x10).unwrap(), 9).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Frame::new(FrameId::new(0x123).unwrap(), &[0xab, 0x01]).unwrap();
+        assert_eq!(f.to_string(), "0x123#ab01");
+        let r = Frame::new_remote(FrameId::new(0x123).unwrap(), 2).unwrap();
+        assert_eq!(r.to_string(), "0x123#R2");
+        assert_eq!(format!("{:x}", FrameId::new(0x1a).unwrap()), "1a");
+        assert_eq!(format!("{:b}", FrameId::new(0b101).unwrap()), "101");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(FrameError::IdOutOfRange(0x900).to_string().contains("11 bits"));
+        assert!(FrameError::IdReserved(0x7F3).to_string().contains("reserved"));
+        assert!(FrameError::PayloadTooLong(12).to_string().contains("8-byte"));
+    }
+}

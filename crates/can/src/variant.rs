@@ -1,0 +1,223 @@
+//! The protocol-variant abstraction: where MinorCAN and MajorCAN differ
+//! from standard CAN.
+//!
+//! The paper's two proposals are deliberately *small* modifications of CAN:
+//! everything about frames, stuffing, CRC, arbitration and error flags is
+//! untouched; what changes is the end-of-frame geometry and the decision
+//! rule applied when an error is detected during the EOF. The [`Variant`]
+//! trait captures exactly those degrees of freedom, so one controller
+//! state machine (see [`Controller`](crate::Controller)) runs all three
+//! protocols.
+
+use std::fmt;
+
+/// A node's role with respect to the frame currently on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The node is transmitting the frame (and monitoring it).
+    Transmitter,
+    /// The node is receiving the frame.
+    Receiver,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Transmitter => "tx",
+            Role::Receiver => "rx",
+        })
+    }
+}
+
+/// What a node does upon detecting an error at a given EOF bit.
+///
+/// "Reject" means: discard the frame (receiver) / schedule the automatic
+/// retransmission (transmitter). "Accept" means: deliver the frame
+/// (receiver) / consider the transmission successful (transmitter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EofReaction {
+    /// Reject and signal a 6-bit error flag starting the next bit
+    /// (standard CAN behaviour for every EOF bit except the receiver's
+    /// last).
+    RejectAndFlag,
+    /// Keep the already-accepted frame and signal a 6-bit overload flag
+    /// (standard CAN's receiver last-bit rule).
+    AcceptAndOverload,
+    /// Send a 6-bit flag, then decide by the *Primary_error* criterion:
+    /// accept if a dominant bit immediately follows the node's own flag
+    /// (someone reacted to *us*, so we were first and nobody had rejected
+    /// yet), reject otherwise. MinorCAN's last-bit rule.
+    DeferPrimaryError,
+    /// Send a 6-bit flag, then sample the [`Variant::sampling_window`] and
+    /// accept iff at least [`Variant::vote_threshold`] dominant bits are
+    /// seen. MajorCAN's rule for errors in the first EOF sub-field.
+    FlagAndVote,
+    /// Accept immediately and notify by driving dominant through EOF-relative
+    /// bit [`Variant::agreement_end`]. MajorCAN's rule for errors in the
+    /// second EOF sub-field.
+    AcceptAndExtend,
+}
+
+/// A CAN protocol variant: standard CAN, MinorCAN, or MajorCAN(m).
+///
+/// Implementations are data-only descriptions; all mechanics live in the
+/// controller. The trait is sealed in spirit — implementing it outside this
+/// workspace is possible but unsupported.
+pub trait Variant: fmt::Debug + Clone + Send + Sync + 'static {
+    /// Human-readable protocol name (e.g. `"MajorCAN_5"`).
+    fn name(&self) -> String;
+
+    /// Number of recessive EOF bits following the ACK delimiter
+    /// (7 in standard CAN and MinorCAN; `2m` in MajorCAN).
+    fn eof_len(&self) -> usize;
+
+    /// Total error/overload delimiter length, counting from the first
+    /// recessive bit observed after a flag (8 in standard CAN; `2m+1` in
+    /// MajorCAN, matching the `2m+1` recessive bits that end every frame).
+    fn delimiter_len(&self) -> usize;
+
+    /// Reaction to an error first detected at EOF bit `eof_bit`
+    /// (**1-based**, as the paper counts) by a node in `role`.
+    fn eof_reaction(&self, role: Role, eof_bit: usize) -> EofReaction;
+
+    /// Number of clean EOF bits after which a node in `role` commits to the
+    /// frame (receiver delivery / transmitter success). Standard CAN:
+    /// receivers commit after `eof_len - 1` bits (the last-bit rule),
+    /// transmitters after `eof_len`; MinorCAN and MajorCAN: both roles after
+    /// `eof_len`.
+    fn commit_point(&self, role: Role) -> usize;
+
+    /// MajorCAN's sampling window in EOF-relative 1-based bit positions,
+    /// inclusive on both ends: `(m+7, 3m+5)`. `None` for variants without a
+    /// voting phase.
+    fn sampling_window(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Minimum number of dominant samples within the window required to
+    /// accept (majority of `2m-1`, i.e. `m`). Unused when
+    /// [`Variant::sampling_window`] is `None`.
+    fn vote_threshold(&self) -> usize {
+        usize::MAX
+    }
+
+    /// EOF-relative 1-based bit position at which the MajorCAN agreement
+    /// phase ends (`3m+5`): extended flags stop, votes are tallied, and all
+    /// involved nodes proceed to the error delimiter. `None` for variants
+    /// without an agreement phase.
+    fn agreement_end(&self) -> Option<usize> {
+        None
+    }
+
+    /// `true` if second errors detected during the EOF/agreement region must
+    /// *not* be signalled with additional error flags (MajorCAN: "otherwise
+    /// error flags of second errors could spoil the agreement process").
+    fn suppress_second_errors(&self) -> bool {
+        self.agreement_end().is_some()
+    }
+}
+
+/// The unmodified CAN protocol (ISO 11898).
+///
+/// * 7-bit EOF, 8-bit error delimiter.
+/// * Receivers commit after the last-but-one EOF bit; an error in the last
+///   bit leaves the frame accepted and triggers an overload flag.
+/// * The transmitter treats an error in **any** EOF bit as a transmission
+///   failure and retransmits — the asymmetry that produces double receptions
+///   (Fig. 1b) and, combined with failures or further errors, inconsistent
+///   message omissions (Figs. 1c, 3a).
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_can::{EofReaction, Role, StandardCan, Variant};
+///
+/// let can = StandardCan;
+/// assert_eq!(can.eof_len(), 7);
+/// // Receiver at the last bit: accept + overload (the last-bit rule).
+/// assert_eq!(can.eof_reaction(Role::Receiver, 7), EofReaction::AcceptAndOverload);
+/// // Transmitter at the last bit: reject + retransmit.
+/// assert_eq!(can.eof_reaction(Role::Transmitter, 7), EofReaction::RejectAndFlag);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardCan;
+
+impl Variant for StandardCan {
+    fn name(&self) -> String {
+        "CAN".to_owned()
+    }
+
+    fn eof_len(&self) -> usize {
+        7
+    }
+
+    fn delimiter_len(&self) -> usize {
+        8
+    }
+
+    fn eof_reaction(&self, role: Role, eof_bit: usize) -> EofReaction {
+        debug_assert!((1..=self.eof_len()).contains(&eof_bit));
+        match role {
+            Role::Transmitter => EofReaction::RejectAndFlag,
+            Role::Receiver if eof_bit == self.eof_len() => EofReaction::AcceptAndOverload,
+            Role::Receiver => EofReaction::RejectAndFlag,
+        }
+    }
+
+    fn commit_point(&self, role: Role) -> usize {
+        match role {
+            Role::Transmitter => self.eof_len(),
+            Role::Receiver => self.eof_len() - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_can_geometry() {
+        let v = StandardCan;
+        assert_eq!(v.eof_len(), 7);
+        assert_eq!(v.delimiter_len(), 8);
+        assert_eq!(v.name(), "CAN");
+        assert_eq!(v.sampling_window(), None);
+        assert_eq!(v.agreement_end(), None);
+        assert!(!v.suppress_second_errors());
+    }
+
+    #[test]
+    fn standard_can_commit_points_differ_by_role() {
+        let v = StandardCan;
+        assert_eq!(v.commit_point(Role::Receiver), 6, "last-but-one bit");
+        assert_eq!(v.commit_point(Role::Transmitter), 7, "full EOF");
+    }
+
+    #[test]
+    fn standard_can_reactions() {
+        let v = StandardCan;
+        for bit in 1..=6 {
+            assert_eq!(
+                v.eof_reaction(Role::Receiver, bit),
+                EofReaction::RejectAndFlag
+            );
+        }
+        assert_eq!(
+            v.eof_reaction(Role::Receiver, 7),
+            EofReaction::AcceptAndOverload
+        );
+        for bit in 1..=7 {
+            assert_eq!(
+                v.eof_reaction(Role::Transmitter, bit),
+                EofReaction::RejectAndFlag
+            );
+        }
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::Transmitter.to_string(), "tx");
+        assert_eq!(Role::Receiver.to_string(), "rx");
+    }
+}

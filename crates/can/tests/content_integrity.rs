@@ -1,0 +1,45 @@
+//! End-to-end content integrity: whatever the channel does, a delivered
+//! frame is byte-identical to a frame some node actually queued — the
+//! CRC-15, stuffing and form checks must never let a corrupted payload
+//! through as valid.
+
+use majorcan_can::{CanEvent, Controller, ControllerConfig, Frame, FrameId, StandardCan};
+use majorcan_faults::IndependentBitErrors;
+use majorcan_sim::{NodeId, Simulator};
+
+#[test]
+fn deliveries_are_always_byte_identical_to_the_queued_frame() {
+    // 300 deterministic trials under a fierce random channel: every
+    // Delivered event must carry exactly the queued frame. (An undetected
+    // corruption would need a 15-bit CRC collision *and* consistent
+    // stuffing — the seeds below are fixed, so this is reproducible.)
+    for trial in 0..300u64 {
+        let sent = Frame::new(
+            FrameId::new(0x100 + (trial % 0x400) as u16).unwrap(),
+            &[trial as u8, (trial >> 8) as u8, 0x5A],
+        )
+        .unwrap();
+        let channel = IndependentBitErrors::new(8e-3, 0x17E6 ^ trial);
+        let mut sim = Simulator::new(channel);
+        for _ in 0..3 {
+            sim.attach(Controller::with_config(
+                StandardCan,
+                ControllerConfig {
+                    shutoff_at_warning: false,
+                    fail_at: None,
+                },
+            ));
+        }
+        sim.node_mut(NodeId(0)).enqueue(sent.clone());
+        sim.run(1_500);
+        for e in sim.events() {
+            if let CanEvent::Delivered { frame, .. } = &e.event {
+                assert_eq!(
+                    frame, &sent,
+                    "trial {trial}: corrupted frame delivered at {}",
+                    e.node
+                );
+            }
+        }
+    }
+}

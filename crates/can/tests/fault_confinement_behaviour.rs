@@ -1,0 +1,218 @@
+//! Fault-confinement behaviour at the bus level: the error-passive
+//! impairment from the paper's introduction, the switch-off-at-warning
+//! policy that prevents it, and bus-off.
+//!
+#![allow(clippy::type_complexity)] // test fixtures return the concrete sim type
+
+//! "A CAN node in the error-passive state signals the transmission errors
+//! in a way that cannot force the other nodes to see the error. If this
+//! node is the only one suffering the error an inconsistency appears in
+//! the network." — the reason every MajorCAN deployment pairs the protocol
+//! with the switch-off-at-warning policy.
+
+use majorcan_can::{
+    CanEvent, Controller, ControllerConfig, FaultState, Field, Frame, FrameId, StandardCan,
+    WirePos,
+};
+use majorcan_sim::{FnChannel, Level, NodeId, Simulator};
+
+fn frame(id: u16, data: &[u8]) -> Frame {
+    Frame::new(FrameId::new(id).unwrap(), data).unwrap()
+}
+
+/// A channel that flips node 1's view of one data bit of every frame until
+/// `budget` flips are spent, then optionally one final flip.
+fn pump_channel(
+    budget: u32,
+    finale: bool,
+) -> FnChannel<impl FnMut(u64, NodeId, &WirePos, Level) -> bool> {
+    let mut remaining = budget;
+    let mut finale_armed = finale;
+    let mut last_frame_marker = u64::MAX;
+    FnChannel(move |bit, node, tag: &WirePos, _wire| {
+        if node != NodeId(1) || tag.field != Field::Data || tag.index != 2 || tag.stuff {
+            return false;
+        }
+        // One flip per frame visit (Data bit 2 is visited once per frame).
+        if bit == last_frame_marker {
+            return false;
+        }
+        last_frame_marker = bit;
+        if remaining > 0 {
+            remaining -= 1;
+            true
+        } else {
+            std::mem::take(&mut finale_armed)
+        }
+    })
+}
+
+fn no_shutoff() -> ControllerConfig {
+    ControllerConfig {
+        shutoff_at_warning: false,
+        fail_at: None,
+    }
+}
+
+/// Drives node 1's REC above the passive limit with repeated targeted
+/// corruption, then returns the sim for the follow-up experiment.
+fn pump_until_passive(
+    finale: bool,
+    shutoff: bool,
+) -> Simulator<Controller<StandardCan>, FnChannel<impl FnMut(u64, NodeId, &WirePos, Level) -> bool>>
+{
+    let mut sim = Simulator::new(pump_channel(18, finale));
+    for _ in 0..3 {
+        sim.attach(Controller::with_config(
+            StandardCan,
+            if shutoff {
+                ControllerConfig::default()
+            } else {
+                no_shutoff()
+            },
+        ));
+    }
+    // Frame 1 is corrupted in node 1's view on 18 consecutive
+    // (re)transmissions, driving its REC up (+1 per detection, +8 when its
+    // flag is answered); the optional finale flip then hits frame 2 while
+    // node 1 is still passive. A few clean frames follow.
+    for k in 0..20u16 {
+        sim.node_mut(NodeId(0)).enqueue(frame(0x100 + k, &[0xFF, 0xFF, 0xFF]));
+    }
+    sim.run(12_000);
+    sim
+}
+
+#[test]
+fn repeated_errors_drive_a_receiver_into_error_passive() {
+    let sim = pump_until_passive(false, false);
+    assert!(sim
+        .events()
+        .iter()
+        .any(|e| e.node == NodeId(1) && matches!(e.event, CanEvent::ErrorWarning)));
+    assert!(sim
+        .events()
+        .iter()
+        .any(|e| e.node == NodeId(1) && matches!(e.event, CanEvent::EnteredErrorPassive)));
+    // After the error burst ends, clean receptions decay the REC and the
+    // node returns to error-active — both transitions observable.
+    assert!(sim
+        .events()
+        .iter()
+        .any(|e| e.node == NodeId(1) && matches!(e.event, CanEvent::ReturnedErrorActive)));
+    assert_eq!(
+        sim.node(NodeId(1)).fault_confinement().state(),
+        FaultState::ErrorActive
+    );
+    assert!(!sim.node(NodeId(1)).is_crashed(), "shutoff disabled");
+}
+
+#[test]
+fn passive_receivers_error_is_invisible_and_causes_omission() {
+    // The paper's introduction scenario: after node 1 goes passive, one
+    // more error seen only by node 1 is signalled with a recessive flag
+    // nobody notices. The transmitter never retransmits; node 1 misses a
+    // frame that node 2 keeps — an inconsistent message omission.
+    let sim = pump_until_passive(true, false);
+    // Count per-node deliveries: node 2 (never disturbed) has all 20;
+    // node 1 lost at least the finale frame for good.
+    let count = |n: usize| {
+        sim.events()
+            .iter()
+            .filter(|e| e.node == NodeId(n) && matches!(e.event, CanEvent::Delivered { .. }))
+            .count()
+    };
+    assert_eq!(count(2), 20, "the healthy receiver has everything");
+    assert!(
+        count(1) < 20,
+        "the passive receiver silently lost at least one frame: {}",
+        count(1)
+    );
+    // Its passive flag really went out — and nobody retransmitted after it.
+    assert!(sim.events().iter().any(|e| e.node == NodeId(1)
+        && matches!(
+            e.event,
+            CanEvent::FlagStarted {
+                kind: majorcan_can::FlagKind::PassiveError
+            }
+        )));
+}
+
+#[test]
+fn shutoff_at_warning_prevents_the_passive_state() {
+    // Same error history under the paper's recommended policy: the node
+    // disconnects at the warning level and never becomes error-passive —
+    // "every node is either helping to achieve data consistency or
+    // disconnected".
+    let sim = pump_until_passive(true, true);
+    assert!(sim.node(NodeId(1)).is_crashed());
+    assert!(!sim
+        .events()
+        .iter()
+        .any(|e| e.node == NodeId(1) && matches!(e.event, CanEvent::EnteredErrorPassive)));
+    // The crashed node is not correct, so Agreement among correct nodes is
+    // intact: node 2 still has every frame.
+    let count2 = sim
+        .events()
+        .iter()
+        .filter(|e| e.node == NodeId(2) && matches!(e.event, CanEvent::Delivered { .. }))
+        .count();
+    assert_eq!(count2, 20);
+}
+
+#[test]
+fn lonely_transmitter_eventually_goes_bus_off() {
+    // Without receivers every attempt ends in an ACK error (+8 TEC); at
+    // 256 the node disconnects.
+    let mut sim = Simulator::new(majorcan_sim::NoFaults);
+    sim.attach(Controller::with_config(StandardCan, no_shutoff()));
+    sim.node_mut(NodeId(0)).enqueue(frame(0x111, &[1]));
+    sim.run(6_000);
+    let bus_off_at = sim
+        .events()
+        .iter()
+        .find(|e| matches!(e.event, CanEvent::WentBusOff))
+        .expect("bus-off reached")
+        .at;
+    // A bus-off node stays silent for the whole recovery interval
+    // (128 × 11 recessive bits) even with frames still pending…
+    let silent_window = 128 * 11;
+    let premature = sim
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(e.event, CanEvent::TxStarted { .. })
+                && e.at > bus_off_at
+                && e.at < bus_off_at + silent_window
+        })
+        .count();
+    assert_eq!(premature, 0, "bus-off nodes do not transmit during recovery");
+    // …and then recovers per the specification and retries.
+    sim.run(4_000);
+    let resumed = sim
+        .events()
+        .iter()
+        .any(|e| matches!(e.event, CanEvent::TxStarted { .. }) && e.at > bus_off_at + silent_window);
+    assert!(resumed, "recovered node resumes transmission");
+}
+
+#[test]
+fn transmitter_error_counting_decays_with_successes() {
+    // TEC rises by 8 per signalled error episode and falls by 1 per
+    // success; a burst of corrupted frames followed by clean traffic must
+    // return the transmitter to a low TEC without tripping the warning.
+    let mut sim = Simulator::new(pump_channel(4, false));
+    for _ in 0..3 {
+        sim.attach(Controller::with_config(StandardCan, no_shutoff()));
+    }
+    for k in 0..40u16 {
+        sim.node_mut(NodeId(0)).enqueue(frame(0x100 + k, &[0xEE, 0xEE, 0xEE]));
+    }
+    sim.run(16_000);
+    let tec = sim.node(NodeId(0)).fault_confinement().tec();
+    assert!(tec <= 8, "tec decayed to {tec}");
+    assert!(!sim
+        .events()
+        .iter()
+        .any(|e| e.node == NodeId(0) && matches!(e.event, CanEvent::ErrorWarning)));
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the wire codec: stuffing, CRC, frame
+//! encode/decode and the receive pipeline, over arbitrary frames.
+
+use majorcan_can::{
+    destuff, encode_frame, frame_payload_bits, stuff, Crc15, Frame, FrameId, RxPipeline, RxStep,
+    StandardCan, Variant,
+};
+use majorcan_sim::Level;
+use proptest::prelude::*;
+
+fn arb_frame_id() -> impl Strategy<Value = FrameId> {
+    (0u16..0x7F0).prop_map(|raw| FrameId::new(raw).expect("below reserved range"))
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (arb_frame_id(), proptest::collection::vec(any::<u8>(), 0..=8))
+        .prop_map(|(id, data)| Frame::new(id, &data).expect("payload within range"))
+}
+
+fn arb_levels() -> impl Strategy<Value = Vec<Level>> {
+    proptest::collection::vec(any::<bool>().prop_map(Level::from_bit), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn stuffing_round_trips(levels in arb_levels()) {
+        let stuffed: Vec<Level> = stuff(&levels).into_iter().map(|(l, _)| l).collect();
+        prop_assert_eq!(destuff(&stuffed).expect("own output destuffs"), levels);
+    }
+
+    #[test]
+    fn stuffed_streams_never_have_six_equal(levels in arb_levels()) {
+        let stuffed: Vec<Level> = stuff(&levels).into_iter().map(|(l, _)| l).collect();
+        let mut run = 0u32;
+        let mut prev = None;
+        for &l in &stuffed {
+            run = if Some(l) == prev { run + 1 } else { 1 };
+            prev = Some(l);
+            prop_assert!(run <= 5);
+        }
+    }
+
+    #[test]
+    fn stuffing_overhead_is_bounded(levels in arb_levels()) {
+        let stuffed = stuff(&levels);
+        // At most one stuff bit per four payload bits (after the first).
+        let max = levels.len() + if levels.is_empty() { 0 } else { (levels.len() - 1) / 4 + 1 };
+        prop_assert!(stuffed.len() <= max, "{} > {}", stuffed.len(), max);
+    }
+
+    #[test]
+    fn crc_detects_any_single_flip(bits in proptest::collection::vec(any::<bool>(), 1..120),
+                                   idx in any::<proptest::sample::Index>()) {
+        let clean = Crc15::of_bits(bits.iter().copied());
+        let flip = idx.index(bits.len());
+        let mut corrupted = bits.clone();
+        corrupted[flip] = !corrupted[flip];
+        prop_assert_ne!(Crc15::of_bits(corrupted.iter().copied()), clean);
+    }
+
+    #[test]
+    fn pipeline_decodes_every_encoded_frame(frame in arb_frame()) {
+        let wire = encode_frame(&frame, &StandardCan);
+        let mut pipe = RxPipeline::new(StandardCan.eof_len());
+        for wb in &wire {
+            prop_assert_eq!(pipe.pos(), wb.pos, "position tracking diverged");
+            let step = pipe.push(wb.level);
+            prop_assert!(step == RxStep::Ok || step == RxStep::FrameComplete);
+        }
+        prop_assert!(pipe.is_done());
+        prop_assert_eq!(pipe.crc_ok(), Some(true));
+        prop_assert_eq!(pipe.frame(), Some(&frame));
+    }
+
+    #[test]
+    fn payload_bits_embed_the_crc(frame in arb_frame()) {
+        let bits = frame_payload_bits(&frame);
+        let body = &bits[..bits.len() - 15];
+        let crc = Crc15::of_bits(body.iter().copied());
+        let mut embedded = 0u16;
+        for &b in &bits[bits.len() - 15..] {
+            embedded = (embedded << 1) | b as u16;
+        }
+        prop_assert_eq!(crc, embedded);
+    }
+
+    #[test]
+    fn a_corrupted_wire_never_yields_a_silently_wrong_frame(
+        frame in arb_frame(),
+        flip in any::<proptest::sample::Index>(),
+    ) {
+        // Flip one wire bit of the stuffed region: the pipeline must either
+        // flag a stuff error or fail the CRC — it must never hand over a
+        // frame differing from the original while claiming CRC validity.
+        let wire = encode_frame(&frame, &StandardCan);
+        let stuffed_len = wire.iter().filter(|wb| wb.pos.field.in_arbitration()
+            || matches!(wb.pos.field,
+                majorcan_can::Field::Sof
+                | majorcan_can::Field::Ide
+                | majorcan_can::Field::R0
+                | majorcan_can::Field::Dlc
+                | majorcan_can::Field::Data
+                | majorcan_can::Field::Crc)).count();
+        let target = flip.index(stuffed_len);
+        let mut pipe = RxPipeline::new(StandardCan.eof_len());
+        let mut violated = false;
+        for (i, wb) in wire.iter().enumerate() {
+            let level = if i == target { !wb.level } else { wb.level };
+            match pipe.push(level) {
+                RxStep::StuffError | RxStep::FormError => {
+                    violated = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !violated && pipe.crc_ok() == Some(true) {
+            prop_assert_eq!(pipe.frame(), Some(&frame),
+                "CRC accepted a frame that differs from the original");
+        }
+    }
+
+    #[test]
+    fn frame_display_is_parseable_shape(frame in arb_frame()) {
+        let text = frame.to_string();
+        prop_assert!(text.contains('#'));
+        prop_assert!(text.starts_with("0x"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Remote (RTR) frames over the simulated bus: encoding, delivery, and
+//! the classic request/response pattern.
+
+use majorcan_can::{CanEvent, Controller, Frame, FrameId, StandardCan};
+use majorcan_sim::{NoFaults, NodeId, Simulator};
+
+fn deliveries(sim: &Simulator<Controller<StandardCan>, NoFaults>, node: usize) -> Vec<Frame> {
+    sim.events()
+        .iter()
+        .filter(|e| e.node == NodeId(node))
+        .filter_map(|e| match &e.event {
+            CanEvent::Delivered { frame, .. } => Some(frame.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn remote_frame_crosses_the_bus_intact() {
+    let mut sim = Simulator::new(NoFaults);
+    sim.attach(Controller::new(StandardCan));
+    sim.attach(Controller::new(StandardCan));
+    let request = Frame::new_remote(FrameId::new(0x155).unwrap(), 4).unwrap();
+    sim.node_mut(NodeId(0)).enqueue(request.clone());
+    sim.run(300);
+    assert_eq!(deliveries(&sim, 1), vec![request]);
+}
+
+#[test]
+fn remote_request_then_data_response() {
+    // The RTR pattern: node 0 requests id 0x155; node 1 answers with the
+    // data frame of the same identifier. A data frame outranks a remote
+    // frame of the same id in arbitration (its RTR bit is dominant), but
+    // here they flow sequentially.
+    let mut sim = Simulator::new(NoFaults);
+    sim.attach(Controller::new(StandardCan));
+    sim.attach(Controller::new(StandardCan));
+    let id = FrameId::new(0x155).unwrap();
+    sim.node_mut(NodeId(0))
+        .enqueue(Frame::new_remote(id, 2).unwrap());
+    sim.run_until(2_000, |s| {
+        s.events()
+            .iter()
+            .any(|e| e.node == NodeId(1) && matches!(e.event, CanEvent::Delivered { .. }))
+    });
+    // Node 1 saw the request; it responds with data.
+    let response = Frame::new(id, &[0xBE, 0xEF]).unwrap();
+    sim.node_mut(NodeId(1)).enqueue(response.clone());
+    sim.run(300);
+    let got = deliveries(&sim, 0);
+    assert_eq!(got, vec![response], "requester received the data response");
+}
+
+#[test]
+fn data_frame_wins_arbitration_against_remote_frame_of_same_id() {
+    // Same identifier, one data frame and one remote frame starting
+    // simultaneously: the data frame's dominant RTR bit wins (ISO 11898).
+    let mut sim = Simulator::new(NoFaults);
+    sim.attach(Controller::new(StandardCan));
+    sim.attach(Controller::new(StandardCan));
+    sim.attach(Controller::new(StandardCan));
+    let id = FrameId::new(0x155).unwrap();
+    let data = Frame::new(id, &[1]).unwrap();
+    let remote = Frame::new_remote(id, 1).unwrap();
+    sim.node_mut(NodeId(0)).enqueue(remote.clone());
+    sim.node_mut(NodeId(1)).enqueue(data.clone());
+    sim.run(600);
+    let observer = deliveries(&sim, 2);
+    assert_eq!(
+        observer,
+        vec![data, remote],
+        "data frame first, deferred remote frame second"
+    );
+    assert!(sim
+        .events()
+        .iter()
+        .any(|e| e.node == NodeId(0) && matches!(e.event, CanEvent::ArbitrationLost { .. })));
+}

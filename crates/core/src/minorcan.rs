@@ -1,0 +1,127 @@
+//! MinorCAN: the paper's first, simpler CAN modification (Section 3).
+//!
+//! MinorCAN changes only what happens when an error is detected in the
+//! **last bit of the EOF**. Instead of the asymmetric standard rule
+//! (receivers accept, the transmitter retransmits), *every* node — the
+//! transmitter included — applies one criterion:
+//!
+//! > If node *x* is the **first** to detect an error in the last bit of a
+//! > frame then no one has yet rejected the frame or scheduled it for
+//! > retransmission, so *x* will not do so either; but if *x* is the
+//! > **second**, some other node has already rejected the frame, so *x*
+//! > must do the same.
+//!
+//! First-vs-second is decided with the `Primary_error` signal already
+//! present inside CAN controllers: after sending its own 6-bit flag, the
+//! node samples the bus once. A dominant bit there can only be the tail of
+//! a flag started *later* than its own — i.e. other nodes reacted to *us*,
+//! we were first, nobody had rejected, so we accept. A recessive bit means
+//! our flag answered someone else's: reject, exactly as that earlier node
+//! did.
+//!
+//! MinorCAN fixes every scenario of Fig. 1 (no double receptions, no
+//! inconsistent omissions from single disturbances) and even improves on
+//! CAN's performance by avoiding needless retransmissions. It fails in the
+//! paper's *new* two-disturbance scenario (Fig. 3b) — which is why
+//! [`MajorCan`](crate::MajorCan) exists.
+
+use majorcan_can::{EofReaction, Role, Variant};
+
+/// The MinorCAN protocol variant.
+///
+/// Identical to [`StandardCan`](majorcan_can::StandardCan) except in the last
+/// EOF bit, where both roles defer the accept/reject decision to the
+/// `Primary_error` criterion.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_can::{EofReaction, Role, Variant};
+/// use majorcan_core::MinorCan;
+///
+/// let v = MinorCan;
+/// // Last EOF bit: both roles defer to the Primary_error criterion.
+/// assert_eq!(v.eof_reaction(Role::Receiver, 7), EofReaction::DeferPrimaryError);
+/// assert_eq!(v.eof_reaction(Role::Transmitter, 7), EofReaction::DeferPrimaryError);
+/// // Earlier EOF bits behave exactly like standard CAN.
+/// assert_eq!(v.eof_reaction(Role::Receiver, 6), EofReaction::RejectAndFlag);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinorCan;
+
+impl Variant for MinorCan {
+    fn name(&self) -> String {
+        "MinorCAN".to_owned()
+    }
+
+    fn eof_len(&self) -> usize {
+        7
+    }
+
+    fn delimiter_len(&self) -> usize {
+        8
+    }
+
+    fn eof_reaction(&self, _role: Role, eof_bit: usize) -> EofReaction {
+        debug_assert!((1..=self.eof_len()).contains(&eof_bit));
+        if eof_bit == self.eof_len() {
+            EofReaction::DeferPrimaryError
+        } else {
+            EofReaction::RejectAndFlag
+        }
+    }
+
+    fn commit_point(&self, _role: Role) -> usize {
+        // Unlike standard CAN, a MinorCAN receiver can still reject after
+        // the last-but-one bit (a secondary error in the last bit), so both
+        // roles commit only after the full EOF.
+        self.eof_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_standard_can() {
+        let v = MinorCan;
+        assert_eq!(v.eof_len(), 7);
+        assert_eq!(v.delimiter_len(), 8);
+        assert_eq!(v.name(), "MinorCAN");
+        assert!(v.sampling_window().is_none());
+        assert!(v.agreement_end().is_none());
+        assert!(!v.suppress_second_errors());
+    }
+
+    #[test]
+    fn both_roles_commit_after_full_eof() {
+        let v = MinorCan;
+        assert_eq!(v.commit_point(Role::Receiver), 7);
+        assert_eq!(v.commit_point(Role::Transmitter), 7);
+    }
+
+    #[test]
+    fn reactions_symmetric_between_roles() {
+        let v = MinorCan;
+        for bit in 1..=7 {
+            assert_eq!(
+                v.eof_reaction(Role::Receiver, bit),
+                v.eof_reaction(Role::Transmitter, bit),
+                "MinorCAN treats both roles identically at EOF bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_last_bit_defers() {
+        let v = MinorCan;
+        for bit in 1..=6 {
+            assert_eq!(v.eof_reaction(Role::Receiver, bit), EofReaction::RejectAndFlag);
+        }
+        assert_eq!(
+            v.eof_reaction(Role::Receiver, 7),
+            EofReaction::DeferPrimaryError
+        );
+    }
+}

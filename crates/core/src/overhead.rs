@@ -1,0 +1,168 @@
+//! Frame-length and overhead arithmetic for the protocol comparison
+//! (paper Sections 5–6).
+//!
+//! These closed-form counts are cross-checked against the bit-level
+//! simulator by the `protocol_overhead` bench: the measured on-wire length
+//! of an error-free frame must equal [`frame_bits_unstuffed`] plus the stuff
+//! bits actually inserted.
+
+use crate::MajorCan;
+
+/// Fixed per-frame bit counts of a base-format data frame, excluding
+/// payload, stuffing and EOF: SOF(1) + ID(11) + RTR(1) + IDE(1) + r0(1) +
+/// DLC(4) + CRC(15) + CRC delimiter(1) + ACK slot(1) + ACK delimiter(1).
+pub const FRAME_FIXED_BITS: usize = 37;
+
+/// Bits of the 3-bit interframe space.
+pub const INTERMISSION_BITS: usize = 3;
+
+/// Un-stuffed on-wire length of a data frame with `data_len` payload bytes
+/// and an EOF of `eof_len` bits (7 for CAN/MinorCAN, `2m` for MajorCAN_m).
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_core::overhead::frame_bits_unstuffed;
+///
+/// // The paper's reference frame: τ_data = 110 bits ≈ a CAN frame with
+/// // 8 data bytes (44 + 64 = 108 unstuffed; 110 counts ~2 stuff bits).
+/// assert_eq!(frame_bits_unstuffed(8, 7), 108);
+/// ```
+pub fn frame_bits_unstuffed(data_len: usize, eof_len: usize) -> usize {
+    FRAME_FIXED_BITS + 8 * data_len + eof_len
+}
+
+/// Worst-case stuff bits for a frame with `data_len` payload bytes: the
+/// stuffed region spans `34 + 8·data_len` bits and stuffing can add at most
+/// one bit per four original bits after the first (⌊(L−1)/4⌋).
+pub fn max_stuff_bits(data_len: usize) -> usize {
+    let stuffed_region = 34 + 8 * data_len;
+    (stuffed_region - 1) / 4
+}
+
+/// Best-case (error-free) per-frame overhead of MajorCAN_m over standard
+/// CAN: `2m − 7` bits — the lengthened EOF is the only difference.
+pub fn majorcan_best_case_overhead(v: &MajorCan) -> isize {
+    v.best_case_overhead_bits()
+}
+
+/// Worst-case per-frame overhead of MajorCAN_m over standard CAN:
+/// `4m − 9` bits — the lengthened EOF plus the `2m − 2` extra bits of an
+/// agreement episode triggered by errors in the last `m` EOF bits.
+pub fn majorcan_worst_case_overhead(v: &MajorCan) -> isize {
+    v.worst_case_overhead_bits()
+}
+
+/// Extra *frames* (not bits) each higher-level protocol of Rufino et al.
+/// costs per broadcast message in the failure-free case, for the overhead
+/// comparison of Section 6: every one of them transmits "more than a CAN
+/// frame per message".
+///
+/// * EDCAN: every receiver retransmits the message once — with `n` nodes
+///   the message is transmitted at least twice and up to `n` times; the
+///   minimum is returned.
+/// * RELCAN: one CONFIRM frame follows every message.
+/// * TOTCAN: one ACCEPT frame follows every message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HlpProtocol {
+    /// EDCAN (receiver-duplicated reliable broadcast).
+    EdCan,
+    /// RELCAN (CONFIRM-based reliable broadcast).
+    RelCan,
+    /// TOTCAN (ACCEPT-based atomic broadcast).
+    TotCan,
+}
+
+impl HlpProtocol {
+    /// Minimum additional full CAN frames per broadcast message in the
+    /// failure-free case.
+    pub fn min_extra_frames(self) -> usize {
+        match self {
+            HlpProtocol::EdCan => 1,
+            HlpProtocol::RelCan => 1,
+            HlpProtocol::TotCan => 1,
+        }
+    }
+
+    /// Additional frames with `n` nodes when every receiver participates
+    /// (EDCAN's worst case; the control-frame protocols stay at 1).
+    pub fn max_extra_frames(self, n: usize) -> usize {
+        match self {
+            HlpProtocol::EdCan => n.saturating_sub(1),
+            HlpProtocol::RelCan | HlpProtocol::TotCan => 1,
+        }
+    }
+}
+
+/// The Section 6 comparison in one number: MajorCAN's worst-case overhead
+/// in bits vs. the minimum overhead of any higher-level protocol in bits
+/// (one extra frame of the same length).
+///
+/// Returns `(majorcan_bits, hlp_bits)`; the paper's point is
+/// `majorcan_bits ≪ hlp_bits`.
+pub fn headline_comparison(v: &MajorCan, data_len: usize) -> (isize, usize) {
+    let majorcan = majorcan_worst_case_overhead(v);
+    let hlp = frame_bits_unstuffed(data_len, 7) + INTERMISSION_BITS;
+    (majorcan, hlp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_bits_breakdown() {
+        // 1+11+1+1+1+4+15+1+1+1 = 37.
+        assert_eq!(FRAME_FIXED_BITS, 37);
+        assert_eq!(frame_bits_unstuffed(0, 7), 44, "empty CAN frame is 44 bits");
+        assert_eq!(frame_bits_unstuffed(8, 7), 108);
+        assert_eq!(frame_bits_unstuffed(8, 10), 111, "MajorCAN_5 with 8 bytes");
+    }
+
+    #[test]
+    fn paper_reference_frame_is_about_110_bits() {
+        // The paper uses τ_data = 110 for a 1 Mbps network with 8-byte
+        // frames — an 8-byte CAN frame is 108 bits unstuffed, 110 with a
+        // typical couple of stuff bits, ≤ 131 worst case.
+        let unstuffed = frame_bits_unstuffed(8, 7);
+        assert!(unstuffed <= 110);
+        assert!(unstuffed + max_stuff_bits(8) >= 110);
+    }
+
+    #[test]
+    fn max_stuffing_bound() {
+        assert_eq!(max_stuff_bits(0), 8); // 34-bit region
+        assert_eq!(max_stuff_bits(8), 24); // 98-bit region: (97)/4 = 24
+    }
+
+    #[test]
+    fn majorcan_overheads() {
+        let m5 = MajorCan::proposed();
+        assert_eq!(majorcan_best_case_overhead(&m5), 3);
+        assert_eq!(majorcan_worst_case_overhead(&m5), 11);
+        for m in 3..=10usize {
+            let v = MajorCan::new(m).unwrap();
+            assert_eq!(majorcan_best_case_overhead(&v), 2 * m as isize - 7);
+            assert_eq!(majorcan_worst_case_overhead(&v), 4 * m as isize - 9);
+        }
+        // m = 3 is the one case where the error-free MajorCAN frame is
+        // shorter than standard CAN (6-bit EOF vs 7).
+        assert_eq!(majorcan_best_case_overhead(&MajorCan::new(3).unwrap()), -1);
+    }
+
+    #[test]
+    fn hlp_frame_counts() {
+        assert_eq!(HlpProtocol::EdCan.min_extra_frames(), 1);
+        assert_eq!(HlpProtocol::EdCan.max_extra_frames(32), 31);
+        assert_eq!(HlpProtocol::RelCan.max_extra_frames(32), 1);
+        assert_eq!(HlpProtocol::TotCan.max_extra_frames(32), 1);
+    }
+
+    #[test]
+    fn headline_majorcan_beats_hlp_by_an_order_of_magnitude() {
+        let (major, hlp) = headline_comparison(&MajorCan::proposed(), 8);
+        assert_eq!(major, 11);
+        assert!(hlp >= 100, "an extra frame costs ≥ 100 bits");
+        assert!((major * 9) < hlp as isize, "the paper's 'negligible' claim");
+    }
+}

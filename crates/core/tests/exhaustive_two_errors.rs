@@ -1,0 +1,171 @@
+//! Exhaustive (not sampled) verification of the Fig. 3 class: **every**
+//! placement of two EOF-view disturbances on a 3-node bus.
+//!
+//! Standard CAN must fail on exactly the Fig. 3a pattern — a receiver hit
+//! at the last-but-one bit combined with the transmitter blinded at the
+//! last bit — and MajorCAN_5 must fail on none of the 900 placements.
+
+use majorcan_abcast::trace_from_can_events;
+use majorcan_can::{Controller, StandardCan, Variant};
+use majorcan_core::MajorCan;
+use majorcan_faults::{scenario_frame, Disturbance, ScriptedFaults};
+use majorcan_sim::{NodeId, Simulator};
+
+fn agreement_holds<V: Variant>(variant: &V, a: Disturbance, b: Disturbance) -> bool {
+    let script = ScriptedFaults::new(vec![a, b]);
+    let mut sim = Simulator::new(script);
+    for _ in 0..3 {
+        sim.attach(Controller::new(variant.clone()));
+    }
+    sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+    sim.run(2_500);
+    trace_from_can_events(sim.events(), 3).check().agreement.holds
+}
+
+#[test]
+fn majorcan5_survives_every_two_eof_disturbance_placement() {
+    let v = MajorCan::proposed();
+    let eof = v.eof_len() as u16;
+    let mut checked = 0usize;
+    for a_node in 0..3usize {
+        for a_bit in 1..=eof {
+            for b_node in 0..3usize {
+                for b_bit in 1..=eof {
+                    let a = Disturbance::eof(a_node, a_bit);
+                    let b = Disturbance::eof(b_node, b_bit);
+                    assert!(
+                        agreement_holds(&v, a, b),
+                        "MajorCAN_5 split by (n{a_node}@EOF{a_bit}, n{b_node}@EOF{b_bit})"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, (3 * eof as usize).pow(2));
+}
+
+#[test]
+fn standard_can_fails_exactly_on_the_fig3a_pattern() {
+    let eof = StandardCan.eof_len() as u16;
+    let mut failures = Vec::new();
+    for a_node in 0..3usize {
+        for a_bit in 1..=eof {
+            for b_node in 0..3usize {
+                for b_bit in 1..=eof {
+                    let a = Disturbance::eof(a_node, a_bit);
+                    let b = Disturbance::eof(b_node, b_bit);
+                    if !agreement_holds(&StandardCan, a, b) {
+                        failures.push(((a_node, a_bit), (b_node, b_bit)));
+                    }
+                }
+            }
+        }
+    }
+    // Every failing placement must involve the transmitter blinded at the
+    // last EOF bit plus a receiver hit at the last-but-one bit — the
+    // paper's Fig. 3a signature (in either injection order).
+    assert!(!failures.is_empty(), "the Fig. 3a pattern must reproduce");
+    for ((an, ab), (bn, bb)) in &failures {
+        let pair = [(*an, *ab), (*bn, *bb)];
+        let tx_blinded = pair.iter().any(|&(n, bit)| n == 0 && bit == eof);
+        let rx_hit = pair
+            .iter()
+            .any(|&(n, bit)| n != 0 && bit == eof - 1);
+        assert!(
+            tx_blinded && rx_hit,
+            "unexpected standard CAN failure pattern: {pair:?}"
+        );
+    }
+    // Both receiver choices appear (X may be node 1 or node 2).
+    let distinct_rx: std::collections::BTreeSet<usize> = failures
+        .iter()
+        .flat_map(|((an, ab), (bn, bb))| {
+            let mut v = Vec::new();
+            if *an != 0 && *ab == eof - 1 {
+                v.push(*an);
+            }
+            if *bn != 0 && *bb == eof - 1 {
+                v.push(*bn);
+            }
+            v
+        })
+        .collect();
+    assert_eq!(distinct_rx.len(), 2);
+}
+
+/// Extends the enumeration to the agreement region: every (EOF bit,
+/// agreement-hold bit) pair across all node combinations — the positions a
+/// second error can take while a first-sub-field voter is sampling.
+#[test]
+fn majorcan5_survives_every_eof_plus_sampling_disturbance_pair() {
+    let v = MajorCan::proposed();
+    let eof = v.eof_len() as u16; // 10
+    let agree_end = 3 * 5 + 5; // 20
+    let mut checked = 0usize;
+    for a_node in 0..3usize {
+        for a_bit in 1..=eof {
+            for b_node in 0..3usize {
+                for hold_rel in (eof + 1)..=(agree_end as u16) {
+                    let a = Disturbance::eof(a_node, a_bit);
+                    let b = Disturbance::first(
+                        b_node,
+                        majorcan_can::Field::AgreementHold,
+                        hold_rel,
+                    );
+                    assert!(
+                        agreement_holds(&v, a, b),
+                        "MajorCAN_5 split by (n{a_node}@EOF{a_bit}, n{b_node}@HOLD{hold_rel})"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 3 * 10 * 3 * 10);
+}
+
+/// Three-error enumeration over the EOF region (release builds check all
+/// 27 000 placements; debug builds check a deterministic eighth).
+#[test]
+fn majorcan5_survives_every_three_eof_disturbance_placement() {
+    let v = MajorCan::proposed();
+    let eof = v.eof_len() as u16;
+    let stride: u16 = if cfg!(debug_assertions) { 2 } else { 1 };
+    let mut checked = 0usize;
+    for a_node in 0..3usize {
+        for a_bit in (1..=eof).step_by(stride as usize) {
+            for b_node in 0..3usize {
+                for b_bit in (1..=eof).step_by(stride as usize) {
+                    for c_node in 0..3usize {
+                        for c_bit in (1..=eof).step_by(stride as usize) {
+                            let trio = vec![
+                                Disturbance::eof(a_node, a_bit),
+                                Disturbance::eof(b_node, b_bit),
+                                Disturbance::eof(c_node, c_bit),
+                            ];
+                            let script = ScriptedFaults::new(trio);
+                            let mut sim = Simulator::new(script);
+                            for _ in 0..3 {
+                                sim.attach(Controller::new(v));
+                            }
+                            sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+                            sim.run(2_500);
+                            let ok = trace_from_can_events(sim.events(), 3)
+                                .check()
+                                .agreement
+                                .holds;
+                            assert!(
+                                ok,
+                                "MajorCAN_5 split by 3 errors: \
+                                 (n{a_node}@{a_bit}, n{b_node}@{b_bit}, n{c_node}@{c_bit})"
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked >= 3_000, "coverage: {checked} placements");
+}

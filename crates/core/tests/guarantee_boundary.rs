@@ -1,0 +1,91 @@
+//! The guarantee boundary: MajorCAN_m promises Atomic Broadcast for up to
+//! `m` errors — and the bound is *meaningful*: a crafted pattern of more
+//! than `m` errors does split the bus. This is the adversarial
+//! counterexample complementing the ≤ m sweeps (DESIGN.md, E13).
+
+use majorcan_abcast::trace_from_can_events;
+use majorcan_can::{Controller, Field, Variant};
+use majorcan_core::MajorCan;
+use majorcan_faults::{scenario_frame, Disturbance, ScriptedFaults};
+use majorcan_sim::{NodeId, Simulator};
+
+fn run(disturbances: Vec<Disturbance>) -> majorcan_abcast::Report {
+    let script = ScriptedFaults::new(disturbances);
+    let mut sim = Simulator::new(script);
+    for _ in 0..3 {
+        sim.attach(Controller::new(MajorCan::proposed()));
+    }
+    sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+    sim.run(2_500);
+    trace_from_can_events(sim.events(), 3).check()
+}
+
+/// The adversarial 8-error pattern: X (node 1) flags at EOF bit 3 and must
+/// vote; the transmitter is blinded until bit 6 and therefore accepts and
+/// extends (as in Fig. 5); but five of X's nine sampling-window views are
+/// corrupted, so X counts only 4 dominant — below the majority of 5 — and
+/// rejects a frame the transmitter and Y keep.
+fn boundary_pattern() -> Vec<Disturbance> {
+    vec![
+        Disturbance::eof(1, 3),  // X's original error
+        Disturbance::eof(0, 4),  // tx blinded …
+        Disturbance::eof(0, 5),  // … until the second sub-field
+        Disturbance::first(1, Field::AgreementHold, 12),
+        Disturbance::first(1, Field::AgreementHold, 13),
+        Disturbance::first(1, Field::AgreementHold, 14),
+        Disturbance::first(1, Field::AgreementHold, 15),
+        Disturbance::first(1, Field::AgreementHold, 16),
+    ]
+}
+
+#[test]
+fn eight_crafted_errors_defeat_majorcan_5() {
+    let report = run(boundary_pattern());
+    assert!(
+        !report.agreement.holds,
+        "8 crafted errors must outvote MajorCAN_5: {report}"
+    );
+    assert_eq!(report.imo_messages.len(), 1, "{report}");
+}
+
+#[test]
+fn the_same_pattern_minus_any_window_corruption_is_survived() {
+    // Remove one sampling corruption (7 errors, but only 4 window flips):
+    // X still counts 9 − 4 = 5 dominant — exactly the threshold — and
+    // accepts. The majority vote is tight by design.
+    let mut pattern = boundary_pattern();
+    pattern.pop();
+    let report = run(pattern);
+    assert!(
+        report.atomic_broadcast(),
+        "m − 1 sampling corruptions must be absorbed: {report}"
+    );
+}
+
+#[test]
+fn raising_m_restores_the_guarantee_for_this_pattern() {
+    // MajorCAN_7 widens the window to 13 samples (threshold 7): the same
+    // five corruptions leave 8 ≥ 7 dominant and the bus stays consistent.
+    let v = MajorCan::new(7).unwrap();
+    let end = v.agreement_end().unwrap() as u16; // 26
+    let window_start = (v.sampling_window().unwrap().0) as u16; // 14
+    let disturbances = vec![
+        Disturbance::eof(1, 3),
+        Disturbance::eof(0, 4),
+        Disturbance::eof(0, 5),
+        Disturbance::first(1, Field::AgreementHold, window_start),
+        Disturbance::first(1, Field::AgreementHold, window_start + 1),
+        Disturbance::first(1, Field::AgreementHold, window_start + 2),
+        Disturbance::first(1, Field::AgreementHold, window_start + 3),
+        Disturbance::first(1, Field::AgreementHold, (window_start + 4).min(end)),
+    ];
+    let script = ScriptedFaults::new(disturbances);
+    let mut sim = Simulator::new(script);
+    for _ in 0..3 {
+        sim.attach(Controller::new(v));
+    }
+    sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+    sim.run(2_500);
+    let report = trace_from_can_events(sim.events(), 3).check();
+    assert!(report.atomic_broadcast(), "{report}");
+}

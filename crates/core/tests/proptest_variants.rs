@@ -1,0 +1,125 @@
+//! Property-based tests of the protocol variants' headline guarantees:
+//! any single tail disturbance is harmless under MinorCAN and MajorCAN,
+//! MajorCAN geometry invariants hold for every m, and random ≤ m error
+//! placements in the EOF never split the bus.
+
+use majorcan_abcast::trace_from_can_events;
+use majorcan_can::{Controller, Field, Variant};
+use majorcan_core::{MajorCan, MinorCan};
+use majorcan_faults::{scenario_frame, Disturbance, ScriptedFaults};
+use majorcan_sim::{NodeId, Simulator};
+use proptest::prelude::*;
+
+fn run_with_disturbances<V: Variant>(
+    variant: &V,
+    n_nodes: usize,
+    disturbances: Vec<Disturbance>,
+) -> majorcan_abcast::Report {
+    let script = ScriptedFaults::new(disturbances);
+    let mut sim = Simulator::new(script);
+    for _ in 0..n_nodes {
+        sim.attach(Controller::new(variant.clone()));
+    }
+    sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+    sim.run(2_500);
+    trace_from_can_events(sim.events(), n_nodes).check()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn minorcan_single_eof_disturbance_is_always_atomic(
+        node in 0usize..4,
+        bit in 1u16..=7,
+    ) {
+        let report = run_with_disturbances(&MinorCan, 4, vec![Disturbance::eof(node, bit)]);
+        prop_assert!(report.atomic_broadcast(), "node {} EOF bit {}: {}", node, bit, report);
+    }
+
+    #[test]
+    fn majorcan_single_eof_disturbance_is_always_atomic(
+        node in 0usize..4,
+        bit in 1u16..=10,
+    ) {
+        let report = run_with_disturbances(
+            &MajorCan::proposed(), 4, vec![Disturbance::eof(node, bit)]);
+        prop_assert!(report.atomic_broadcast(), "node {} EOF bit {}: {}", node, bit, report);
+    }
+
+    #[test]
+    fn majorcan_any_two_eof_disturbances_are_atomic(
+        a_node in 0usize..4, a_bit in 1u16..=10,
+        b_node in 0usize..4, b_bit in 1u16..=10,
+    ) {
+        // The exhaustive refutation of the Fig. 3 class: no placement of
+        // TWO EOF-view disturbances splits a MajorCAN_5 bus (standard CAN
+        // falls to exactly (rx@6, tx@7); MinorCAN to the same pattern).
+        let report = run_with_disturbances(
+            &MajorCan::proposed(),
+            4,
+            vec![Disturbance::eof(a_node, a_bit), Disturbance::eof(b_node, b_bit)],
+        );
+        prop_assert!(
+            report.atomic_broadcast(),
+            "({},{}) + ({},{}): {}", a_node, a_bit, b_node, b_bit, report
+        );
+    }
+
+    #[test]
+    fn majorcan_up_to_m_mixed_tail_disturbances_are_atomic(
+        placements in proptest::collection::vec((0usize..4, 0u8..2, 1u16..=10), 1..=5),
+    ) {
+        // Up to m = 5 disturbances across EOF and the agreement window.
+        let v = MajorCan::proposed();
+        let agree_end = v.agreement_end().unwrap() as u16;
+        let disturbances = placements.into_iter().map(|(node, kind, bit)| {
+            if kind == 0 {
+                Disturbance::eof(node, bit)
+            } else {
+                // Agreement-hold region positions (EOF-relative 11..=20).
+                Disturbance::first(node, Field::AgreementHold, 10 + (bit % (agree_end - 10)) + 1)
+            }
+        }).collect();
+        let report = run_with_disturbances(&v, 4, disturbances);
+        prop_assert!(report.atomic_broadcast(), "{}", report);
+    }
+
+    #[test]
+    fn majorcan_geometry_invariants(m in 3usize..=20) {
+        prop_assume!(m <= 120);
+        let v = MajorCan::new(m).unwrap();
+        prop_assert_eq!(v.eof_len(), 2 * m);
+        prop_assert_eq!(v.delimiter_len(), 2 * m + 1);
+        let (ws, we) = v.sampling_window().unwrap();
+        // Window starts after the longest possible own flag (detect at m,
+        // flag m+1..m+6) and spans 2m-1 bits ending at the agreement end.
+        prop_assert_eq!(ws, m + 7);
+        prop_assert_eq!(we, 3 * m + 5);
+        prop_assert_eq!(we - ws + 1, 2 * m - 1);
+        prop_assert_eq!(v.agreement_end().unwrap(), we);
+        // The threshold is a strict majority of the window.
+        prop_assert!(2 * v.vote_threshold() > we - ws + 1);
+        prop_assert!(2 * (v.vote_threshold() - 1) <= we - ws + 1);
+        // Overhead formulas are consistent with the geometry.
+        prop_assert_eq!(
+            v.best_case_overhead_bits(),
+            v.eof_len() as isize - 7
+        );
+        prop_assert_eq!(
+            v.worst_case_overhead_bits(),
+            v.best_case_overhead_bits() + (2 * m as isize - 2)
+        );
+    }
+
+    #[test]
+    fn clean_runs_are_atomic_for_every_variant_and_width(
+        n in 2usize..7,
+        m in 3usize..8,
+    ) {
+        let report = run_with_disturbances(&MajorCan::new(m).unwrap(), n, vec![]);
+        prop_assert!(report.atomic_broadcast());
+        let report = run_with_disturbances(&MinorCan, n, vec![]);
+        prop_assert!(report.atomic_broadcast());
+    }
+}

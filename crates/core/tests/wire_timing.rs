@@ -1,0 +1,166 @@
+//! Exact on-wire geometry of the MajorCAN agreement machinery, measured
+//! from recorded bit traces:
+//!
+//! * a second-sub-field acceptor's extended flag spans EOF-relative bits
+//!   `j+1 ..= 3m+5`, exactly as Section 5 specifies;
+//! * a first-sub-field flag is exactly 6 dominant bits;
+//! * the error/overload delimiter geometry yields the paper's `2m+1`
+//!   recessive frame tail;
+//! * MinorCAN's probe samples exactly the first post-flag bit.
+
+use majorcan_can::{encode_frame, CanEvent, Controller, Frame, FrameId, Variant};
+use majorcan_core::{MajorCan, MinorCan};
+use majorcan_faults::{Disturbance, ScriptedFaults};
+use majorcan_sim::{BitTrace, Level, NodeId, Simulator};
+
+fn test_frame() -> Frame {
+    Frame::new(FrameId::new(0x0AA).unwrap(), &[0xCD]).unwrap()
+}
+
+/// Runs a single-frame scenario with trace recording; returns the trace,
+/// events, and the absolute bit time of EOF bit 1.
+fn run_traced<V: Variant>(
+    variant: &V,
+    disturbances: Vec<Disturbance>,
+) -> (BitTrace, Vec<majorcan_sim::TimedEvent<CanEvent>>, u64) {
+    let script = ScriptedFaults::new(disturbances);
+    let mut sim = Simulator::new(script);
+    for _ in 0..3 {
+        sim.attach(Controller::new(variant.clone()));
+    }
+    sim.record_trace();
+    sim.node_mut(NodeId(0)).enqueue(test_frame());
+    sim.run(400);
+    let start = sim
+        .events()
+        .iter()
+        .find(|e| matches!(e.event, CanEvent::TxStarted { .. }))
+        .expect("tx started")
+        .at;
+    let wire_len = encode_frame(&test_frame(), variant).len() as u64;
+    let eof1 = start + wire_len - variant.eof_len() as u64;
+    let trace = sim.trace().cloned().expect("trace recorded");
+    (trace, sim.take_events(), eof1)
+}
+
+/// The driven level of `node` at absolute bit `at`.
+fn driven_at(trace: &BitTrace, node: usize, at: u64) -> Level {
+    trace
+        .iter()
+        .find(|r| r.bit == at)
+        .expect("bit recorded")
+        .nodes[node]
+        .driven
+}
+
+#[test]
+fn extended_flag_spans_exactly_j_plus_1_to_3m_plus_5() {
+    // Error at X's EOF bit 8 (second sub-field, j = 8): X must drive
+    // dominant over EOF-relative bits 9 ..= 20 and recessive at 8 and 21.
+    let v = MajorCan::proposed();
+    let (trace, _, eof1) = run_traced(&v, vec![Disturbance::eof(1, 8)]);
+    let rel = |r: u64| eof1 + r - 1; // EOF-relative 1-based -> absolute
+    assert_eq!(driven_at(&trace, 1, rel(8)), Level::Recessive);
+    for r in 9..=20u64 {
+        assert_eq!(
+            driven_at(&trace, 1, rel(r)),
+            Level::Dominant,
+            "extended flag must cover EOF-relative bit {r}"
+        );
+    }
+    assert_eq!(
+        driven_at(&trace, 1, rel(21)),
+        Level::Recessive,
+        "extended flag ends at 3m+5 = 20"
+    );
+}
+
+#[test]
+fn first_subfield_flag_is_exactly_six_bits() {
+    // Error at X's EOF bit 2: flag over EOF-relative 3..=8, recessive
+    // before and after (the hold phase drives recessive while sampling).
+    let v = MajorCan::proposed();
+    let (trace, _, eof1) = run_traced(&v, vec![Disturbance::eof(1, 2)]);
+    let rel = |r: u64| eof1 + r - 1;
+    assert_eq!(driven_at(&trace, 1, rel(2)), Level::Recessive);
+    for r in 3..=8u64 {
+        assert_eq!(driven_at(&trace, 1, rel(r)), Level::Dominant, "flag bit {r}");
+    }
+    for r in 9..=20u64 {
+        assert_eq!(
+            driven_at(&trace, 1, rel(r)),
+            Level::Recessive,
+            "hold/sampling phase drives recessive at {r}"
+        );
+    }
+}
+
+#[test]
+fn clean_majorcan_frame_ends_with_2m_plus_1_recessive_wire_bits() {
+    let v = MajorCan::proposed();
+    let (trace, events, eof1) = run_traced(&v, vec![]);
+    let success_at = events
+        .iter()
+        .find(|e| matches!(e.event, CanEvent::TxSucceeded { .. }))
+        .expect("success")
+        .at;
+    // ACK delimiter + 2m EOF bits = 2m+1 recessive wire bits ending at the
+    // success commit.
+    let tail_start = eof1 - 1; // the ACK delimiter
+    assert_eq!(success_at, eof1 + v.eof_len() as u64 - 1);
+    for at in tail_start..=success_at {
+        let record = trace.iter().find(|r| r.bit == at).expect("recorded");
+        assert_eq!(
+            record.wire,
+            Level::Recessive,
+            "frame tail bit at {at} must be recessive"
+        );
+    }
+    assert_eq!(success_at - tail_start + 1, 2 * 5 + 1);
+}
+
+#[test]
+fn minorcan_probe_is_the_first_post_flag_bit() {
+    // X hit at the LAST EOF bit: X's 6-bit flag spans EOF-relative 8..13
+    // (frame-relative past the EOF), and the accept decision lands exactly
+    // one bit after the flag — verified via the Delivered event time.
+    let v = MinorCan;
+    let (trace, events, eof1) = run_traced(&v, vec![Disturbance::eof(1, 7)]);
+    let rel = |r: u64| eof1 + r - 1;
+    for r in 8..=13u64 {
+        assert_eq!(driven_at(&trace, 1, rel(r)), Level::Dominant, "flag bit {r}");
+    }
+    let delivered_at = events
+        .iter()
+        .find(|e| {
+            e.node == NodeId(1) && matches!(e.event, CanEvent::Delivered { .. })
+        })
+        .expect("X delivers by Primary_error")
+        .at;
+    assert_eq!(
+        delivered_at,
+        rel(14),
+        "the probe decision lands exactly one bit after X's own flag"
+    );
+}
+
+#[test]
+fn overload_flags_of_clean_nodes_answer_an_extended_flag() {
+    // Second-sub-field accept at X: the clean transmitter and Y enter
+    // intermission, see X's extended flag, and answer with 6-bit overload
+    // flags starting at their second intermission bit.
+    let v = MajorCan::proposed();
+    let (trace, events, eof1) = run_traced(&v, vec![Disturbance::eof(1, 10)]);
+    let rel = |r: u64| eof1 + r - 1;
+    assert!(events.iter().any(|e| e.node == NodeId(2)
+        && matches!(e.event, CanEvent::OverloadCondition)));
+    // X extends from EOF-relative 11; Y's first intermission bit is 11
+    // too, so its 6-bit overload flag spans EOF-relative 12..=17.
+    for r in 12..=17u64 {
+        assert_eq!(
+            driven_at(&trace, 2, rel(r)),
+            Level::Dominant,
+            "Y overload flag bit {r}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Crash-fault timing helpers.
+//!
+//! The paper's Eq. 5 models the transmitter crash of Fig. 1c with an
+//! exponential failure law: the probability that the transmitter fails
+//! within the recovery window `Δt` is `1 − e^{−λΔt}`, with `λ = 10⁻³`
+//! failures/hour as the worst case considered by Rufino et al. These
+//! helpers convert that law into concrete `fail_at` bit times for the
+//! simulator.
+
+use rand::Rng;
+
+/// Seconds per hour.
+const SECS_PER_HOUR: f64 = 3600.0;
+
+/// Draws an exponential time-to-failure (in *bits*) for a node with failure
+/// rate `lambda_per_hour` on a bus running at `bitrate` bits/second.
+///
+/// Returns `u64::MAX` when the sampled failure lies beyond any reachable
+/// simulation horizon.
+///
+/// # Panics
+///
+/// Panics if `lambda_per_hour` is negative or `bitrate` is not positive.
+pub fn exponential_failure_bits<R: Rng>(
+    lambda_per_hour: f64,
+    bitrate: f64,
+    rng: &mut R,
+) -> u64 {
+    assert!(lambda_per_hour >= 0.0, "failure rate must be non-negative");
+    assert!(bitrate > 0.0, "bitrate must be positive");
+    if lambda_per_hour == 0.0 {
+        return u64::MAX;
+    }
+    // Inverse-CDF sampling: t = -ln(U)/λ hours.
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let hours = -u.ln() / lambda_per_hour;
+    let bits = hours * SECS_PER_HOUR * bitrate;
+    if bits >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        bits as u64
+    }
+}
+
+/// The probability that a node with failure rate `lambda_per_hour` crashes
+/// within a window of `delta_t_secs` seconds: `1 − e^{−λΔt}` — the crash
+/// factor of the paper's Eq. 5.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_faults::crash_probability_within;
+///
+/// // The paper's parameters: λ = 1e-3 /h, Δt = 5 ms.
+/// let p = crash_probability_within(1e-3, 5e-3);
+/// assert!((p - 1.389e-9).abs() / p < 1e-3);
+/// ```
+pub fn crash_probability_within(lambda_per_hour: f64, delta_t_secs: f64) -> f64 {
+    assert!(lambda_per_hour >= 0.0 && delta_t_secs >= 0.0);
+    let lambda_dt = lambda_per_hour * (delta_t_secs / SECS_PER_HOUR);
+    -(-lambda_dt).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(exponential_failure_bits(0.0, 1e6, &mut rng), u64::MAX);
+    }
+
+    #[test]
+    fn mean_failure_time_matches_rate() {
+        // λ = 3600/h ⇒ mean time-to-failure 1 s ⇒ 1e6 bits at 1 Mbps.
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| exponential_failure_bits(3600.0, 1e6, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 1e6).abs() < 3e4,
+            "mean={mean}, expected ≈ 1e6 bits"
+        );
+    }
+
+    #[test]
+    fn crash_probability_paper_value() {
+        // 1 − e^(−1e-3 · 5ms/h) ≈ 1.3889e-9 (linear regime).
+        let p = crash_probability_within(1e-3, 5e-3);
+        let expected = 1e-3 * 5e-3 / 3600.0;
+        assert!((p - expected).abs() / expected < 1e-6, "p={p}");
+    }
+
+    #[test]
+    fn crash_probability_saturates_at_one() {
+        let p = crash_probability_within(1e9, 3600.0);
+        assert!(p > 0.999999);
+        assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn crash_probability_zero_window() {
+        assert_eq!(crash_probability_within(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitrate must be positive")]
+    fn rejects_bad_bitrate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        exponential_failure_bits(1.0, 0.0, &mut rng);
+    }
+}

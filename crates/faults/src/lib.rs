@@ -1,0 +1,48 @@
+//! # majorcan-faults — fault injection for the CAN bus simulator
+//!
+//! Everything that goes wrong in the MajorCAN paper, as reusable channel
+//! models and scripts for the [`majorcan_sim`] engine:
+//!
+//! * [`IndependentBitErrors`] / [`GlobalEventErrors`] — random channels
+//!   implementing the paper's spatial error model (`ber* = ber/N`, Eq. 2–3,
+//!   after Charzinski), plus [`Compose`] for layering models;
+//! * [`ScriptedFaults`] / [`Disturbance`] — deterministic frame-relative
+//!   disturbances ("the last-but-one EOF bit of node 1's view");
+//! * [`Scenario`] / [`run_scenario`] — the paper's figures as a catalogued,
+//!   executable library (Figs. 1a, 1b, 1c, 3a/3b, 5), runnable under any
+//!   protocol variant;
+//! * [`exponential_failure_bits`] / [`crash_probability_within`] — the
+//!   crash-fault law behind Eq. 5.
+//!
+//! # Examples
+//!
+//! Replaying Fig. 1b under standard CAN shows the double reception; the
+//! same script under MajorCAN_5 is consistent:
+//!
+//! ```
+//! use majorcan_core::MajorCan;
+//! use majorcan_can::StandardCan;
+//! use majorcan_faults::{run_scenario, Scenario};
+//!
+//! let fig1b = Scenario::fig1b();
+//! let can = run_scenario(&StandardCan, &fig1b, 800);
+//! assert_eq!(can.deliveries(2).len(), 2, "double reception on CAN");
+//!
+//! let major = run_scenario(&MajorCan::proposed(), &fig1b, 900);
+//! assert!(major.consistent_single_delivery());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crash;
+mod filter;
+mod random;
+mod scenarios;
+mod script;
+
+pub use crash::{crash_probability_within, exponential_failure_bits};
+pub use filter::{ActiveAfter, FieldFiltered};
+pub use random::{Compose, GlobalEventErrors, IndependentBitErrors};
+pub use scenarios::{run_scenario, scenario_frame, CrashRule, Scenario, ScenarioRun};
+pub use script::{Disturbance, ScriptedFaults};

@@ -1,0 +1,251 @@
+//! Random bit-error channels implementing the paper's spatial error model.
+//!
+//! Section 4 of the paper models disturbances with two parameters
+//! (following Charzinski):
+//!
+//! * `ber` — the probability that *some* error occurs on the network during
+//!   a bit time;
+//! * `p_eff = 1/N` — the probability that an error occurring somewhere is
+//!   effective at (i.e. corrupts the view of) a particular node.
+//!
+//! Combining them gives `ber* = ber / N` (Eq. 3): the per-bit probability
+//! that a given node's view is corrupted. Two channel models are provided:
+//!
+//! * [`IndependentBitErrors`] — every `(bit, node)` view flips independently
+//!   with probability `ber*`. This is the product-form model the paper's
+//!   Eq. 4 and Eq. 5 assume.
+//! * [`GlobalEventErrors`] — per bit, one global error event occurs with
+//!   probability `ber`, and each node is then affected independently with
+//!   probability `p_eff`. This is Charzinski's original two-stage model.
+//!
+//! For `p_eff = 1/N` the two models have identical per-node marginals but
+//! different inter-node correlation; the `montecarlo` reproduction target
+//! compares them (DESIGN.md ablation ▸).
+
+use majorcan_sim::{ChannelModel, Level, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Independent per-view bit errors at rate `ber*` (Eq. 3).
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_faults::IndependentBitErrors;
+/// use majorcan_sim::{ChannelModel, Level, NodeId};
+///
+/// let mut ch = IndependentBitErrors::new(0.5, 7);
+/// let mut flips = 0;
+/// for bit in 0..1000 {
+///     if ch.disturb(bit, NodeId(0), &(), Level::Recessive) {
+///         flips += 1;
+///     }
+/// }
+/// assert!((300..700).contains(&flips), "≈ half the views flip");
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndependentBitErrors {
+    ber_star: f64,
+    rng: StdRng,
+}
+
+impl IndependentBitErrors {
+    /// Creates a channel flipping each node's view of each bit with
+    /// probability `ber_star`, deterministically seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= ber_star <= 1.0`.
+    pub fn new(ber_star: f64, seed: u64) -> IndependentBitErrors {
+        assert!(
+            (0.0..=1.0).contains(&ber_star),
+            "ber* must be a probability, got {ber_star}"
+        );
+        IndependentBitErrors {
+            ber_star,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The per-view error probability.
+    pub fn ber_star(&self) -> f64 {
+        self.ber_star
+    }
+}
+
+impl<Tag> ChannelModel<Tag> for IndependentBitErrors {
+    fn disturb(&mut self, _bit: u64, _node: NodeId, _tag: &Tag, _wire: Level) -> bool {
+        self.rng.gen_bool(self.ber_star)
+    }
+}
+
+/// Charzinski's two-stage model: a global error event with probability
+/// `ber` per bit, affecting each node independently with probability
+/// `p_eff`.
+#[derive(Debug, Clone)]
+pub struct GlobalEventErrors {
+    ber: f64,
+    p_eff: f64,
+    rng: StdRng,
+    current_bit: Option<u64>,
+    event_active: bool,
+}
+
+impl GlobalEventErrors {
+    /// Creates the two-stage channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both `ber` and `p_eff` are probabilities.
+    pub fn new(ber: f64, p_eff: f64, seed: u64) -> GlobalEventErrors {
+        assert!((0.0..=1.0).contains(&ber), "ber must be a probability");
+        assert!((0.0..=1.0).contains(&p_eff), "p_eff must be a probability");
+        GlobalEventErrors {
+            ber,
+            p_eff,
+            rng: StdRng::seed_from_u64(seed),
+            current_bit: None,
+            event_active: false,
+        }
+    }
+
+    /// The paper's choice `p_eff = 1/N` for an `n`-node network.
+    pub fn with_uniform_spread(ber: f64, n: usize, seed: u64) -> GlobalEventErrors {
+        GlobalEventErrors::new(ber, 1.0 / n as f64, seed)
+    }
+
+    /// The global per-bit error probability.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+
+    /// The per-node effectivity.
+    pub fn p_eff(&self) -> f64 {
+        self.p_eff
+    }
+}
+
+impl<Tag> ChannelModel<Tag> for GlobalEventErrors {
+    fn disturb(&mut self, bit: u64, _node: NodeId, _tag: &Tag, _wire: Level) -> bool {
+        if self.current_bit != Some(bit) {
+            self.current_bit = Some(bit);
+            self.event_active = self.rng.gen_bool(self.ber);
+        }
+        self.event_active && self.rng.gen_bool(self.p_eff)
+    }
+}
+
+/// Composes two channel models: a view is flipped iff **exactly one** of the
+/// two would flip it (two simultaneous physical disturbances of the same
+/// sample cancel).
+#[derive(Debug, Clone)]
+pub struct Compose<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Compose<A, B> {
+    /// Combines `first` and `second`.
+    pub fn new(first: A, second: B) -> Compose<A, B> {
+        Compose { first, second }
+    }
+}
+
+impl<Tag, A: ChannelModel<Tag>, B: ChannelModel<Tag>> ChannelModel<Tag> for Compose<A, B> {
+    fn disturb(&mut self, bit: u64, node: NodeId, tag: &Tag, wire: Level) -> bool {
+        // Both models must be consulted every bit so stateful models stay
+        // in sync with bit time.
+        let a = self.first.disturb(bit, node, tag, wire);
+        let b = self.second.disturb(bit, node, tag, wire);
+        a ^ b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flip_rate<C: ChannelModel<()>>(ch: &mut C, nodes: usize, bits: u64) -> f64 {
+        let mut flips = 0u64;
+        for bit in 0..bits {
+            for n in 0..nodes {
+                if ch.disturb(bit, NodeId(n), &(), Level::Recessive) {
+                    flips += 1;
+                }
+            }
+        }
+        flips as f64 / (bits * nodes as u64) as f64
+    }
+
+    #[test]
+    fn independent_rate_matches_ber_star() {
+        let mut ch = IndependentBitErrors::new(0.01, 42);
+        let rate = flip_rate(&mut ch, 8, 50_000);
+        assert!((rate - 0.01).abs() < 0.001, "rate={rate}");
+    }
+
+    #[test]
+    fn independent_zero_and_one() {
+        let mut zero = IndependentBitErrors::new(0.0, 1);
+        assert_eq!(flip_rate(&mut zero, 4, 1000), 0.0);
+        let mut one = IndependentBitErrors::new(1.0, 1);
+        assert_eq!(flip_rate(&mut one, 4, 1000), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn independent_rejects_bad_rate() {
+        IndependentBitErrors::new(1.5, 0);
+    }
+
+    #[test]
+    fn global_event_marginal_is_ber_times_peff() {
+        // Marginal flip probability = ber × p_eff = ber* (Eq. 2).
+        let n = 4;
+        let ber = 0.08;
+        let mut ch = GlobalEventErrors::with_uniform_spread(ber, n, 7);
+        let rate = flip_rate(&mut ch, n, 100_000);
+        let expected = ber / n as f64;
+        assert!(
+            (rate - expected).abs() < 0.002,
+            "rate={rate} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn global_event_correlates_within_a_bit() {
+        // With p_eff = 1, every node is hit whenever the event fires: the
+        // per-bit outcomes across nodes must be perfectly correlated.
+        let mut ch = GlobalEventErrors::new(0.3, 1.0, 3);
+        for bit in 0..2000 {
+            let a = ch.disturb(bit, NodeId(0), &(), Level::Recessive);
+            let b = ch.disturb(bit, NodeId(1), &(), Level::Recessive);
+            assert_eq!(a, b, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = IndependentBitErrors::new(0.1, 99);
+        let mut b = IndependentBitErrors::new(0.1, 99);
+        for bit in 0..1000 {
+            assert_eq!(
+                a.disturb(bit, NodeId(0), &(), Level::Recessive),
+                b.disturb(bit, NodeId(0), &(), Level::Recessive)
+            );
+        }
+    }
+
+    #[test]
+    fn compose_xors_flips() {
+        let always = IndependentBitErrors::new(1.0, 0);
+        let never = IndependentBitErrors::new(0.0, 0);
+        let mut both = Compose::new(
+            IndependentBitErrors::new(1.0, 1),
+            IndependentBitErrors::new(1.0, 2),
+        );
+        let mut one = Compose::new(always, never);
+        assert_eq!(flip_rate(&mut both, 2, 100), 0.0, "two flips cancel");
+        assert_eq!(flip_rate(&mut one, 2, 100), 1.0);
+    }
+}

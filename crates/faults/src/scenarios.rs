@@ -1,0 +1,396 @@
+//! The paper's named scenarios, as executable scripts.
+//!
+//! Every figure of the paper is catalogued here as a [`Scenario`]: the
+//! disturbance script, the optional crash rule, and the node-role convention
+//! **node 0 = transmitter, node 1 = the X set, node 2 = the Y set** (the
+//! sets are represented by one node each — the protocols treat every member
+//! of a set identically, and width can be raised via
+//! [`Scenario::with_nodes`]).
+//!
+//! [`run_scenario`] executes a scenario against any protocol
+//! [`Variant`] and returns the full event log plus the bit trace, so the
+//! same script demonstrates the inconsistency on standard CAN, the partial
+//! fix in MinorCAN and the full fix in MajorCAN.
+
+use crate::{Disturbance, ScriptedFaults};
+use majorcan_can::{CanEvent, Controller, ControllerConfig, Field, Frame, FrameId, Variant};
+use majorcan_sim::{BitTrace, NodeId, Simulator, TimedEvent};
+
+/// A crash fault injected during a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashRule {
+    /// Crash `node` one bit after it first schedules a retransmission
+    /// (Fig. 1c: "the transmitter suffers a failure that impedes the
+    /// retransmission of the frame"). Resolved with a fault-free probe run.
+    AfterRetransmissionScheduled {
+        /// The node to crash (by convention the transmitter, node 0).
+        node: usize,
+    },
+    /// Crash `node` at an absolute bit time.
+    AtBit {
+        /// The node to crash.
+        node: usize,
+        /// Absolute bit time of the crash.
+        at: u64,
+    },
+}
+
+/// A named, scripted error scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short identifier (`"fig1b"`, …).
+    pub name: &'static str,
+    /// What the scenario demonstrates, quoting the paper where possible.
+    pub description: &'static str,
+    /// The disturbance script (victim views to invert).
+    pub disturbances: Vec<Disturbance>,
+    /// Optional crash fault.
+    pub crash: Option<CrashRule>,
+    /// Number of nodes (tx + X + Y representatives by default).
+    pub n_nodes: usize,
+}
+
+impl Scenario {
+    fn new(
+        name: &'static str,
+        description: &'static str,
+        disturbances: Vec<Disturbance>,
+        crash: Option<CrashRule>,
+    ) -> Scenario {
+        Scenario {
+            name,
+            description,
+            disturbances,
+            crash,
+            n_nodes: 3,
+        }
+    }
+
+    /// Overrides the node count (extra nodes become additional Y-set
+    /// receivers).
+    pub fn with_nodes(mut self, n: usize) -> Scenario {
+        assert!(n >= 3, "scenarios need tx + X + Y, got {n}");
+        self.n_nodes = n;
+        self
+    }
+
+    /// All catalogued paper scenarios, in figure order.
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Scenario::fig1a(),
+            Scenario::fig1b(),
+            Scenario::fig1c(),
+            Scenario::fig3a(),
+            Scenario::fig5(),
+        ]
+    }
+
+    /// Fig. 1a: a disturbance in the **last** EOF bit of the X set. The
+    /// standard-CAN last-bit rule keeps everyone consistent (X accepts and
+    /// raises an overload flag).
+    pub fn fig1a() -> Scenario {
+        Scenario::new(
+            "fig1a",
+            "error in the last EOF bit of X: the last-bit rule obliges X to accept; \
+             all nodes keep the frame (consistent)",
+            vec![Disturbance::eof(1, 7)],
+            None,
+        )
+    }
+
+    /// Fig. 1b: a disturbance in the **last-but-one** EOF bit of X. Under
+    /// standard CAN, X rejects while the transmitter retransmits and Y
+    /// accepts both copies — the *double reception of frames*.
+    pub fn fig1b() -> Scenario {
+        Scenario::new(
+            "fig1b",
+            "error in the last-but-one EOF bit of X: X rejects, Y accepts by the \
+             last-bit rule, the transmitter retransmits — Y gets the frame twice",
+            vec![Disturbance::eof(1, 6)],
+            None,
+        )
+    }
+
+    /// Fig. 1c: Fig. 1b plus a transmitter crash before the retransmission
+    /// — the *inconsistent message omission* identified by Rufino et al.
+    pub fn fig1c() -> Scenario {
+        Scenario::new(
+            "fig1c",
+            "as Fig. 1b, but the transmitter fails before retransmitting: Y keeps \
+             the frame, X never receives it (inconsistent message omission)",
+            vec![Disturbance::eof(1, 6)],
+            Some(CrashRule::AfterRetransmissionScheduled { node: 0 }),
+        )
+    }
+
+    /// Fig. 3a/3b: the paper's **new** scenario. One disturbance at X's
+    /// last-but-one EOF bit, one more hiding X's error flag from the
+    /// transmitter's last EOF bit. Standard CAN and MinorCAN both leave X
+    /// without the frame although the transmitter never fails (CAN2').
+    ///
+    /// The same script exercises Fig. 3b when run under MinorCAN — the bit
+    /// positions are identical; only the decision machinery differs.
+    pub fn fig3a() -> Scenario {
+        Scenario::new(
+            "fig3a",
+            "error at X's last-but-one EOF bit plus one masking the transmitter's \
+             view of the resulting flag: X rejects, Y accepts, the (correct!) \
+             transmitter never retransmits — Agreement violated with 2 errors",
+            vec![Disturbance::eof(1, 6), Disturbance::eof(0, 7)],
+            None,
+        )
+    }
+
+    /// Fig. 5: MajorCAN_5 consistency under five scattered errors: X hit at
+    /// EOF bit 3, the transmitter blinded at bits 4 and 5 (so it first sees
+    /// the flag at bit 6, in the second sub-field, and must notify
+    /// acceptance), and two of X's sampling-window bits corrupted.
+    ///
+    /// Run this under `MajorCan::proposed()`; the positions are
+    /// EOF-relative and only exist in a MajorCAN frame.
+    pub fn fig5() -> Scenario {
+        Scenario::new(
+            "fig5",
+            "five errors: X flags at EOF bit 3, the transmitter is blinded until \
+             bit 6 and extends, two sampling bits of X are corrupted — every node \
+             still accepts (MajorCAN_5 agreement)",
+            vec![
+                Disturbance::eof(1, 3),
+                Disturbance::eof(0, 4),
+                Disturbance::eof(0, 5),
+                Disturbance::first(1, Field::AgreementHold, 13),
+                Disturbance::first(1, Field::AgreementHold, 15),
+            ],
+            None,
+        )
+    }
+}
+
+/// The reference frame used by every scenario run: identifier `0x0AA`, one
+/// data byte. (Any frame works; this one matches the tests.)
+pub fn scenario_frame() -> Frame {
+    Frame::new(FrameId::new(0x0AA).expect("valid id"), &[0xCD]).expect("valid frame")
+}
+
+/// The outcome of a scenario execution.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Full controller event log.
+    pub events: Vec<TimedEvent<CanEvent>>,
+    /// Bit-level trace (always recorded for scenario runs).
+    pub trace: BitTrace,
+    /// `true` if every scripted disturbance actually fired — if not, the
+    /// script missed (e.g. wrong variant for the positions used).
+    pub script_exhausted: bool,
+    /// Number of nodes in the run.
+    pub n_nodes: usize,
+}
+
+impl ScenarioRun {
+    /// Frames delivered by `node`, in order.
+    pub fn deliveries(&self, node: usize) -> Vec<Frame> {
+        self.events
+            .iter()
+            .filter(|e| e.node == NodeId(node))
+            .filter_map(|e| match &e.event {
+                CanEvent::Delivered { frame, .. } => Some(frame.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of successful transmissions committed by `node`.
+    pub fn tx_successes(&self, node: usize) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.node == NodeId(node) && matches!(e.event, CanEvent::TxSucceeded { .. })
+            })
+            .count()
+    }
+
+    /// Number of retransmissions scheduled by `node`.
+    pub fn retransmissions(&self, node: usize) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.node == NodeId(node)
+                    && matches!(e.event, CanEvent::RetransmissionScheduled { .. })
+            })
+            .count()
+    }
+
+    /// `true` if every non-crashed receiver delivered the frame at least
+    /// once and no receiver delivered it twice — the per-scenario
+    /// consistency verdict (full Atomic Broadcast checking lives in the
+    /// `majorcan-abcast` crate).
+    pub fn consistent_single_delivery(&self) -> bool {
+        let crashed: Vec<usize> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, CanEvent::Crashed))
+            .map(|e| e.node.index())
+            .collect();
+        (1..self.n_nodes)
+            .filter(|n| !crashed.contains(n))
+            .all(|n| self.deliveries(n).len() == 1)
+    }
+}
+
+/// Executes `scenario` under protocol `variant`: attaches
+/// `scenario.n_nodes` controllers (node 0 transmits [`scenario_frame`]),
+/// runs for `budget` bits with trace recording, and resolves crash rules
+/// (running a fault-free probe pass when needed).
+pub fn run_scenario<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -> ScenarioRun {
+    let crash_at: Option<(usize, u64)> = match scenario.crash {
+        None => None,
+        Some(CrashRule::AtBit { node, at }) => Some((node, at)),
+        Some(CrashRule::AfterRetransmissionScheduled { node }) => {
+            // Probe pass without the crash to find the scheduling time.
+            let probe = execute(variant, scenario, budget, &[]);
+            let at = probe
+                .events
+                .iter()
+                .find(|e| {
+                    e.node == NodeId(node)
+                        && matches!(e.event, CanEvent::RetransmissionScheduled { .. })
+                })
+                .map(|e| e.at + 1);
+            at.map(|at| (node, at))
+        }
+    };
+    let crashes: Vec<(usize, u64)> = crash_at.into_iter().collect();
+    execute(variant, scenario, budget, &crashes)
+}
+
+fn execute<V: Variant>(
+    variant: &V,
+    scenario: &Scenario,
+    budget: u64,
+    crashes: &[(usize, u64)],
+) -> ScenarioRun {
+    let script = ScriptedFaults::new(scenario.disturbances.clone());
+    let mut sim = Simulator::new(script);
+    for i in 0..scenario.n_nodes {
+        let fail_at = crashes
+            .iter()
+            .find(|(n, _)| *n == i)
+            .map(|&(_, at)| at);
+        sim.attach(Controller::with_config(
+            variant.clone(),
+            ControllerConfig {
+                fail_at,
+                ..ControllerConfig::default()
+            },
+        ));
+    }
+    sim.record_trace();
+    sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+    sim.run(budget);
+    let script_exhausted = sim.channel().exhausted();
+    let trace = sim.trace().cloned().unwrap_or_default();
+    ScenarioRun {
+        events: sim.take_events(),
+        trace,
+        script_exhausted,
+        n_nodes: scenario.n_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majorcan_can::StandardCan;
+
+    #[test]
+    fn catalogue_is_complete() {
+        let names: Vec<&str> = Scenario::all().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["fig1a", "fig1b", "fig1c", "fig3a", "fig5"]);
+        for s in Scenario::all() {
+            assert!(!s.description.is_empty());
+            assert!(!s.disturbances.is_empty());
+            assert_eq!(s.n_nodes, 3);
+        }
+    }
+
+    #[test]
+    fn fig1b_run_shows_double_reception_on_standard_can() {
+        let run = run_scenario(&StandardCan, &Scenario::fig1b(), 800);
+        assert!(run.script_exhausted, "disturbance must have fired");
+        assert_eq!(run.deliveries(2).len(), 2, "Y delivers twice");
+        assert_eq!(run.deliveries(1).len(), 1);
+        assert!(!run.consistent_single_delivery());
+        assert!(!run.trace.is_empty());
+    }
+
+    #[test]
+    fn fig1c_run_crashes_tx_and_omits_x() {
+        let run = run_scenario(&StandardCan, &Scenario::fig1c(), 800);
+        assert!(run.script_exhausted);
+        assert_eq!(run.deliveries(2).len(), 1);
+        assert_eq!(run.deliveries(1).len(), 0, "X omitted");
+        assert!(run
+            .events
+            .iter()
+            .any(|e| e.node == NodeId(0) && matches!(e.event, CanEvent::Crashed)));
+    }
+
+    #[test]
+    fn fig1a_run_is_consistent() {
+        let run = run_scenario(&StandardCan, &Scenario::fig1a(), 800);
+        assert!(run.script_exhausted);
+        assert!(run.consistent_single_delivery());
+        assert_eq!(run.retransmissions(0), 0);
+    }
+
+    #[test]
+    fn fig3a_run_violates_agreement_with_correct_tx() {
+        let run = run_scenario(&StandardCan, &Scenario::fig3a(), 800);
+        assert!(run.script_exhausted);
+        assert_eq!(run.tx_successes(0), 1);
+        assert_eq!(run.deliveries(2).len(), 1);
+        assert_eq!(run.deliveries(1).len(), 0);
+        assert!(!run.consistent_single_delivery());
+    }
+
+    #[test]
+    fn wider_networks_supported() {
+        let run = run_scenario(&StandardCan, &Scenario::fig1a().with_nodes(6), 900);
+        assert!(run.consistent_single_delivery());
+        assert_eq!(run.n_nodes, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need tx + X + Y")]
+    fn too_few_nodes_rejected() {
+        Scenario::fig1a().with_nodes(2);
+    }
+
+    #[test]
+    fn at_bit_crash_rule_fires_at_the_given_time() {
+        let mut scenario = Scenario::fig1b();
+        scenario.crash = Some(CrashRule::AtBit { node: 2, at: 30 });
+        let run = run_scenario(&StandardCan, &scenario, 800);
+        let crash = run
+            .events
+            .iter()
+            .find(|e| matches!(e.event, CanEvent::Crashed))
+            .expect("crash fired");
+        assert_eq!(crash.node, NodeId(2));
+        assert_eq!(crash.at, 30);
+        // Node 2 crashed mid-frame: it never delivers anything.
+        assert!(run.deliveries(2).is_empty());
+    }
+
+    #[test]
+    fn after_resched_rule_is_a_no_op_when_nothing_is_rescheduled() {
+        let mut scenario = Scenario::fig1a(); // no retransmission occurs
+        scenario.crash = Some(CrashRule::AfterRetransmissionScheduled { node: 0 });
+        let run = run_scenario(&StandardCan, &scenario, 800);
+        assert!(
+            !run.events.iter().any(|e| matches!(e.event, CanEvent::Crashed)),
+            "no retransmission, no crash"
+        );
+        assert!(run.consistent_single_delivery());
+    }
+}

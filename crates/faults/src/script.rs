@@ -1,0 +1,228 @@
+//! Scripted, frame-relative disturbances — the mechanism behind every
+//! figure reproduction.
+//!
+//! The paper's scenarios are described symbolically: "a disturbance corrupts
+//! the last but one bit of the EOF of the nodes belonging to X". A
+//! [`ScriptedFaults`] channel expresses exactly that: each [`Disturbance`]
+//! names a victim node, a frame-relative position (field + bit index as the
+//! victim itself reports it), and which occurrence of that position to hit —
+//! so a disturbance can target the first transmission and leave the
+//! retransmission alone.
+
+use majorcan_can::{Field, WirePos};
+use majorcan_sim::{ChannelModel, Level, NodeId};
+use std::fmt;
+
+/// One scripted view-flip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disturbance {
+    /// Victim node (its *view* is inverted; the wire is untouched).
+    pub node: usize,
+    /// Field of the victim's frame-relative position.
+    pub field: Field,
+    /// 0-based bit index within the field.
+    pub index: u16,
+    /// Which occurrence of this position to disturb (1 = first). Lets a
+    /// script hit the first transmission but not the retransmission.
+    pub occurrence: u32,
+    /// `true` to target the stuff bit following the field bit at `index`
+    /// instead of the field bit itself.
+    pub stuff: bool,
+}
+
+impl Disturbance {
+    /// Disturbs the first time `node` samples `field` bit `index`
+    /// (0-based).
+    pub fn first(node: usize, field: Field, index: u16) -> Disturbance {
+        Disturbance {
+            node,
+            field,
+            index,
+            occurrence: 1,
+            stuff: false,
+        }
+    }
+
+    /// Disturbs the first time `node` samples the **stuff bit** that
+    /// follows `field` bit `index` — the trigger of the desynchronization
+    /// classes catalogued in EXPERIMENTS.md (F1).
+    pub fn stuff_bit(node: usize, field: Field, index: u16) -> Disturbance {
+        Disturbance {
+            node,
+            field,
+            index,
+            occurrence: 1,
+            stuff: true,
+        }
+    }
+
+    /// Disturbs EOF bit `bit_1based` (the paper's 1-based numbering) of
+    /// `node`, first occurrence.
+    pub fn eof(node: usize, bit_1based: u16) -> Disturbance {
+        assert!(bit_1based >= 1, "EOF bits are numbered from 1");
+        Disturbance::first(node, Field::Eof, bit_1based - 1)
+    }
+}
+
+impl fmt::Display for Disturbance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n{} view of {}{}{} (occurrence {})",
+            self.node,
+            self.field,
+            self.index + 1,
+            if self.stuff { "+s" } else { "" },
+            self.occurrence
+        )
+    }
+}
+
+/// A channel model executing a fixed list of [`Disturbance`]s, each exactly
+/// once.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_can::Field;
+/// use majorcan_faults::{Disturbance, ScriptedFaults};
+///
+/// // Fig. 1b: corrupt the last-but-one EOF bit of node 1's view.
+/// let script = ScriptedFaults::new(vec![Disturbance::eof(1, 6)]);
+/// assert_eq!(script.remaining(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedFaults {
+    pending: Vec<(Disturbance, u32)>,
+}
+
+impl ScriptedFaults {
+    /// Creates a script from a list of disturbances.
+    pub fn new(disturbances: Vec<Disturbance>) -> ScriptedFaults {
+        ScriptedFaults {
+            pending: disturbances.into_iter().map(|d| (d, 0)).collect(),
+        }
+    }
+
+    /// Number of disturbances not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` once every scripted disturbance has fired — scenario tests
+    /// assert this to be sure the script actually matched.
+    pub fn exhausted(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl FromIterator<Disturbance> for ScriptedFaults {
+    fn from_iter<I: IntoIterator<Item = Disturbance>>(iter: I) -> Self {
+        ScriptedFaults::new(iter.into_iter().collect())
+    }
+}
+
+impl ChannelModel<WirePos> for ScriptedFaults {
+    fn disturb(&mut self, _bit: u64, node: NodeId, tag: &WirePos, _wire: Level) -> bool {
+        let mut fired = false;
+        self.pending.retain_mut(|(d, seen)| {
+            if fired {
+                return true;
+            }
+            if d.node == node.index()
+                && d.field == tag.field
+                && d.index == tag.index
+                && d.stuff == tag.stuff
+            {
+                *seen += 1;
+                if *seen >= d.occurrence {
+                    fired = true;
+                    return false;
+                }
+            }
+            true
+        });
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(field: Field, index: u16) -> WirePos {
+        WirePos::new(field, index)
+    }
+
+    #[test]
+    fn fires_once_at_matching_position() {
+        let mut s = ScriptedFaults::new(vec![Disturbance::eof(1, 6)]);
+        // Wrong node.
+        assert!(!s.disturb(0, NodeId(0), &pos(Field::Eof, 5), Level::Recessive));
+        // Wrong index.
+        assert!(!s.disturb(1, NodeId(1), &pos(Field::Eof, 4), Level::Recessive));
+        // Match.
+        assert!(s.disturb(2, NodeId(1), &pos(Field::Eof, 5), Level::Recessive));
+        assert!(s.exhausted());
+        // Never again.
+        assert!(!s.disturb(3, NodeId(1), &pos(Field::Eof, 5), Level::Recessive));
+    }
+
+    #[test]
+    fn occurrence_targets_the_nth_visit() {
+        let d = Disturbance {
+            node: 0,
+            field: Field::Data,
+            index: 2,
+            occurrence: 3,
+            stuff: false,
+        };
+        let mut s = ScriptedFaults::new(vec![d]);
+        assert!(!s.disturb(0, NodeId(0), &pos(Field::Data, 2), Level::Recessive));
+        assert!(!s.disturb(1, NodeId(0), &pos(Field::Data, 2), Level::Recessive));
+        assert!(s.disturb(2, NodeId(0), &pos(Field::Data, 2), Level::Recessive));
+    }
+
+    #[test]
+    fn stuff_bits_only_match_stuff_disturbances() {
+        let mut s = ScriptedFaults::new(vec![Disturbance::first(0, Field::Id, 3)]);
+        let stuffed = WirePos {
+            field: Field::Id,
+            index: 3,
+            stuff: true,
+        };
+        assert!(!s.disturb(0, NodeId(0), &stuffed, Level::Recessive));
+        assert!(s.disturb(1, NodeId(0), &pos(Field::Id, 3), Level::Recessive));
+
+        let mut s = ScriptedFaults::new(vec![Disturbance::stuff_bit(0, Field::Id, 3)]);
+        assert!(!s.disturb(0, NodeId(0), &pos(Field::Id, 3), Level::Recessive));
+        assert!(s.disturb(1, NodeId(0), &stuffed, Level::Recessive));
+        assert_eq!(
+            Disturbance::stuff_bit(0, Field::Id, 3).to_string(),
+            "n0 view of ID4+s (occurrence 1)"
+        );
+    }
+
+    #[test]
+    fn multiple_disturbances_fire_independently() {
+        let mut s: ScriptedFaults = [Disturbance::eof(1, 6), Disturbance::eof(0, 7)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.remaining(), 2);
+        assert!(s.disturb(0, NodeId(0), &pos(Field::Eof, 6), Level::Recessive));
+        assert_eq!(s.remaining(), 1);
+        assert!(s.disturb(1, NodeId(1), &pos(Field::Eof, 5), Level::Recessive));
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn eof_helper_is_one_based() {
+        assert_eq!(Disturbance::eof(2, 7).index, 6);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = Disturbance::eof(1, 6);
+        assert_eq!(d.to_string(), "n1 view of EOF6 (occurrence 1)");
+    }
+}

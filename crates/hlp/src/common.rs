@@ -1,0 +1,238 @@
+//! Shared machinery of the higher-level protocols: message encoding over
+//! CAN frames, identities, and configuration.
+//!
+//! Every protocol message travels in one CAN data frame laid out as:
+//!
+//! ```text
+//! data[0] = kind  (DATA / DUP / CONFIRM / ACCEPT)
+//! data[1] = origin node index
+//! data[2..4] = sequence number (big endian)
+//! data[4..]  = user payload (0–4 bytes)
+//! ```
+//!
+//! The 11-bit frame identifier encodes `(priority class << 7) | sender`, so
+//! no two nodes ever transmit the same identifier simultaneously (a CAN
+//! requirement for arbitration to stay collision-free) and control frames
+//! (CONFIRM/ACCEPT) outrank data, which outranks duplicates.
+
+use majorcan_can::{Frame, FrameError, FrameId};
+use std::fmt;
+
+/// Maximum user payload per protocol message (8-byte CAN frame minus the
+/// 4-byte protocol header).
+pub const MAX_PAYLOAD: usize = 4;
+
+/// Maximum number of nodes addressable by the 7-bit sender field.
+pub const MAX_NODES: usize = 128;
+
+/// The protocol message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// An original broadcast payload.
+    Data,
+    /// A receiver-retransmitted duplicate (EDCAN always; RELCAN on
+    /// CONFIRM timeout).
+    Dup,
+    /// RELCAN's transmission confirmation.
+    Confirm,
+    /// TOTCAN's delivery go-ahead, fixing the total order.
+    Accept,
+}
+
+impl MsgKind {
+    fn code(self) -> u8 {
+        match self {
+            MsgKind::Data => 0,
+            MsgKind::Dup => 1,
+            MsgKind::Confirm => 2,
+            MsgKind::Accept => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<MsgKind> {
+        Some(match code {
+            0 => MsgKind::Data,
+            1 => MsgKind::Dup,
+            2 => MsgKind::Confirm,
+            3 => MsgKind::Accept,
+            _ => return None,
+        })
+    }
+
+    /// Arbitration priority class (lower wins the bus).
+    fn priority_class(self) -> u16 {
+        match self {
+            MsgKind::Confirm | MsgKind::Accept => 1,
+            MsgKind::Data => 2,
+            MsgKind::Dup => 3,
+        }
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MsgKind::Data => "DATA",
+            MsgKind::Dup => "DUP",
+            MsgKind::Confirm => "CONFIRM",
+            MsgKind::Accept => "ACCEPT",
+        })
+    }
+}
+
+/// The network-wide identity of a broadcast: who originated it and its
+/// per-origin sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BroadcastId {
+    /// Originating node index.
+    pub origin: u8,
+    /// Per-origin sequence number.
+    pub seq: u16,
+}
+
+impl fmt::Display for BroadcastId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}:{}", self.origin, self.seq)
+    }
+}
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HlpMessage {
+    /// Message kind.
+    pub kind: MsgKind,
+    /// Broadcast identity this message refers to.
+    pub id: BroadcastId,
+    /// User payload (empty for CONFIRM/ACCEPT).
+    pub payload: Vec<u8>,
+}
+
+impl HlpMessage {
+    /// Encodes this message into a CAN frame sent by node `sender`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameError`] if the sender index or payload exceed the
+    /// encodable ranges.
+    pub fn encode(&self, sender: usize) -> Result<Frame, FrameError> {
+        if sender >= MAX_NODES {
+            return Err(FrameError::IdOutOfRange(sender as u16));
+        }
+        if self.payload.len() > MAX_PAYLOAD {
+            return Err(FrameError::PayloadTooLong(self.payload.len()));
+        }
+        let id = FrameId::new((self.kind.priority_class() << 7) | sender as u16)?;
+        let mut data = Vec::with_capacity(4 + self.payload.len());
+        data.push(self.kind.code());
+        data.push(self.id.origin);
+        data.extend_from_slice(&self.id.seq.to_be_bytes());
+        data.extend_from_slice(&self.payload);
+        Frame::new(id, &data)
+    }
+
+    /// Decodes a protocol message from a received CAN frame. Returns `None`
+    /// for frames that are not valid protocol messages (foreign traffic).
+    pub fn decode(frame: &Frame) -> Option<HlpMessage> {
+        let data = frame.data();
+        if data.len() < 4 {
+            return None;
+        }
+        let kind = MsgKind::from_code(data[0])?;
+        Some(HlpMessage {
+            kind,
+            id: BroadcastId {
+                origin: data[1],
+                seq: u16::from_be_bytes([data[2], data[3]]),
+            },
+            payload: data[4..].to_vec(),
+        })
+    }
+
+    /// The sender encoded in a received protocol frame's identifier.
+    pub fn sender_of(frame: &Frame) -> usize {
+        (frame.id().raw() & 0x7F) as usize
+    }
+}
+
+/// Configuration shared by the protocol layers.
+#[derive(Debug, Clone)]
+pub struct HlpConfig {
+    /// RELCAN: bits a receiver waits for the CONFIRM before retransmitting
+    /// the main message itself.
+    pub confirm_timeout_bits: u64,
+    /// TOTCAN: bits a receiver keeps an unaccepted message queued before
+    /// discarding it.
+    pub accept_timeout_bits: u64,
+}
+
+impl Default for HlpConfig {
+    fn default() -> Self {
+        // Generous relative to one ~60-bit control frame plus interframe
+        // gaps; tight enough that scenario runs resolve within a few
+        // thousand bits.
+        HlpConfig {
+            confirm_timeout_bits: 600,
+            accept_timeout_bits: 600,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(kind: MsgKind, origin: u8, seq: u16, payload: &[u8]) -> HlpMessage {
+        HlpMessage {
+            kind,
+            id: BroadcastId { origin, seq },
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for kind in [MsgKind::Data, MsgKind::Dup, MsgKind::Confirm, MsgKind::Accept] {
+            for payload in [&[][..], &[1u8, 2, 3, 4][..]] {
+                let m = msg(kind, 17, 0xBEEF, payload);
+                let f = m.encode(5).unwrap();
+                assert_eq!(HlpMessage::decode(&f), Some(m), "{kind}");
+                assert_eq!(HlpMessage::sender_of(&f), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn priority_classes_order_the_bus() {
+        let confirm = msg(MsgKind::Confirm, 0, 1, &[]).encode(3).unwrap();
+        let data = msg(MsgKind::Data, 0, 1, &[]).encode(3).unwrap();
+        let dup = msg(MsgKind::Dup, 0, 1, &[]).encode(3).unwrap();
+        assert!(confirm.id().outranks(data.id()));
+        assert!(data.id().outranks(dup.id()));
+    }
+
+    #[test]
+    fn sender_uniqueness_in_identifier() {
+        let a = msg(MsgKind::Dup, 0, 1, &[]).encode(3).unwrap();
+        let b = msg(MsgKind::Dup, 0, 1, &[]).encode(4).unwrap();
+        assert_ne!(a.id(), b.id(), "same message from two senders must differ");
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        assert!(msg(MsgKind::Data, 0, 1, &[0; 5]).encode(0).is_err());
+        assert!(msg(MsgKind::Data, 0, 1, &[]).encode(128).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_foreign_frames() {
+        let raw = Frame::new(FrameId::new(0x42).unwrap(), &[9]).unwrap();
+        assert_eq!(HlpMessage::decode(&raw), None);
+        let bad_kind = Frame::new(FrameId::new(0x42).unwrap(), &[77, 0, 0, 0]).unwrap();
+        assert_eq!(HlpMessage::decode(&bad_kind), None);
+    }
+
+    #[test]
+    fn broadcast_id_display() {
+        assert_eq!(BroadcastId { origin: 3, seq: 9 }.to_string(), "n3:9");
+    }
+}

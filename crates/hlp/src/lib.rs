@@ -1,0 +1,54 @@
+//! # majorcan-hlp — the higher-level broadcast protocols over standard CAN
+//!
+//! The baselines the MajorCAN paper argues against: the three protocols of
+//! Rufino et al. (*Fault-tolerant broadcast in CAN*, FTCS'98), which recover
+//! from CAN's inconsistent message omissions **above** the data-link layer,
+//! at the cost of extra frames, memory and CPU:
+//!
+//! * [`EdCan`] — every receiver retransmits every message (Reliable
+//!   Broadcast; survives even the paper's new Fig. 3 scenarios, but costs
+//!   at least one full extra frame per message and provides no order);
+//! * [`RelCan`] — the transmitter CONFIRMs each message; receivers
+//!   retransmit only on CONFIRM timeout (Reliable Broadcast; recovery is
+//!   keyed to transmitter failure, so Fig. 3 breaks it);
+//! * [`TotCan`] — delivery waits for the transmitter's ACCEPT frame, whose
+//!   bus order is the total order (Atomic Broadcast under FTCS'98
+//!   assumptions; Fig. 3 breaks it the same way).
+//!
+//! Each runs as an [`HlpLayer`] inside an [`HlpNode`] wrapping a
+//! [`Controller<StandardCan>`](majorcan_can::Controller) — protocol frames
+//! are ordinary CAN frames subject to arbitration, errors and
+//! retransmission like any other traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use majorcan_hlp::{trace_from_hlp_events, HlpNode, TotCan};
+//! use majorcan_sim::{NoFaults, NodeId, Simulator};
+//!
+//! let mut sim = Simulator::new(NoFaults);
+//! for i in 0..3 {
+//!     sim.attach(HlpNode::new(TotCan::new(), i));
+//! }
+//! sim.node_mut(NodeId(0)).broadcast(b"go");
+//! sim.run(3000);
+//! let trace = trace_from_hlp_events(sim.events(), 3);
+//! assert!(trace.check().atomic_broadcast());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapter;
+mod common;
+mod edcan;
+mod node;
+mod relcan;
+mod totcan;
+
+pub use adapter::{msg_id_of_broadcast, trace_from_hlp_events};
+pub use common::{BroadcastId, HlpConfig, HlpMessage, MsgKind, MAX_NODES, MAX_PAYLOAD};
+pub use edcan::EdCan;
+pub use node::{HlpEvent, HlpLayer, HlpNode, LayerActions};
+pub use relcan::RelCan;
+pub use totcan::TotCan;

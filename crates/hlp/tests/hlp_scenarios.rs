@@ -1,0 +1,255 @@
+//! The paper's Section 4 verdict on the higher-level protocols:
+//!
+//! * In the *old* scenario (Fig. 1c — transmitter fails) all three recover
+//!   or agree on non-delivery.
+//! * In the *new* scenario (Fig. 3a — transmitter stays correct) only EDCAN
+//!   preserves Agreement; RELCAN and TOTCAN "only perform recovery actions
+//!   in case the transmitter fails" and leave the X set without the
+//!   message.
+//!
+//! Node 0 = transmitter, node 1 = X set, node 2 = Y set, exactly as in the
+//! link-layer scenario tests.
+
+use majorcan_can::{CanEvent, ControllerConfig};
+use majorcan_faults::{Disturbance, ScriptedFaults};
+use majorcan_hlp::{
+    trace_from_hlp_events, EdCan, HlpEvent, HlpLayer, HlpNode, RelCan, TotCan,
+};
+use majorcan_sim::{NodeId, Simulator};
+
+/// Fig. 3a's disturbance script: X's view of EOF bit 6 and the
+/// transmitter's view of EOF bit 7, first frame on the bus (the DATA
+/// frame).
+fn fig3a_script() -> ScriptedFaults {
+    ScriptedFaults::new(vec![Disturbance::eof(1, 6), Disturbance::eof(0, 7)])
+}
+
+/// Fig. 1b/1c's single disturbance: X's view of EOF bit 6.
+fn fig1_script() -> ScriptedFaults {
+    ScriptedFaults::new(vec![Disturbance::eof(1, 6)])
+}
+
+fn run_with_layer<L: HlpLayer, F: Fn() -> L>(
+    make: F,
+    script: ScriptedFaults,
+    crash_tx_after_resched: bool,
+    budget: u64,
+) -> Simulator<HlpNode<L>, ScriptedFaults> {
+    // Optional probe pass to locate the retransmission scheduling time.
+    let fail_at = if crash_tx_after_resched {
+        let mut probe = Simulator::new(script.clone());
+        for i in 0..3 {
+            probe.attach(HlpNode::new(make(), i));
+        }
+        probe.node_mut(NodeId(0)).broadcast(&[0x5A]);
+        probe.run(budget);
+        probe
+            .events()
+            .iter()
+            .find(|e| {
+                e.node == NodeId(0)
+                    && matches!(
+                        e.event,
+                        HlpEvent::Link(CanEvent::RetransmissionScheduled { .. })
+                    )
+            })
+            .map(|e| e.at + 1)
+    } else {
+        None
+    };
+
+    let mut sim = Simulator::new(script);
+    for i in 0..3 {
+        let config = ControllerConfig {
+            fail_at: if i == 0 { fail_at } else { None },
+            ..ControllerConfig::default()
+        };
+        sim.attach(HlpNode::with_config(make(), i, config));
+    }
+    sim.node_mut(NodeId(0)).broadcast(&[0x5A]);
+    sim.run(budget);
+    sim
+}
+
+fn delivered_at<L: HlpLayer>(sim: &Simulator<HlpNode<L>, ScriptedFaults>, node: usize) -> usize {
+    sim.events()
+        .iter()
+        .filter(|e| e.node == NodeId(node) && matches!(e.event, HlpEvent::Delivered { .. }))
+        .count()
+}
+
+// --------------------------------------------------------------------------
+// Old scenario (Fig. 1c): transmitter fails. All three protocols stay
+// consistent — that is what they were designed for.
+// --------------------------------------------------------------------------
+
+#[test]
+fn edcan_recovers_from_tx_crash() {
+    let sim = run_with_layer(EdCan::new, fig1_script(), true, 6000);
+    assert_eq!(delivered_at(&sim, 1), 1, "X recovered via duplicates");
+    assert_eq!(delivered_at(&sim, 2), 1);
+    let trace = trace_from_hlp_events(sim.events(), 3);
+    let report = trace.check();
+    assert!(report.agreement.holds, "{report}");
+    assert!(report.reliable_broadcast(), "{report}");
+}
+
+#[test]
+fn relcan_recovers_from_tx_crash() {
+    let sim = run_with_layer(RelCan::new, fig1_script(), true, 6000);
+    assert_eq!(delivered_at(&sim, 1), 1, "X recovered: CONFIRM timed out");
+    assert_eq!(delivered_at(&sim, 2), 1);
+    let report = trace_from_hlp_events(sim.events(), 3).check();
+    assert!(report.agreement.holds, "{report}");
+}
+
+#[test]
+fn totcan_agrees_on_non_delivery_after_tx_crash() {
+    let sim = run_with_layer(TotCan::new, fig1_script(), true, 6000);
+    assert_eq!(delivered_at(&sim, 1), 0, "no ACCEPT ⇒ no delivery");
+    assert_eq!(delivered_at(&sim, 2), 0, "agreement on non-delivery");
+    let report = trace_from_hlp_events(sim.events(), 3).check();
+    assert!(report.agreement.holds, "{report}");
+    assert!(report.total_order.holds);
+    // Y (the only receiver whose link layer accepted the frame) explicitly
+    // dropped the unaccepted message; X never queued anything.
+    let drops = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, HlpEvent::Dropped { .. }))
+        .count();
+    assert_eq!(drops, 1);
+}
+
+// --------------------------------------------------------------------------
+// New scenario (Fig. 3a): the transmitter stays correct. Only EDCAN holds.
+// --------------------------------------------------------------------------
+
+#[test]
+fn edcan_survives_the_new_scenario() {
+    let sim = run_with_layer(EdCan::new, fig3a_script(), false, 6000);
+    assert_eq!(delivered_at(&sim, 0), 1);
+    assert_eq!(delivered_at(&sim, 1), 1, "X recovered via Y's duplicate");
+    assert_eq!(delivered_at(&sim, 2), 1);
+    let report = trace_from_hlp_events(sim.events(), 3).check();
+    assert!(
+        report.reliable_broadcast(),
+        "EDCAN keeps AB1-AB4 in the new scenario: {report}"
+    );
+}
+
+#[test]
+fn relcan_fails_agreement_in_the_new_scenario() {
+    let sim = run_with_layer(RelCan::new, fig3a_script(), false, 6000);
+    assert_eq!(delivered_at(&sim, 2), 1, "Y delivered");
+    assert_eq!(
+        delivered_at(&sim, 1),
+        0,
+        "X never recovers: the CONFIRM arrives punctually, so no timeout fires"
+    );
+    let report = trace_from_hlp_events(sim.events(), 3).check();
+    assert!(
+        !report.agreement.holds,
+        "RELCAN violates Agreement although the transmitter stayed correct"
+    );
+    assert_eq!(report.imo_messages.len(), 1);
+}
+
+#[test]
+fn totcan_fails_agreement_in_the_new_scenario() {
+    let sim = run_with_layer(TotCan::new, fig3a_script(), false, 6000);
+    assert_eq!(delivered_at(&sim, 2), 1, "Y delivered on ACCEPT");
+    assert_eq!(
+        delivered_at(&sim, 1),
+        0,
+        "X holds an ACCEPT for a message it never queued"
+    );
+    let report = trace_from_hlp_events(sim.events(), 3).check();
+    assert!(
+        !report.agreement.holds,
+        "TOTCAN violates Agreement although the transmitter stayed correct"
+    );
+}
+
+// --------------------------------------------------------------------------
+// Failure-free ordering properties.
+// --------------------------------------------------------------------------
+
+#[test]
+fn edcan_provides_no_total_order_guarantee_but_totcan_does() {
+    // Two concurrent broadcasts under heavy duplicate traffic: TOTCAN's
+    // delivery order is the ACCEPT order at every node; EDCAN delivers on
+    // first copy, which may interleave differently. (We assert TOTCAN's
+    // guarantee; EDCAN's order is unconstrained — the checker may or may
+    // not catch a divergence in any given run.)
+    let mut sim = Simulator::new(majorcan_sim::NoFaults);
+    for i in 0..4 {
+        sim.attach(HlpNode::new(TotCan::new(), i));
+    }
+    sim.node_mut(NodeId(0)).broadcast(&[1]);
+    sim.node_mut(NodeId(1)).broadcast(&[2]);
+    sim.node_mut(NodeId(2)).broadcast(&[3]);
+    sim.run(12_000);
+    let report = trace_from_hlp_events(sim.events(), 4).check();
+    assert!(report.atomic_broadcast(), "{report}");
+}
+
+#[test]
+fn all_protocols_handle_many_messages_cleanly() {
+    fn run_all<L: HlpLayer, F: Fn() -> L>(make: F) {
+        let mut sim = Simulator::new(majorcan_sim::NoFaults);
+        for i in 0..3 {
+            sim.attach(HlpNode::new(make(), i));
+        }
+        for k in 0..5 {
+            sim.node_mut(NodeId(k % 3)).broadcast(&[k as u8]);
+        }
+        sim.run(30_000);
+        let report = trace_from_hlp_events(sim.events(), 3).check();
+        assert!(report.reliable_broadcast(), "{report}");
+    }
+    run_all(EdCan::new);
+    run_all(RelCan::new);
+    run_all(TotCan::new);
+}
+
+// --------------------------------------------------------------------------
+// Link-level double receptions (Fig. 1b) are masked by every protocol
+// layer's (origin, seq) deduplication — the "common recommendation" the
+// paper cites from Zeltwanger, implemented once in each layer.
+// --------------------------------------------------------------------------
+
+#[test]
+fn hlp_layers_deduplicate_link_level_double_receptions() {
+    fn run<L: HlpLayer, F: Fn() -> L>(name: &str, make: F) {
+        // Fig. 1b: node 2's link layer delivers the DATA frame twice.
+        let sim = run_with_layer(make, fig1_script(), false, 6000);
+        // Link level: at least one double delivery of the DATA frame at Y.
+        let link_deliveries = sim
+            .events()
+            .iter()
+            .filter(|e| {
+                e.node == NodeId(2)
+                    && matches!(
+                        &e.event,
+                        HlpEvent::Link(CanEvent::Delivered { .. })
+                    )
+            })
+            .count();
+        assert!(
+            link_deliveries >= 2,
+            "{name}: Y's link layer must see the Fig. 1b double reception \
+             (got {link_deliveries})"
+        );
+        // Protocol level: exactly one host delivery per node.
+        for n in 0..3 {
+            let host = delivered_at(&sim, n);
+            assert_eq!(host, 1, "{name}: node {n} host deliveries");
+        }
+        let report = trace_from_hlp_events(sim.events(), 3).check();
+        assert!(report.at_most_once.holds, "{name}: {report}");
+    }
+    run("EDCAN", EdCan::new);
+    run("RELCAN", RelCan::new);
+    run("TOTCAN", TotCan::new);
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the higher-level protocols: message codec
+//! round-trips and reliable-broadcast invariants under arbitrary
+//! fault-free broadcast mixes.
+
+use majorcan_hlp::{
+    trace_from_hlp_events, BroadcastId, EdCan, HlpLayer, HlpMessage, HlpNode, MsgKind, RelCan,
+    TotCan,
+};
+use majorcan_sim::{NoFaults, NodeId, Simulator};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = MsgKind> {
+    prop_oneof![
+        Just(MsgKind::Data),
+        Just(MsgKind::Dup),
+        Just(MsgKind::Confirm),
+        Just(MsgKind::Accept),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn message_codec_round_trips(
+        kind in arb_kind(),
+        origin in 0u8..128,
+        seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..=4),
+        sender in 0usize..128,
+    ) {
+        let msg = HlpMessage {
+            kind,
+            id: BroadcastId { origin, seq },
+            payload,
+        };
+        let frame = msg.encode(sender).expect("in-range message encodes");
+        prop_assert_eq!(HlpMessage::decode(&frame), Some(msg));
+        prop_assert_eq!(HlpMessage::sender_of(&frame), sender);
+    }
+
+    #[test]
+    fn distinct_senders_never_collide_on_the_identifier(
+        kind in arb_kind(),
+        a in 0usize..128,
+        b in 0usize..128,
+    ) {
+        prop_assume!(a != b);
+        let msg = HlpMessage {
+            kind,
+            id: BroadcastId { origin: 0, seq: 1 },
+            payload: vec![],
+        };
+        prop_assert_ne!(
+            msg.encode(a).unwrap().id(),
+            msg.encode(b).unwrap().id(),
+            "two nodes transmitting the same message must use distinct ids"
+        );
+    }
+}
+
+/// Runs `broadcasts` (as `(node, payload)` pairs) under a protocol on a
+/// fault-free bus and returns the checker report.
+fn run_mix<L: HlpLayer, F: Fn() -> L>(
+    make: F,
+    n_nodes: usize,
+    broadcasts: &[(usize, Vec<u8>)],
+) -> majorcan_abcast::Report {
+    let mut sim = Simulator::new(NoFaults);
+    for i in 0..n_nodes {
+        sim.attach(HlpNode::new(make(), i));
+    }
+    for (node, payload) in broadcasts {
+        sim.node_mut(NodeId(*node)).broadcast(payload);
+        sim.run(2_500);
+    }
+    sim.run(8_000);
+    trace_from_hlp_events(sim.events(), n_nodes)
+        .check()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fault_free_mixes_are_reliable_broadcast_under_all_protocols(
+        broadcasts in proptest::collection::vec(
+            (0usize..3, proptest::collection::vec(any::<u8>(), 0..=4)),
+            1..5,
+        ),
+    ) {
+        let ed = run_mix(EdCan::new, 3, &broadcasts);
+        prop_assert!(ed.reliable_broadcast(), "EDCAN: {}", ed);
+        let rel = run_mix(RelCan::new, 3, &broadcasts);
+        prop_assert!(rel.reliable_broadcast(), "RELCAN: {}", rel);
+        let tot = run_mix(TotCan::new, 3, &broadcasts);
+        prop_assert!(tot.atomic_broadcast(), "TOTCAN: {}", tot);
+    }
+}

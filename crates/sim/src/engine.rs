@@ -1,0 +1,391 @@
+//! The bit-synchronous simulation engine.
+
+use crate::{BitNode, BitRecord, BitTrace, ChannelModel, Level, NodeBit, NodeId, TimedEvent};
+
+/// A bit-synchronous simulation of `N` protocol controllers sharing one
+/// wired-AND bus through a fault channel.
+///
+/// Each call to [`Simulator::step`] advances one bit time:
+///
+/// 1. every node [drives](BitNode::drive) a level; the wire resolves to the
+///    wired-AND of all driven levels;
+/// 2. the [`ChannelModel`] decides per node whether that node's *view* of the
+///    wire is inverted (the paper's spatial error model — an error somewhere
+///    on the network is seen only by some nodes);
+/// 3. every node [observes](BitNode::observe) its view and may emit protocol
+///    events, which are collected into a timestamped [event log](Simulator::events).
+///
+/// The engine is single-threaded and fully deterministic: the same nodes,
+/// channel and seed replay bit-for-bit, which is what lets the scripted
+/// figure scenarios reproduce the paper's diagrams exactly.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_sim::{BitNode, Level, NoFaults, Simulator};
+///
+/// /// A node that drives dominant on even bits and counts dominant samples.
+/// struct Blinker { seen_dominant: u32 }
+///
+/// impl BitNode for Blinker {
+///     type Tag = ();
+///     type Event = ();
+///     fn drive(&mut self, now: u64) -> Level {
+///         if now % 2 == 0 { Level::Dominant } else { Level::Recessive }
+///     }
+///     fn tag(&self) {}
+///     fn observe(&mut self, _now: u64, seen: Level, _ev: &mut Vec<()>) {
+///         if seen.is_dominant() { self.seen_dominant += 1; }
+///     }
+/// }
+///
+/// let mut sim = Simulator::new(NoFaults);
+/// sim.attach(Blinker { seen_dominant: 0 });
+/// sim.attach(Blinker { seen_dominant: 0 });
+/// sim.run(10);
+/// assert_eq!(sim.node(majorcan_sim::NodeId(0)).seen_dominant, 5);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<N: BitNode, C: ChannelModel<N::Tag>> {
+    nodes: Vec<N>,
+    channel: C,
+    now: u64,
+    events: Vec<TimedEvent<N::Event>>,
+    trace: Option<BitTrace>,
+    scratch: Vec<N::Event>,
+    driven: Vec<Level>,
+}
+
+impl<N: BitNode, C: ChannelModel<N::Tag>> Simulator<N, C> {
+    /// Creates an engine with no nodes attached, using `channel` as the
+    /// fault model.
+    pub fn new(channel: C) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            channel,
+            now: 0,
+            events: Vec::new(),
+            trace: None,
+            scratch: Vec::new(),
+            driven: Vec::new(),
+        }
+    }
+
+    /// Attaches a node to the bus and returns its assigned [`NodeId`].
+    pub fn attach(&mut self, node: N) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Enables bit-level trace recording (off by default; costs
+    /// `O(bits × nodes)` memory).
+    pub fn record_trace(&mut self) -> &mut Self {
+        if self.trace.is_none() {
+            self.trace = Some(BitTrace::new());
+        }
+        self
+    }
+
+    /// The recorded trace, if [`Simulator::record_trace`] was enabled.
+    pub fn trace(&self) -> Option<&BitTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Current bit time (the index of the next bit to simulate).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Shared access to an attached node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Simulator::attach`] on this
+    /// engine.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Exclusive access to an attached node (e.g. to enqueue a frame for
+    /// transmission between steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Simulator::attach`] on this
+    /// engine.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over all attached nodes.
+    pub fn nodes(&self) -> std::slice::Iter<'_, N> {
+        self.nodes.iter()
+    }
+
+    /// Exclusive iteration over all attached nodes.
+    pub fn nodes_mut(&mut self) -> std::slice::IterMut<'_, N> {
+        self.nodes.iter_mut()
+    }
+
+    /// The accumulated event log (all nodes, time order).
+    pub fn events(&self) -> &[TimedEvent<N::Event>] {
+        &self.events
+    }
+
+    /// Drains and returns the accumulated event log, leaving it empty.
+    pub fn take_events(&mut self) -> Vec<TimedEvent<N::Event>> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The fault channel (e.g. to inspect an adaptive model mid-run).
+    pub fn channel(&self) -> &C {
+        &self.channel
+    }
+
+    /// Exclusive access to the fault channel (e.g. to arm a scripted
+    /// disturbance mid-run).
+    pub fn channel_mut(&mut self) -> &mut C {
+        &mut self.channel
+    }
+
+    /// Simulates a single bit time and returns the fault-free resolved wire
+    /// level of that bit.
+    pub fn step(&mut self) -> Level {
+        let now = self.now;
+        self.driven.clear();
+        for node in &mut self.nodes {
+            self.driven.push(node.drive(now));
+        }
+        let wire = Level::resolve(self.driven.iter().copied());
+
+        let mut record = self.trace.is_some().then(|| BitRecord {
+            bit: now,
+            wire,
+            nodes: Vec::with_capacity(self.nodes.len()),
+        });
+        let mut labels = self
+            .trace
+            .is_some()
+            .then(|| Vec::with_capacity(self.nodes.len()));
+
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let id = NodeId(i);
+            let tag = node.tag();
+            let disturbed = self.channel.disturb(now, id, &tag, wire);
+            let seen = if disturbed { !wire } else { wire };
+            if let (Some(record), Some(labels)) = (record.as_mut(), labels.as_mut()) {
+                record.nodes.push(NodeBit {
+                    driven: self.driven[i],
+                    seen,
+                    disturbed,
+                });
+                labels.push(format!("{tag:?}"));
+            }
+            node.observe(now, seen, &mut self.scratch);
+            for event in self.scratch.drain(..) {
+                self.events.push(TimedEvent {
+                    at: now,
+                    node: id,
+                    event,
+                });
+            }
+        }
+
+        if let (Some(trace), Some(record), Some(labels)) =
+            (self.trace.as_mut(), record, labels)
+        {
+            trace.push(record, labels);
+        }
+        self.now += 1;
+        wire
+    }
+
+    /// Simulates `bits` bit times.
+    pub fn run(&mut self, bits: u64) {
+        for _ in 0..bits {
+            self.step();
+        }
+    }
+
+    /// Simulates until `stop` returns `true` (checked after each bit) or
+    /// until `max_bits` have elapsed, whichever comes first. Returns the
+    /// number of bits simulated.
+    pub fn run_until(&mut self, max_bits: u64, mut stop: impl FnMut(&Self) -> bool) -> u64 {
+        for done in 0..max_bits {
+            self.step();
+            if stop(self) {
+                return done + 1;
+            }
+        }
+        max_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnChannel, NoFaults};
+
+    /// A node that drives a fixed script of levels, then recessive forever,
+    /// and remembers everything it saw.
+    struct Scripted {
+        script: Vec<Level>,
+        seen: Vec<Level>,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<Level>) -> Self {
+            Scripted {
+                script,
+                seen: Vec::new(),
+            }
+        }
+    }
+
+    impl BitNode for Scripted {
+        type Tag = usize;
+        type Event = Level;
+
+        fn drive(&mut self, now: u64) -> Level {
+            self.script
+                .get(now as usize)
+                .copied()
+                .unwrap_or(Level::Recessive)
+        }
+
+        fn tag(&self) -> usize {
+            self.seen.len()
+        }
+
+        fn observe(&mut self, _now: u64, seen: Level, events: &mut Vec<Level>) {
+            self.seen.push(seen);
+            events.push(seen);
+        }
+    }
+
+    const D: Level = Level::Dominant;
+    const R: Level = Level::Recessive;
+
+    #[test]
+    fn wired_and_resolution() {
+        let mut sim = Simulator::new(NoFaults);
+        sim.attach(Scripted::new(vec![R, D, R]));
+        sim.attach(Scripted::new(vec![R, R, D]));
+        assert_eq!(sim.step(), R);
+        assert_eq!(sim.step(), D);
+        assert_eq!(sim.step(), D);
+        assert_eq!(sim.step(), R);
+        // Every node saw the same resolved levels (fault-free channel).
+        for node in sim.nodes() {
+            assert_eq!(node.seen, vec![R, D, D, R]);
+        }
+    }
+
+    #[test]
+    fn channel_disturbs_only_target_view() {
+        // Flip node 1's view of bit 0 only.
+        let ch = FnChannel(|bit: u64, node: NodeId, _t: &usize, _w: Level| {
+            bit == 0 && node == NodeId(1)
+        });
+        let mut sim = Simulator::new(ch);
+        sim.attach(Scripted::new(vec![R]));
+        sim.attach(Scripted::new(vec![R]));
+        sim.run(2);
+        assert_eq!(sim.node(NodeId(0)).seen, vec![R, R]);
+        assert_eq!(sim.node(NodeId(1)).seen, vec![D, R], "node 1's view flipped");
+    }
+
+    #[test]
+    fn events_are_timestamped_and_attributed() {
+        let mut sim = Simulator::new(NoFaults);
+        sim.attach(Scripted::new(vec![D]));
+        sim.attach(Scripted::new(vec![R]));
+        sim.run(2);
+        let events = sim.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].at, 0);
+        assert_eq!(events[0].node, NodeId(0));
+        assert_eq!(events[0].event, D);
+        assert_eq!(events[1].node, NodeId(1));
+        assert_eq!(events[3].event, R);
+        let drained = sim.take_events();
+        assert_eq!(drained.len(), 4);
+        assert!(sim.events().is_empty());
+    }
+
+    #[test]
+    fn trace_records_driven_seen_and_disturbance() {
+        let ch = FnChannel(|bit: u64, node: NodeId, _t: &usize, _w: Level| {
+            bit == 1 && node == NodeId(0)
+        });
+        let mut sim = Simulator::new(ch);
+        sim.attach(Scripted::new(vec![D, R]));
+        sim.record_trace();
+        sim.run(2);
+        let trace = sim.trace().expect("trace enabled");
+        assert_eq!(trace.len(), 2);
+        let b0 = trace.get(0).unwrap();
+        assert_eq!(b0.wire, D);
+        assert_eq!(b0.nodes[0].driven, D);
+        assert!(!b0.nodes[0].disturbed);
+        let b1 = trace.get(1).unwrap();
+        assert_eq!(b1.wire, R);
+        assert_eq!(b1.nodes[0].seen, D, "disturbed view");
+        assert!(b1.nodes[0].disturbed);
+    }
+
+    #[test]
+    fn tag_passed_to_channel_reflects_pre_sample_state() {
+        // The Scripted node's tag is the number of bits it has *already*
+        // observed — i.e. the index of the bit in flight.
+        let mut seen_tags = Vec::new();
+        {
+            let ch = FnChannel(|_bit: u64, _node: NodeId, tag: &usize, _w: Level| {
+                // Record through a raw pointer-free channel: this closure
+                // can't borrow seen_tags mutably while sim borrows it, so we
+                // assert the invariant directly instead.
+                assert!(*tag < 100);
+                false
+            });
+            let mut sim = Simulator::new(ch);
+            sim.attach(Scripted::new(vec![R; 4]));
+            for expect in 0..4usize {
+                assert_eq!(sim.node(NodeId(0)).tag(), expect);
+                sim.step();
+                seen_tags.push(expect);
+            }
+        }
+        assert_eq!(seen_tags, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut sim = Simulator::new(NoFaults);
+        sim.attach(Scripted::new(vec![R, R, D, R]));
+        let steps = sim.run_until(100, |s| {
+            s.events().iter().any(|e| e.event == D)
+        });
+        assert_eq!(steps, 3);
+        assert_eq!(sim.now(), 3);
+    }
+
+    #[test]
+    fn run_until_respects_budget() {
+        let mut sim = Simulator::new(NoFaults);
+        sim.attach(Scripted::new(vec![]));
+        let steps = sim.run_until(10, |_| false);
+        assert_eq!(steps, 10);
+    }
+
+    #[test]
+    fn empty_bus_floats_recessive() {
+        let mut sim: Simulator<Scripted, NoFaults> = Simulator::new(NoFaults);
+        assert_eq!(sim.step(), R);
+        assert_eq!(sim.node_count(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The two physical bus levels of a CAN-style wired-AND medium.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A single bus level.
+///
+/// CAN buses are *wired-AND*: if any node drives [`Level::Dominant`] the bus
+/// reads dominant; the bus reads [`Level::Recessive`] only when every node
+/// drives recessive. Dominant represents logical `0`, recessive logical `1`.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_sim::Level;
+///
+/// assert_eq!(Level::Dominant & Level::Recessive, Level::Dominant);
+/// assert_eq!(Level::Recessive & Level::Recessive, Level::Recessive);
+/// assert_eq!(!Level::Dominant, Level::Recessive);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// The asserted level; wins on the bus. Logical `0`.
+    Dominant,
+    /// The idle level; read only when nobody asserts. Logical `1`.
+    Recessive,
+}
+
+impl Level {
+    /// `true` if this level is [`Level::Dominant`].
+    #[inline]
+    pub fn is_dominant(self) -> bool {
+        matches!(self, Level::Dominant)
+    }
+
+    /// `true` if this level is [`Level::Recessive`].
+    #[inline]
+    pub fn is_recessive(self) -> bool {
+        matches!(self, Level::Recessive)
+    }
+
+    /// The logical bit value CAN assigns to this level (`0` for dominant,
+    /// `1` for recessive).
+    #[inline]
+    pub fn bit(self) -> u8 {
+        match self {
+            Level::Dominant => 0,
+            Level::Recessive => 1,
+        }
+    }
+
+    /// Converts a logical bit into a level (`false`/`0` ⇒ dominant).
+    #[inline]
+    pub fn from_bit(bit: bool) -> Level {
+        if bit {
+            Level::Recessive
+        } else {
+            Level::Dominant
+        }
+    }
+
+    /// Resolves the wired-AND combination of two driven levels.
+    ///
+    /// Dominant wins: the result is recessive only when both inputs are.
+    #[inline]
+    pub fn combine(self, other: Level) -> Level {
+        if self.is_dominant() || other.is_dominant() {
+            Level::Dominant
+        } else {
+            Level::Recessive
+        }
+    }
+
+    /// Resolves the wired-AND combination of an iterator of driven levels.
+    ///
+    /// An empty bus (no drivers) floats recessive.
+    pub fn resolve<I: IntoIterator<Item = Level>>(levels: I) -> Level {
+        for l in levels {
+            if l.is_dominant() {
+                return Level::Dominant;
+            }
+        }
+        Level::Recessive
+    }
+
+    /// The single-character mnemonic used throughout the paper's figures:
+    /// `d` for dominant, `r` for recessive.
+    #[inline]
+    pub fn glyph(self) -> char {
+        match self {
+            Level::Dominant => 'd',
+            Level::Recessive => 'r',
+        }
+    }
+}
+
+impl Default for Level {
+    /// An undriven bus floats recessive.
+    fn default() -> Self {
+        Level::Recessive
+    }
+}
+
+impl Not for Level {
+    type Output = Level;
+
+    /// The opposite level — models a channel disturbance inverting a node's
+    /// view of a bit.
+    #[inline]
+    fn not(self) -> Level {
+        match self {
+            Level::Dominant => Level::Recessive,
+            Level::Recessive => Level::Dominant,
+        }
+    }
+}
+
+impl std::ops::BitAnd for Level {
+    type Output = Level;
+
+    /// Wired-AND resolution, alias of [`Level::combine`].
+    #[inline]
+    fn bitand(self, rhs: Level) -> Level {
+        self.combine(rhs)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.glyph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_wins_pairwise() {
+        assert_eq!(Level::Dominant & Level::Dominant, Level::Dominant);
+        assert_eq!(Level::Dominant & Level::Recessive, Level::Dominant);
+        assert_eq!(Level::Recessive & Level::Dominant, Level::Dominant);
+        assert_eq!(Level::Recessive & Level::Recessive, Level::Recessive);
+    }
+
+    #[test]
+    fn resolve_empty_bus_is_recessive() {
+        assert_eq!(Level::resolve(std::iter::empty()), Level::Recessive);
+    }
+
+    #[test]
+    fn resolve_many() {
+        assert_eq!(
+            Level::resolve([Level::Recessive, Level::Recessive, Level::Dominant]),
+            Level::Dominant
+        );
+        assert_eq!(
+            Level::resolve([Level::Recessive; 32]),
+            Level::Recessive
+        );
+    }
+
+    #[test]
+    fn not_inverts() {
+        assert_eq!(!Level::Dominant, Level::Recessive);
+        assert_eq!(!Level::Recessive, Level::Dominant);
+        assert_eq!(!!Level::Dominant, Level::Dominant);
+    }
+
+    #[test]
+    fn bit_mapping_matches_can_convention() {
+        assert_eq!(Level::Dominant.bit(), 0);
+        assert_eq!(Level::Recessive.bit(), 1);
+        assert_eq!(Level::from_bit(false), Level::Dominant);
+        assert_eq!(Level::from_bit(true), Level::Recessive);
+    }
+
+    #[test]
+    fn glyphs_match_paper_figures() {
+        assert_eq!(Level::Dominant.glyph(), 'd');
+        assert_eq!(Level::Recessive.glyph(), 'r');
+        assert_eq!(Level::Dominant.to_string(), "d");
+    }
+
+    #[test]
+    fn default_is_recessive() {
+        assert_eq!(Level::default(), Level::Recessive);
+    }
+}

@@ -1,0 +1,236 @@
+//! Bit-level trace recording and rendering in the style of the paper's
+//! figures (rows of `r`/`d` glyphs per node, one column per bit time).
+
+use crate::{Level, NodeId};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One node's record of one bit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeBit {
+    /// Level the node drove onto the bus.
+    pub driven: Level,
+    /// Level the node sampled (after any channel disturbance).
+    pub seen: Level,
+    /// Whether the channel inverted this node's sample.
+    pub disturbed: bool,
+}
+
+/// The record of one bit time across the whole bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRecord {
+    /// Global bit time.
+    pub bit: u64,
+    /// The fault-free resolved (wired-AND) level.
+    pub wire: Level,
+    /// Per-node drive/sample pairs, indexed by [`NodeId`].
+    pub nodes: Vec<NodeBit>,
+}
+
+/// A recording of every bit driven and seen by every node over a simulation
+/// window, with optional per-node per-bit labels (supplied from node tags).
+///
+/// Traces are what the figure-reproduction binaries render; they are also a
+/// debugging aid when a scenario misbehaves. Recording is opt-in because it
+/// costs memory proportional to `bits × nodes`.
+#[derive(Debug, Clone, Default)]
+pub struct BitTrace {
+    records: Vec<BitRecord>,
+    labels: Vec<Vec<String>>,
+}
+
+impl BitTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the record of one bit time. `labels` carries one short
+    /// position label per node (e.g. `"EOF6"`), used when rendering.
+    pub fn push(&mut self, record: BitRecord, labels: Vec<String>) {
+        debug_assert_eq!(record.nodes.len(), labels.len());
+        self.records.push(record);
+        self.labels.push(labels);
+    }
+
+    /// Number of recorded bit times.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the recorded bits in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BitRecord> {
+        self.records.iter()
+    }
+
+    /// The record at `idx`, if recorded.
+    pub fn get(&self, idx: usize) -> Option<&BitRecord> {
+        self.records.get(idx)
+    }
+
+    /// The position label node `node` reported for record index `idx`.
+    pub fn label(&self, idx: usize, node: NodeId) -> Option<&str> {
+        self.labels
+            .get(idx)
+            .and_then(|l| l.get(node.index()))
+            .map(String::as_str)
+    }
+
+    /// The sub-range of record indices whose bit times fall in
+    /// `[from, to)`.
+    pub fn window(&self, from: u64, to: u64) -> impl Iterator<Item = &BitRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.bit >= from && r.bit < to)
+    }
+
+    /// Renders the seen-levels of each node between bit times `from`
+    /// (inclusive) and `to` (exclusive), one row per node, in the paper's
+    /// `r`/`d` notation. Disturbed samples are upper-cased (`R`/`D`) so the
+    /// injected errors of a scenario are visible at a glance.
+    ///
+    /// `names` supplies one row label per node (pass `&[]` to use `n0…`).
+    pub fn render_seen(&self, from: u64, to: u64, names: &[&str]) -> String {
+        self.render(from, to, names, |nb| {
+            let g = nb.seen.glyph();
+            if nb.disturbed {
+                g.to_ascii_uppercase()
+            } else {
+                g
+            }
+        })
+    }
+
+    /// Renders the driven-levels of each node (what each node put on the
+    /// bus), same layout as [`BitTrace::render_seen`].
+    pub fn render_driven(&self, from: u64, to: u64, names: &[&str]) -> String {
+        self.render(from, to, names, |nb| nb.driven.glyph())
+    }
+
+    fn render(
+        &self,
+        from: u64,
+        to: u64,
+        names: &[&str],
+        glyph: impl Fn(&NodeBit) -> char,
+    ) -> String {
+        let window: Vec<&BitRecord> = self.window(from, to).collect();
+        let mut out = String::new();
+        if window.is_empty() {
+            return out;
+        }
+        let n_nodes = window[0].nodes.len();
+        let name_width = (0..n_nodes)
+            .map(|i| names.get(i).map_or(format!("n{i}").len(), |n| n.len()))
+            .max()
+            .unwrap_or(2)
+            .max("wire".len());
+        // Header: bit times mod 10 for orientation.
+        let _ = write!(out, "{:>name_width$} | ", "bit");
+        for r in &window {
+            let _ = write!(out, "{}", r.bit % 10);
+        }
+        out.push('\n');
+        for i in 0..n_nodes {
+            let default = format!("n{i}");
+            let name = names.get(i).copied().unwrap_or(default.as_str());
+            let _ = write!(out, "{name:>name_width$} | ");
+            for r in &window {
+                out.push(glyph(&r.nodes[i]));
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "{:>name_width$} | ", "wire");
+        for r in &window {
+            out.push(r.wire.glyph());
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for BitTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let to = self.records.last().map_or(0, |r| r.bit + 1);
+        let from = self.records.first().map_or(0, |r| r.bit);
+        write!(f, "{}", self.render_seen(from, to, &[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(bit: u64, wire: Level, per_node: &[(Level, Level, bool)]) -> BitRecord {
+        BitRecord {
+            bit,
+            wire,
+            nodes: per_node
+                .iter()
+                .map(|&(driven, seen, disturbed)| NodeBit {
+                    driven,
+                    seen,
+                    disturbed,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn push_and_window() {
+        let mut t = BitTrace::new();
+        for bit in 0..10 {
+            t.push(
+                record(bit, Level::Recessive, &[(Level::Recessive, Level::Recessive, false)]),
+                vec!["IDLE".into()],
+            );
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.window(3, 6).count(), 3);
+        assert_eq!(t.label(4, NodeId(0)), Some("IDLE"));
+        assert_eq!(t.label(4, NodeId(9)), None);
+    }
+
+    #[test]
+    fn render_marks_disturbances_uppercase() {
+        let mut t = BitTrace::new();
+        t.push(
+            record(
+                0,
+                Level::Recessive,
+                &[
+                    (Level::Recessive, Level::Recessive, false),
+                    (Level::Recessive, Level::Dominant, true),
+                ],
+            ),
+            vec![String::new(), String::new()],
+        );
+        let s = t.render_seen(0, 1, &["tx", "rx"]);
+        assert!(s.contains("tx"), "{s}");
+        assert!(s.contains('D'), "disturbed bit should be uppercase: {s}");
+        assert!(s.contains("wire | r"), "{s}");
+    }
+
+    #[test]
+    fn render_empty_window_is_empty() {
+        let t = BitTrace::new();
+        assert!(t.render_seen(0, 100, &[]).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn display_renders_whole_trace() {
+        let mut t = BitTrace::new();
+        t.push(
+            record(5, Level::Dominant, &[(Level::Dominant, Level::Dominant, false)]),
+            vec![String::new()],
+        );
+        let s = t.to_string();
+        assert!(s.contains('d'), "{s}");
+    }
+}

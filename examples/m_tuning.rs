@@ -1,0 +1,56 @@
+//! Choosing MajorCAN's error tolerance `m` for a given channel.
+//!
+//! The paper proposes `m = 5` (matching the CRC's 5-random-error detection
+//! capability) but keeps the protocol "parametrisable in m to make the
+//! upgrade simpler" for noisier buses. This example turns that remark into
+//! numbers: for each channel quality, the smallest `m` whose residual risk
+//! (a conservative bound: *every* frame with more than `m` disturbed
+//! bit-views counted as an incident) clears the aerospace reference bound
+//! of 10⁻⁹ incidents/hour, and what that `m` costs on the wire.
+//!
+//! ```text
+//! cargo run --example m_tuning
+//! ```
+
+use majorcan::analysis::{recommend_m, residual_incidents_per_hour, NetworkParams};
+
+fn main() {
+    let params = NetworkParams::paper_reference();
+    println!(
+        "Choosing m for N={} nodes at {} Mbps, {:.0}% load, target 1e-9 incidents/hour\n",
+        params.n_nodes,
+        params.bitrate / 1e6,
+        params.load * 100.0
+    );
+    println!(
+        "{:>8} | {:>13} | {:>15} | residual at that m (/hour)",
+        "ber", "recommended m", "overhead (bits)"
+    );
+    for ber in [1e-6, 1e-5, 1e-4, 1e-3, 1e-2] {
+        let (choice, _) = recommend_m(&params, ber, 1e-9);
+        match choice {
+            Some(c) => println!(
+                "{ber:>8.0e} | {:>13} | {:>+15} | {:.2e}",
+                c.m, c.overhead_bits, c.residual_per_hour
+            ),
+            None => println!("{ber:>8.0e} | {:>13} | {:>15} | -", "> 40", "-"),
+        }
+    }
+
+    println!("\nResidual risk of the paper's m = 5 across channel qualities:");
+    for ber in [1e-6, 1e-5, 1e-4, 1e-3] {
+        println!(
+            "  ber = {ber:.0e}: {:.3e} incidents/hour{}",
+            residual_incidents_per_hour(5, &params, ber),
+            if residual_incidents_per_hour(5, &params, ber) < 1e-9 {
+                "  (clears 1e-9)"
+            } else {
+                "  (needs larger m)"
+            }
+        );
+    }
+    println!(
+        "\nThe paper's caveat quantified: m = 5 is comfortable for ber ≤ 1e-5; an\n\
+         aggressive ber = 1e-4 channel already warrants m = 6 under this bound."
+    );
+}

@@ -1,0 +1,24 @@
+//! # majorcan — Atomic Broadcast on the Controller Area Network
+//!
+//! Facade crate re-exporting the full public API of the MajorCAN
+//! reproduction workspace. See the individual crates for details:
+//!
+//! * [`sim`] — bit-synchronous wired-AND bus simulator.
+//! * [`can`] — standard CAN data-link controller.
+//! * [`protocols`] — the paper's contribution: MinorCAN and MajorCAN.
+//! * [`hlp`] — higher-level baselines: EDCAN, RELCAN, TOTCAN.
+//! * [`faults`] — fault injection and the scripted paper scenarios.
+//! * [`abcast`] — Atomic Broadcast property checking.
+//! * [`analysis`] — the paper's analytic probability model (Table 1).
+//! * [`workload`] — traffic generation.
+
+#![forbid(unsafe_code)]
+
+pub use majorcan_abcast as abcast;
+pub use majorcan_analysis as analysis;
+pub use majorcan_can as can;
+pub use majorcan_core as protocols;
+pub use majorcan_faults as faults;
+pub use majorcan_hlp as hlp;
+pub use majorcan_sim as sim;
+pub use majorcan_workload as workload;
