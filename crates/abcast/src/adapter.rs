@@ -75,7 +75,14 @@ mod tests {
     fn maps_clean_broadcast() {
         let f = frame(0x42, &[1]);
         let events = vec![
-            ev(0, 0, CanEvent::TxStarted { frame: f.clone(), attempt: 1 }),
+            ev(
+                0,
+                0,
+                CanEvent::TxStarted {
+                    frame: f.clone(),
+                    attempt: 1,
+                },
+            ),
             ev(
                 50,
                 1,
@@ -104,8 +111,22 @@ mod tests {
     fn retransmission_maps_to_single_broadcast() {
         let f = frame(0x42, &[1]);
         let events = vec![
-            ev(0, 0, CanEvent::TxStarted { frame: f.clone(), attempt: 1 }),
-            ev(100, 0, CanEvent::TxStarted { frame: f.clone(), attempt: 2 }),
+            ev(
+                0,
+                0,
+                CanEvent::TxStarted {
+                    frame: f.clone(),
+                    attempt: 1,
+                },
+            ),
+            ev(
+                100,
+                0,
+                CanEvent::TxStarted {
+                    frame: f.clone(),
+                    attempt: 2,
+                },
+            ),
         ];
         let trace = trace_from_can_events(&events, 1);
         let broadcasts = trace
@@ -118,10 +139,7 @@ mod tests {
 
     #[test]
     fn crash_and_bus_off_map_to_crash() {
-        let events = vec![
-            ev(5, 0, CanEvent::Crashed),
-            ev(9, 1, CanEvent::WentBusOff),
-        ];
+        let events = vec![ev(5, 0, CanEvent::Crashed), ev(9, 1, CanEvent::WentBusOff)];
         let trace = trace_from_can_events(&events, 3);
         assert_eq!(trace.correct_nodes(), vec![2]);
     }

@@ -76,7 +76,72 @@ pub struct Report {
     pub double_deliveries: Vec<(usize, MsgId)>,
 }
 
+/// A one-word summary of a [`Report`], graded by severity: the verdict is
+/// the *worst* broken property (validity before agreement before
+/// at-most-once). Campaign experiments key counters on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Verdict {
+    /// All checked properties held.
+    Consistent,
+    /// AB3 broken: someone delivered a message twice.
+    DoubleReception,
+    /// AB2 broken: a correct node was left without a delivered message
+    /// (an inconsistent message omission).
+    Omission,
+    /// AB1 broken: a correct transmitter's message reached nobody.
+    ValidityLoss,
+}
+
+impl Verdict {
+    /// Stable lower-case token (used as a counter-key segment in campaign
+    /// JSONL artifacts — do not change spellings).
+    pub fn token(&self) -> &'static str {
+        match self {
+            Verdict::Consistent => "consistent",
+            Verdict::DoubleReception => "double",
+            Verdict::Omission => "omission",
+            Verdict::ValidityLoss => "validity",
+        }
+    }
+
+    /// Parses what [`Verdict::token`] produced.
+    pub fn from_token(token: &str) -> Option<Verdict> {
+        Some(match token {
+            "consistent" => Verdict::Consistent,
+            "double" => Verdict::DoubleReception,
+            "omission" => Verdict::Omission,
+            "validity" => Verdict::ValidityLoss,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Consistent => "consistent",
+            Verdict::DoubleReception => "double reception",
+            Verdict::Omission => "OMISSION",
+            Verdict::ValidityLoss => "VALIDITY LOSS",
+        })
+    }
+}
+
 impl Report {
+    /// Summarizes the report into a single [`Verdict`] (worst broken
+    /// property wins).
+    pub fn verdict(&self) -> Verdict {
+        if !self.validity.holds {
+            Verdict::ValidityLoss
+        } else if !self.agreement.holds {
+            Verdict::Omission
+        } else if !self.at_most_once.holds {
+            Verdict::DoubleReception
+        } else {
+            Verdict::Consistent
+        }
+    }
+
     /// `true` iff all five Atomic Broadcast properties hold.
     pub fn atomic_broadcast(&self) -> bool {
         self.validity.holds
@@ -134,9 +199,7 @@ pub fn check_trace(trace: &AbTrace) -> Report {
                 broadcasts.entry(msg.clone()).or_insert(*node);
             }
             AbEvent::Deliver { node, msg } => {
-                let count = delivery_counts
-                    .entry((*node, msg.clone()))
-                    .or_insert(0);
+                let count = delivery_counts.entry((*node, msg.clone())).or_insert(0);
                 *count += 1;
                 if *count == 1 {
                     delivery_order.entry(*node).or_default().push(msg.clone());
@@ -204,9 +267,7 @@ pub fn check_trace(trace: &AbTrace) -> Report {
     let mut non_triviality = Vec::new();
     for (node, msg) in delivery_counts.keys() {
         if correct.contains(node) && !broadcasts.contains_key(msg) {
-            non_triviality.push(format!(
-                "n{node} delivered {msg}, which nobody broadcast"
-            ));
+            non_triviality.push(format!("n{node} delivered {msg}, which nobody broadcast"));
         }
     }
     non_triviality.dedup();
@@ -223,10 +284,7 @@ pub fn check_trace(trace: &AbTrace) -> Report {
                 oa.iter().enumerate().map(|(i, m)| (m, i)).collect();
             let pos_b: BTreeMap<&MsgId, usize> =
                 ob.iter().enumerate().map(|(i, m)| (m, i)).collect();
-            let common: Vec<&MsgId> = oa
-                .iter()
-                .filter(|m| pos_b.contains_key(m))
-                .collect();
+            let common: Vec<&MsgId> = oa.iter().filter(|m| pos_b.contains_key(m)).collect();
             for (x, m1) in common.iter().enumerate() {
                 for m2 in &common[x + 1..] {
                     let fwd_a = pos_a[*m1] < pos_a[*m2];

@@ -38,6 +38,6 @@ mod render;
 mod trace;
 
 pub use adapter::{msg_id_of, trace_from_can_events};
-pub use checker::{check_trace, PropertyResult, Report};
+pub use checker::{check_trace, PropertyResult, Report, Verdict};
 pub use render::render_delivery_matrix;
 pub use trace::{AbEvent, AbTrace, MsgId, Stamped};

@@ -35,11 +35,7 @@ mod model;
 mod montecarlo;
 mod table1;
 
-pub use m_choice::{
-    p_more_than_m_errors, recommend_m, residual_incidents_per_hour, MChoice,
-};
+pub use m_choice::{p_more_than_m_errors, recommend_m, residual_incidents_per_hour, MChoice};
 pub use model::{ber_star, binomial, p_new_scenario, p_old_scenario};
 pub use montecarlo::{estimate_new_scenario, estimate_old_scenario, McEstimate};
-pub use table1::{
-    render_table1, table1, table1_row, NetworkParams, Table1Row, PAPER_TABLE1,
-};
+pub use table1::{render_table1, table1, table1_row, NetworkParams, Table1Row, PAPER_TABLE1};

@@ -31,7 +31,10 @@ use crate::{binomial, NetworkParams};
 ///
 /// Panics if `ber_star` is not a probability or the frame is empty.
 pub fn p_more_than_m_errors(m: usize, n: usize, ber_star: f64, tau_data: usize) -> f64 {
-    assert!((0.0..=1.0).contains(&ber_star), "ber* must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&ber_star),
+        "ber* must be a probability"
+    );
     assert!(n > 0 && tau_data > 0, "frame must have views");
     let views = n * tau_data;
     if ber_star == 0.0 || m >= views {
@@ -45,8 +48,7 @@ pub fn p_more_than_m_errors(m: usize, n: usize, ber_star: f64, tau_data: usize) 
     let log_q = (-b).ln_1p();
     let mut tail = 0.0f64;
     for k in (m + 1)..=views {
-        let log_term =
-            log_binomial(views, k) + k as f64 * log_b + (views - k) as f64 * log_q;
+        let log_term = log_binomial(views, k) + k as f64 * log_b + (views - k) as f64 * log_q;
         let term = log_term.exp();
         tail += term;
         // Terms decay geometrically once k exceeds the mean; stop when the
@@ -191,7 +193,11 @@ mod tests {
         let (choice_harsh, _) = recommend_m(&params, 3e-2, 1e-9);
         let mild = choice_mild.expect("mild channel solvable");
         let harsh = choice_harsh.expect("harsh channel solvable");
-        assert!(mild.m <= 7, "paper regime: small m suffices (got {})", mild.m);
+        assert!(
+            mild.m <= 7,
+            "paper regime: small m suffices (got {})",
+            mild.m
+        );
         assert!(
             harsh.m > mild.m,
             "harsher channel must demand more tolerance: {} vs {}",

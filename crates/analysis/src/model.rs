@@ -78,9 +78,7 @@ pub fn p_new_scenario(n: usize, ber_star: f64, tau_data: usize) -> f64 {
     let tx_blinded = q.powf(tau - 1.0) * b; // tx clean, hit at the last bit
     let mut sum = 0.0;
     for i in 1..=(n - 2) {
-        sum += binomial(n - 1, i)
-            * affected.powi(i as i32)
-            * clean.powi((n - 1 - i) as i32);
+        sum += binomial(n - 1, i) * affected.powi(i as i32) * clean.powi((n - 1 - i) as i32);
     }
     sum * tx_blinded
 }
@@ -115,9 +113,7 @@ pub fn p_old_scenario(
     let tx_term = q.powf(tau - 2.0) * p_crash;
     let mut sum = 0.0;
     for i in 1..=(n - 2) {
-        sum += binomial(n - 1, i)
-            * affected.powi(i as i32)
-            * clean.powi((n - 1 - i) as i32);
+        sum += binomial(n - 1, i) * affected.powi(i as i32) * clean.powi((n - 1 - i) as i32);
     }
     sum * tx_term
 }
@@ -201,10 +197,7 @@ mod tests {
         let b = 1e-4;
         let p = p_new_scenario(3, b, 110);
         let q: f64 = 1.0 - b;
-        let expected = 2.0
-            * (q.powf(108.0) * b)
-            * q.powf(109.0)
-            * (q.powf(109.0) * b);
+        let expected = 2.0 * (q.powf(108.0) * b) * q.powf(109.0) * (q.powf(109.0) * b);
         assert!((p - expected).abs() / expected < 1e-12);
     }
 

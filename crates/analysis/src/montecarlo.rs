@@ -192,7 +192,11 @@ mod tests {
         // τ = 20, P ≈ 7 · b² · attenuation ≈ 1.6e-4. Fewer trials in debug
         // builds keep `cargo test` fast; the bench target runs the full
         // validation in release mode.
-        let trials: u64 = if cfg!(debug_assertions) { 200_000 } else { 2_000_000 };
+        let trials: u64 = if cfg!(debug_assertions) {
+            200_000
+        } else {
+            2_000_000
+        };
         let (n, b, tau) = (8, 0.01, 20);
         let analytic = p_new_scenario(n, b, tau);
         let mc = estimate_new_scenario(n, b, tau, trials, 42);
@@ -208,7 +212,11 @@ mod tests {
 
     #[test]
     fn old_scenario_estimate_matches_closed_form() {
-        let trials: u64 = if cfg!(debug_assertions) { 150_000 } else { 1_000_000 };
+        let trials: u64 = if cfg!(debug_assertions) {
+            150_000
+        } else {
+            1_000_000
+        };
         let (n, b, tau) = (6, 0.02, 16);
         let (lambda, dt) = (1e-3, 5e-3);
         let analytic = p_old_scenario(n, b, tau, lambda, dt);

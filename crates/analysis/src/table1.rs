@@ -184,8 +184,7 @@ mod tests {
         // previously reported scenarios" at every ber — by ≈ ber*/P{crash},
         // i.e. 2250× at ber = 1e-4 down to ≈ 22× at ber = 1e-6.
         let params = NetworkParams::paper_reference();
-        let expected_ratio =
-            |ber: f64| ber / params.n_nodes as f64 / (1e-3 * 5e-3 / 3600.0);
+        let expected_ratio = |ber: f64| ber / params.n_nodes as f64 / (1e-3 * 5e-3 / 3600.0);
         for row in table1(&params) {
             let ratio = row.imo_new_per_hour / row.imo_star_per_hour;
             assert!(ratio > 10.0, "ratio at ber={}: {ratio}", row.ber);

@@ -1,0 +1,60 @@
+//! Criterion bench for the campaign runner's parallel scaling: the same
+//! job list at 1, 2 and 4 workers. Jobs are real simulator work
+//! (EOF-confined random errors on standard CAN), so on an idle multi-core
+//! host the N-worker campaigns approach a 1/N wall-clock fraction of the
+//! 1-worker run — while producing, by construction, identical results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use majorcan_bench::jobs::run_job;
+use majorcan_bench::montecarlo::imo_jobs;
+use majorcan_campaign::{
+    run_campaign_in_memory, CampaignOptions, DomainSpec, FaultSpec, Job, ProtocolSpec,
+};
+
+fn scaling_jobs() -> Vec<Job> {
+    // 16 jobs × 25 frames: enough work per job that scheduling overhead is
+    // noise, enough jobs that every worker stays busy.
+    let mut jobs = Vec::new();
+    for k in 0..16u64 {
+        jobs.extend(imo_jobs(
+            k,
+            0xBE7C4,
+            ProtocolSpec::StandardCan,
+            4,
+            FaultSpec::IndependentBitErrors {
+                ber_star: 0.02,
+                domain: DomainSpec::EofOnly,
+            },
+            25,
+        ));
+    }
+    jobs
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let jobs = scaling_jobs();
+    let frames: u64 = jobs.iter().map(|j| j.frames).sum();
+
+    // Worker count must never change the outcome; assert it once so the
+    // bench doubles as a correctness check.
+    let one = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(1), run_job);
+    let four = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(4), run_job);
+    assert_eq!(one.results, four.results, "worker count changed results");
+
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.throughput(Throughput::Elements(frames));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| run_campaign_in_memory(&jobs, &CampaignOptions::quiet(workers), run_job))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -11,37 +11,21 @@
 //!   desynchronization cases (finding F1): flips of stuff bits or
 //!   field-length-relevant bits that shift the victim's frame clock.
 
-use majorcan_abcast::trace_from_can_events;
-use majorcan_can::{encode_frame, Controller, Field, Variant};
+use crate::jobs::{protocol_spec_of, run_job};
+use majorcan_campaign::{
+    run_campaign_in_memory, CampaignOptions, FaultSpec, Job, JobResult, ProtocolSpec, WorkloadSpec,
+};
+use majorcan_can::{encode_frame, Field, Variant};
 use majorcan_core::{MajorCan, MinorCan};
-use majorcan_faults::{scenario_frame, Disturbance, ScriptedFaults};
-use majorcan_sim::{NodeId, Simulator};
+use majorcan_faults::{scenario_frame, Disturbance};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Verdict of a single-flip trial.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Verdict {
-    /// All Atomic Broadcast properties held.
-    Consistent,
-    /// AB3 broken: someone delivered the frame twice.
-    DoubleReception,
-    /// AB2 broken: a correct node was left without the frame.
-    Omission,
-    /// AB1 broken: the frame reached nobody despite a correct transmitter.
-    ValidityLoss,
-}
+pub use majorcan_abcast::Verdict;
 
-impl std::fmt::Display for Verdict {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Verdict::Consistent => "consistent",
-            Verdict::DoubleReception => "double reception",
-            Verdict::Omission => "OMISSION",
-            Verdict::ValidityLoss => "VALIDITY LOSS",
-        })
-    }
-}
+/// Number of nodes on the atlas bus (transmitter + two receivers — the
+/// smallest bus where receiver/receiver disagreement is visible).
+pub const ATLAS_NODES: usize = 3;
 
 /// One atlas entry: where the flip landed and what happened.
 #[derive(Debug, Clone)]
@@ -63,45 +47,91 @@ pub fn frame_positions<V: Variant>(variant: &V) -> Vec<(Field, u16, bool)> {
         .collect()
 }
 
-fn classify<V: Variant>(variant: &V, d: Disturbance) -> Verdict {
-    let script = ScriptedFaults::new(vec![d]);
-    let mut sim = Simulator::new(script);
-    for _ in 0..3 {
-        sim.attach(Controller::new(variant.clone()));
+/// Builds the campaign job list of a full single-error atlas for
+/// `protocol`: one single-flip job per `(node, frame position)`, with ids
+/// starting at `first_id`. `positions` comes from [`frame_positions`] of
+/// the matching variant.
+pub fn atlas_jobs(
+    first_id: u64,
+    campaign_seed: u64,
+    protocol: ProtocolSpec,
+    positions: &[(Field, u16, bool)],
+) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for node in 0..ATLAS_NODES {
+        for &(field, index, stuff) in positions {
+            jobs.push(Job::new(
+                first_id + jobs.len() as u64,
+                campaign_seed,
+                protocol,
+                FaultSpec::SingleFlip {
+                    node,
+                    field,
+                    index,
+                    stuff,
+                },
+                WorkloadSpec::SingleBroadcast,
+                ATLAS_NODES,
+                1,
+            ));
+        }
     }
-    sim.node_mut(NodeId(0)).enqueue(scenario_frame());
-    sim.run(2_500);
-    let report = trace_from_can_events(sim.events(), 3).check();
-    if !report.validity.holds {
-        Verdict::ValidityLoss
-    } else if !report.agreement.holds {
-        Verdict::Omission
-    } else if !report.at_most_once.holds {
-        Verdict::DoubleReception
-    } else {
-        Verdict::Consistent
-    }
+    jobs
 }
 
-/// Builds the full single-error atlas for `variant`: every frame position
-/// of every node's view, flipped once.
-pub fn build_atlas<V: Variant>(variant: &V) -> Vec<AtlasEntry> {
-    let mut entries = Vec::new();
-    for node in 0..3usize {
-        for (field, index, stuff) in frame_positions(variant) {
-            let d = if stuff {
+/// Reads the single [`Verdict`] a one-flip job recorded.
+pub fn verdict_of(result: &JobResult) -> Verdict {
+    for v in [
+        Verdict::ValidityLoss,
+        Verdict::Omission,
+        Verdict::DoubleReception,
+        Verdict::Consistent,
+    ] {
+        if result.counters.get(&format!("verdict/{}", v.token())) > 0 {
+            return v;
+        }
+    }
+    Verdict::Consistent
+}
+
+/// Reconstructs atlas entries by joining a job list with its campaign
+/// results on job id (results may be a superset, e.g. when several atlases
+/// share one campaign artifact).
+pub fn entries_from(jobs: &[Job], results: &[JobResult]) -> Vec<AtlasEntry> {
+    let by_id: BTreeMap<u64, &JobResult> = results.iter().map(|r| (r.job_id, r)).collect();
+    jobs.iter()
+        .filter_map(|job| {
+            let FaultSpec::SingleFlip {
+                node,
+                field,
+                index,
+                stuff,
+            } = job.fault
+            else {
+                return None;
+            };
+            let result = by_id.get(&job.id)?;
+            let disturbance = if stuff {
                 Disturbance::stuff_bit(node, field, index)
             } else {
                 Disturbance::first(node, field, index)
             };
-            entries.push(AtlasEntry {
+            Some(AtlasEntry {
                 node,
-                disturbance: d.clone(),
-                verdict: classify(variant, d),
-            });
-        }
-    }
-    entries
+                disturbance,
+                verdict: verdict_of(result),
+            })
+        })
+        .collect()
+}
+
+/// Builds the full single-error atlas for `variant`: every frame position
+/// of every node's view, flipped once. Internally an in-memory campaign on
+/// the `majorcan-campaign` runner (one job per flip).
+pub fn build_atlas<V: Variant>(variant: &V) -> Vec<AtlasEntry> {
+    let jobs = atlas_jobs(0, 0, protocol_spec_of(variant), &frame_positions(variant));
+    let report = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(0), run_job);
+    entries_from(&jobs, &report.results)
 }
 
 /// Aggregates an atlas into per-(field, verdict) counts.
@@ -123,15 +153,18 @@ pub fn summarize(entries: &[AtlasEntry]) -> BTreeMap<(String, Verdict), usize> {
 
 /// Renders the atlas of one protocol as a field × verdict table.
 pub fn render_atlas<V: Variant>(variant: &V) -> String {
-    let entries = build_atlas(variant);
-    let counts = summarize(&entries);
+    render_entries(&variant.name(), &build_atlas(variant))
+}
+
+/// Renders pre-built atlas entries (binaries that ran the campaign
+/// themselves use this instead of [`render_atlas`]).
+pub fn render_entries(name: &str, entries: &[AtlasEntry]) -> String {
+    let counts = summarize(entries);
     let mut out = String::new();
     let total = entries.len();
     let _ = writeln!(
         out,
-        "Single-error atlas for {} ({} trials: 3 nodes × every frame position)",
-        variant.name(),
-        total
+        "Single-error atlas for {name} ({total} trials: 3 nodes × every frame position)"
     );
     let fields: Vec<String> = {
         let mut f: Vec<String> = counts.keys().map(|(f, _)| f.clone()).collect();
@@ -217,10 +250,7 @@ mod tests {
         // Single-error omissions, if any, are desynchronization cases:
         // they originate in the stuffed body (stuff bits or field bits),
         // never in the EOF region itself.
-        for e in entries
-            .iter()
-            .filter(|e| e.verdict == Verdict::Omission)
-        {
+        for e in entries.iter().filter(|e| e.verdict == Verdict::Omission) {
             assert!(
                 !matches!(e.disturbance.field, Field::Eof),
                 "single EOF flip must not cause an omission on CAN: {}",

@@ -22,27 +22,30 @@ fn print_total_order() {
     for (n, order) in orders.iter().enumerate() {
         println!("  n{n}: {}", order.join(" , "));
     }
-    println!("  AB5 total order: {}", if ab5 { "holds" } else { "VIOLATED" });
+    println!(
+        "  AB5 total order: {}",
+        if ab5 { "holds" } else { "VIOLATED" }
+    );
     let (orders, ab5) = total_order_demo(&MajorCan::proposed());
     println!("MajorCAN_5 delivery orders per node:");
     for (n, order) in orders.iter().enumerate() {
         println!("  n{n}: {}", order.join(" , "));
     }
-    println!("  AB5 total order: {}", if ab5 { "holds" } else { "VIOLATED" });
+    println!(
+        "  AB5 total order: {}",
+        if ab5 { "holds" } else { "VIOLATED" }
+    );
 }
 
 fn print_hlp_fig3() {
     use majorcan_can::CanEvent;
     use majorcan_faults::{Disturbance, ScriptedFaults};
-    use majorcan_hlp::{
-        trace_from_hlp_events, EdCan, HlpEvent, HlpLayer, HlpNode, RelCan, TotCan,
-    };
+    use majorcan_hlp::{trace_from_hlp_events, EdCan, HlpEvent, HlpLayer, HlpNode, RelCan, TotCan};
     use majorcan_sim::{NodeId, Simulator};
 
     println!("=== §4: higher-level protocols in the new scenario (Fig. 3a script) ===");
     fn run<L: HlpLayer, F: Fn() -> L>(name: &str, make: F) {
-        let script =
-            ScriptedFaults::new(vec![Disturbance::eof(1, 6), Disturbance::eof(0, 7)]);
+        let script = ScriptedFaults::new(vec![Disturbance::eof(1, 6), Disturbance::eof(0, 7)]);
         let mut sim = Simulator::new(script);
         for i in 0..3 {
             sim.attach(HlpNode::new(make(), i));
@@ -75,9 +78,7 @@ fn print_hlp_fig3() {
     run("EDCAN", EdCan::new);
     run("RELCAN", RelCan::new);
     run("TOTCAN", TotCan::new);
-    println!(
-        "(EDCAN alone survives — and it is the one costing a duplicate per receiver)"
-    );
+    println!("(EDCAN alone survives — and it is the one costing a duplicate per receiver)");
 }
 
 fn main() {

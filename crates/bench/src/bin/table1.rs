@@ -6,38 +6,32 @@
 //! ```
 
 use majorcan_analysis::{table1, NetworkParams, PAPER_TABLE1};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct JsonRow {
-    ber: f64,
-    imo_new_per_hour: f64,
-    imo_new_paper: f64,
-    imo_rufino_cited: Option<f64>,
-    imo_star_per_hour: f64,
-    imo_star_paper: f64,
-}
+use majorcan_campaign::json::Value;
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let params = NetworkParams::paper_reference();
     if json {
-        let rows: Vec<JsonRow> = table1(&params)
+        let rows: Vec<Value> = table1(&params)
             .into_iter()
             .zip(PAPER_TABLE1.iter())
-            .map(|(r, &(_, p_new, _, p_star))| JsonRow {
-                ber: r.ber,
-                imo_new_per_hour: r.imo_new_per_hour,
-                imo_new_paper: p_new,
-                imo_rufino_cited: r.imo_rufino_cited,
-                imo_star_per_hour: r.imo_star_per_hour,
-                imo_star_paper: p_star,
+            .map(|(r, &(_, p_new, _, p_star))| {
+                let mut row = Value::obj();
+                row.set("ber", Value::F64(r.ber))
+                    .set("imo_new_per_hour", Value::F64(r.imo_new_per_hour))
+                    .set("imo_new_paper", Value::F64(p_new))
+                    .set(
+                        "imo_rufino_cited",
+                        r.imo_rufino_cited.map_or(Value::Null, Value::F64),
+                    )
+                    .set("imo_star_per_hour", Value::F64(r.imo_star_per_hour))
+                    .set("imo_star_paper", Value::F64(p_star));
+                row
             })
             .collect();
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("rows serialize")
-        );
+        for row in rows {
+            println!("{row}");
+        }
     } else {
         println!("{}", majorcan_bench::table1_report());
         println!("(paper values reproduced within 0.5% — see EXPERIMENTS.md, E1)");

@@ -1,0 +1,155 @@
+//! Shared argv parsing for the reproduction binaries.
+//!
+//! Every campaign-backed binary accepts the same flags:
+//!
+//! * `--seed <u64>` — campaign seed (decimal or `0x…` hex);
+//! * `--jobs <n>` — worker threads (`0` = one per CPU, the default);
+//! * `--out <path>` — write JSONL results + manifest there and enable
+//!   checkpoint/resume (re-invoking with the same `--out` skips completed
+//!   jobs);
+//! * `--quiet` — suppress the runner's progress lines;
+//! * positional arguments — binary-specific sizes (trial counts, node
+//!   counts), consumed in order via [`CliArgs::positional`].
+
+use majorcan_campaign::{CampaignOptions, JsonlSink, Manifest};
+use std::path::{Path, PathBuf};
+
+/// Parsed common arguments.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// Campaign seed (`--seed`), or the binary's default.
+    pub seed: u64,
+    /// Worker threads (`--jobs`), 0 = auto.
+    pub jobs: usize,
+    /// JSONL output path (`--out`), None = in-memory campaign.
+    pub out: Option<PathBuf>,
+    /// Progress suppressed (`--quiet`).
+    pub quiet: bool,
+    positionals: Vec<String>,
+    cursor: usize,
+}
+
+fn parse_u64(flag: &str, text: &str) -> u64 {
+    let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.unwrap_or_else(|_| die(&format!("{flag} expects an unsigned integer, got {text:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("common flags: [--seed <u64>] [--jobs <n>] [--out <file.jsonl>] [--quiet]");
+    std::process::exit(2);
+}
+
+/// Opens the `--out` sink, exiting with a clean CLI error (rather than a
+/// panic) when the artifact belongs to a different campaign or the path is
+/// unwritable.
+pub fn open_sink(path: &Path, manifest: &Manifest) -> JsonlSink {
+    JsonlSink::open(path, manifest).unwrap_or_else(|e| die(&e.to_string()))
+}
+
+impl CliArgs {
+    /// Parses `std::env::args()` with `default_seed` as the seed fallback.
+    pub fn parse(default_seed: u64) -> CliArgs {
+        CliArgs::parse_from(std::env::args().skip(1), default_seed)
+    }
+
+    /// Parses an explicit argument list (tests use this).
+    pub fn parse_from<I>(args: I, default_seed: u64) -> CliArgs
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = CliArgs {
+            seed: default_seed,
+            jobs: 0,
+            out: None,
+            quiet: false,
+            positionals: Vec::new(),
+            cursor: 0,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut flag_value = |flag: &str| {
+                args.next()
+                    .unwrap_or_else(|| die(&format!("{flag} expects a value")))
+            };
+            match arg.as_str() {
+                "--seed" => out.seed = parse_u64("--seed", &flag_value("--seed")),
+                "--jobs" => out.jobs = parse_u64("--jobs", &flag_value("--jobs")) as usize,
+                "--out" => out.out = Some(PathBuf::from(flag_value("--out"))),
+                "--quiet" => out.quiet = true,
+                "--help" | "-h" => {
+                    println!(
+                        "common flags: [--seed <u64>] [--jobs <n>] [--out <file.jsonl>] [--quiet]"
+                    );
+                    std::process::exit(0);
+                }
+                other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+                _ => out.positionals.push(arg),
+            }
+        }
+        out
+    }
+
+    /// The next positional argument parsed as `T`, or `default`.
+    pub fn positional<T: std::str::FromStr>(&mut self, default: T) -> T {
+        let Some(text) = self.positionals.get(self.cursor) else {
+            return default;
+        };
+        self.cursor += 1;
+        text.parse()
+            .unwrap_or_else(|_| die(&format!("positional argument {text:?} did not parse")))
+    }
+
+    /// The campaign options these flags describe.
+    pub fn campaign_options(&self) -> CampaignOptions {
+        CampaignOptions {
+            workers: self.jobs,
+            progress: !self.quiet,
+            ..CampaignOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_positionals_mix() {
+        let mut cli = CliArgs::parse_from(
+            strs(&["5000", "--seed", "0xFEED", "--jobs", "4", "8", "--quiet"]),
+            1,
+        );
+        assert_eq!(cli.seed, 0xFEED);
+        assert_eq!(cli.jobs, 4);
+        assert!(cli.quiet);
+        assert!(cli.out.is_none());
+        assert_eq!(cli.positional(0u64), 5000);
+        assert_eq!(cli.positional(0usize), 8);
+        assert_eq!(cli.positional(42usize), 42, "exhausted -> default");
+        let opts = cli.campaign_options();
+        assert_eq!(opts.workers, 4);
+        assert!(!opts.progress);
+    }
+
+    #[test]
+    fn defaults_hold_without_arguments() {
+        let mut cli = CliArgs::parse_from(strs(&[]), 7);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.jobs, 0);
+        assert_eq!(cli.positional(123u32), 123);
+    }
+
+    #[test]
+    fn out_flag_sets_the_artifact_path() {
+        let cli = CliArgs::parse_from(strs(&["--out", "runs/mc.jsonl"]), 1);
+        assert_eq!(cli.out, Some(PathBuf::from("runs/mc.jsonl")));
+    }
+}

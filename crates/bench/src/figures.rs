@@ -40,9 +40,7 @@ impl FigureReport {
         let trace = trace_from_can_events(&run.events, run.n_nodes);
         let report = trace.check();
         let deliveries = (0..run.n_nodes)
-            .map(|n| {
-                run.deliveries(n).len() + if n == 0 { run.tx_successes(0) } else { 0 }
-            })
+            .map(|n| run.deliveries(n).len() + if n == 0 { run.tx_successes(0) } else { 0 })
             .collect();
         let (trace_text, driven_text) = render_eof_window(run);
         FigureReport {
@@ -112,10 +110,7 @@ pub fn render_eof_window(run: &ScenarioRun) -> (String, String) {
 }
 
 /// Runs `scenario` under one protocol variant and reports.
-pub fn figure_under<V: Variant>(
-    variant: &V,
-    scenario: &Scenario,
-) -> FigureReport {
+pub fn figure_under<V: Variant>(variant: &V, scenario: &Scenario) -> FigureReport {
     let run = run_scenario(variant, scenario, SCENARIO_BUDGET);
     FigureReport::from_run(scenario.name, variant.name(), &run)
 }
@@ -147,19 +142,21 @@ pub fn reproduce(figure: &str) -> Vec<FigureReport> {
 
 /// All figures, in paper order.
 pub fn reproduce_all() -> Vec<FigureReport> {
-    ["fig1a", "fig1b", "fig1c", "fig2", "fig3a", "fig3b", "fig4", "fig5"]
-        .iter()
-        .flat_map(|f| reproduce(f))
-        .collect()
+    [
+        "fig1a", "fig1b", "fig1c", "fig2", "fig3a", "fig3b", "fig4", "fig5",
+    ]
+    .iter()
+    .flat_map(|f| reproduce(f))
+    .collect()
 }
 
 fn fig4_rows() -> Vec<FigureReport> {
     use majorcan_faults::Disturbance;
     let mut out = Vec::new();
     for (label, bit) in [
-        ("fig4", 2u16),  // first sub-field: flag + vote (reject)
-        ("fig4", 5),     // sub-field boundary: flag + vote (accept)
-        ("fig4", 8),     // second sub-field: accept + extended flag
+        ("fig4", 2u16), // first sub-field: flag + vote (reject)
+        ("fig4", 5),    // sub-field boundary: flag + vote (accept)
+        ("fig4", 8),    // second sub-field: accept + extended flag
     ] {
         let scenario = Scenario {
             name: label,

@@ -1,0 +1,388 @@
+//! The canonical campaign-job interpreter: turns a declarative
+//! [`Job`](majorcan_campaign::Job) into a [`JobResult`] by running the
+//! bit-level simulator.
+//!
+//! Every experiment binary (montecarlo, sweep, atlas) builds a job list and
+//! hands [`run_job`] to the campaign runner; the library entry points in
+//! [`crate::montecarlo`], [`crate::sweep`] and [`crate::atlas`] merge the
+//! resulting counters back into their domain types.
+//!
+//! # Counter schema
+//!
+//! | key | meaning |
+//! |-----|---------|
+//! | `imo` | trials violating AB2 Agreement (inconsistent omissions) |
+//! | `double` | trials violating AB3 At-most-once (double receptions) |
+//! | `validity` | trials violating AB1 Validity |
+//! | `verdict/<token>` | per-trial *worst* verdict (see [`majorcan_abcast::Verdict::token`]) |
+//! | `retx` | retransmissions scheduled across all trials |
+//! | `released` / `delivered` | periodic-load traffic accounting |
+//!
+//! Property counters (`imo`, `double`, `validity`) are independent — one
+//! trial can increment several — while the `verdict/…` family partitions
+//! trials. All keys merge associatively, so shard totals never depend on
+//! worker count.
+//!
+//! # Determinism
+//!
+//! Trial `t` of a job draws all randomness from
+//! [`derive_trial_seed`]`(job.seed, t)`; nothing depends on wall clock,
+//! worker identity or scheduling. [`run_job`] on the same job is therefore
+//! a pure function.
+
+use crate::quiesce::run_until_quiescent;
+use majorcan_abcast::trace_from_can_events;
+use majorcan_campaign::{
+    derive_trial_seed, DomainSpec, FaultSpec, Job, JobResult, ProtocolSpec, WorkloadSpec,
+};
+use majorcan_can::{
+    CanEvent, Controller, ControllerConfig, Frame, FrameId, StandardCan, Variant, WirePos,
+};
+use majorcan_core::{MajorCan, MinorCan};
+use majorcan_faults::{
+    scenario_frame, ActiveAfter, Disturbance, FieldFiltered, GlobalEventErrors,
+    IndependentBitErrors, ScriptedFaults,
+};
+use majorcan_sim::{ChannelModel, NodeId, Simulator, TimedEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bit budget for one single-broadcast trial under a random channel
+/// (matches the historical montecarlo budget).
+const RANDOM_TRIAL_BUDGET: u64 = 4_000;
+/// Bit budget for one scripted-disturbance trial (sweep/atlas budgets).
+const SCRIPTED_TRIAL_BUDGET: u64 = 5_000;
+/// Bits the bus needs to stay calm before a trial counts as settled.
+const SETTLE_BITS: u64 = 25;
+
+/// The reference frame of random-channel measurements (1 data byte,
+/// distinct from the scripted scenario frame for historical comparability).
+pub fn trial_frame() -> Frame {
+    Frame::new(FrameId::new(0x2A5).unwrap(), &[0x5C]).unwrap()
+}
+
+/// Executes one campaign job on the bit-level simulator.
+///
+/// # Panics
+///
+/// Panics on meaningless jobs (an invalid MajorCAN `m`, a fault model that
+/// needs agreement geometry the protocol lacks, …). The campaign runner
+/// catches the panic and records a failure artifact with the replay seed.
+pub fn run_job(job: &Job) -> JobResult {
+    match job.protocol {
+        ProtocolSpec::StandardCan => run_with(&StandardCan, job),
+        ProtocolSpec::MinorCan => run_with(&MinorCan, job),
+        ProtocolSpec::MajorCan { m } => {
+            let variant = MajorCan::new(m)
+                .unwrap_or_else(|e| panic!("job {} has invalid MajorCAN tolerance: {e}", job.id));
+            run_with(&variant, job)
+        }
+    }
+}
+
+fn run_with<V: Variant>(variant: &V, job: &Job) -> JobResult {
+    let mut out = JobResult::for_job(job);
+    match job.workload {
+        WorkloadSpec::SingleBroadcast => {
+            for trial in 0..job.frames {
+                single_broadcast_trial(variant, job, trial, &mut out);
+            }
+        }
+        WorkloadSpec::PeriodicLoad { load, horizon } => {
+            periodic_load_trial(variant, job, load, horizon, &mut out);
+        }
+    }
+    out
+}
+
+/// Runs one fresh-bus single-broadcast and returns `(bits, events)`.
+fn broadcast_once<V: Variant, C: ChannelModel<WirePos>>(
+    variant: &V,
+    n_nodes: usize,
+    channel: C,
+    config: Option<ControllerConfig>,
+    frame: Frame,
+    budget: u64,
+) -> (u64, Vec<TimedEvent<CanEvent>>) {
+    let mut sim = Simulator::new(channel);
+    for _ in 0..n_nodes {
+        match &config {
+            Some(cfg) => sim.attach(Controller::with_config(variant.clone(), cfg.clone())),
+            None => sim.attach(Controller::new(variant.clone())),
+        };
+    }
+    sim.node_mut(NodeId(0)).enqueue(frame);
+    let bits = run_until_quiescent(&mut sim, SETTLE_BITS, budget);
+    (bits, sim.take_events())
+}
+
+/// Grades one trial's event log into the counter schema.
+fn grade(events: &[TimedEvent<CanEvent>], n_nodes: usize, out: &mut JobResult) {
+    let report = trace_from_can_events(events, n_nodes).check();
+    if !report.agreement.holds {
+        out.counters.add("imo", 1);
+    }
+    if !report.at_most_once.holds {
+        out.counters.add("double", 1);
+    }
+    if !report.validity.holds {
+        out.counters.add("validity", 1);
+    }
+    out.counters
+        .add(&format!("verdict/{}", report.verdict().token()), 1);
+    let retx = events
+        .iter()
+        .filter(|e| matches!(e.event, CanEvent::RetransmissionScheduled { .. }))
+        .count() as u64;
+    out.counters.add("retx", retx);
+}
+
+/// The montecarlo-style controller configuration: counter shutoffs
+/// disabled so nodes stay correct throughout a measurement (each trial uses
+/// a fresh bus, so fault confinement plays no role).
+fn no_shutoff() -> ControllerConfig {
+    ControllerConfig {
+        shutoff_at_warning: false,
+        fail_at: None,
+    }
+}
+
+fn single_broadcast_trial<V: Variant>(variant: &V, job: &Job, trial: u64, out: &mut JobResult) {
+    let trial_seed = derive_trial_seed(job.seed, trial);
+    let (bits, events) = match &job.fault {
+        FaultSpec::None => broadcast_once(
+            variant,
+            job.n_nodes,
+            majorcan_sim::NoFaults,
+            None,
+            trial_frame(),
+            RANDOM_TRIAL_BUDGET,
+        ),
+        FaultSpec::IndependentBitErrors { ber_star, domain } => {
+            let raw = IndependentBitErrors::new(*ber_star, trial_seed);
+            // Faults arm only after bus integration (11 recessive bits):
+            // the probability model has no start-up phase.
+            match domain {
+                DomainSpec::FullFrame => broadcast_once(
+                    variant,
+                    job.n_nodes,
+                    ActiveAfter::new(11, raw),
+                    Some(no_shutoff()),
+                    trial_frame(),
+                    RANDOM_TRIAL_BUDGET,
+                ),
+                DomainSpec::EofOnly => broadcast_once(
+                    variant,
+                    job.n_nodes,
+                    ActiveAfter::new(11, FieldFiltered::eof_only(raw)),
+                    Some(no_shutoff()),
+                    trial_frame(),
+                    RANDOM_TRIAL_BUDGET,
+                ),
+            }
+        }
+        FaultSpec::GlobalEventErrors { ber } => {
+            let raw = GlobalEventErrors::with_uniform_spread(*ber, job.n_nodes, trial_seed);
+            broadcast_once(
+                variant,
+                job.n_nodes,
+                ActiveAfter::new(11, FieldFiltered::eof_only(raw)),
+                Some(no_shutoff()),
+                trial_frame(),
+                RANDOM_TRIAL_BUDGET,
+            )
+        }
+        FaultSpec::RandomTail { errors_per_frame } => {
+            let mut rng = StdRng::seed_from_u64(trial_seed);
+            let eof_len = variant.eof_len();
+            let agree_end = variant.agreement_end().unwrap_or(0);
+            let disturbances: Vec<Disturbance> = (0..*errors_per_frame)
+                .map(|_| {
+                    crate::sweep::random_tail_disturbance(&mut rng, job.n_nodes, eof_len, agree_end)
+                })
+                .collect();
+            broadcast_once(
+                variant,
+                job.n_nodes,
+                ScriptedFaults::new(disturbances),
+                None,
+                scenario_frame(),
+                SCRIPTED_TRIAL_BUDGET,
+            )
+        }
+        FaultSpec::SingleFlip {
+            node,
+            field,
+            index,
+            stuff,
+        } => {
+            let d = if *stuff {
+                Disturbance::stuff_bit(*node, *field, *index)
+            } else {
+                Disturbance::first(*node, *field, *index)
+            };
+            // The atlas runs a fixed window instead of quiescing: some
+            // flips legitimately leave a node desynchronized forever.
+            let mut sim = Simulator::new(ScriptedFaults::new(vec![d]));
+            for _ in 0..job.n_nodes {
+                sim.attach(Controller::new(variant.clone()));
+            }
+            sim.node_mut(NodeId(0)).enqueue(scenario_frame());
+            sim.run(2_500);
+            (2_500, sim.take_events())
+        }
+    };
+    out.frames += 1;
+    out.bits += bits;
+    grade(&events, job.n_nodes, out);
+}
+
+fn periodic_load_trial<V: Variant>(
+    variant: &V,
+    job: &Job,
+    load: f64,
+    horizon: u64,
+    out: &mut JobResult,
+) {
+    assert!(
+        matches!(job.fault, FaultSpec::None),
+        "job {}: periodic-load jobs model a clean bus (fault {:?} unsupported)",
+        job.id,
+        job.fault
+    );
+    let frame_bits = crate::overhead::measure_clean_frame_bits_of(variant, &trial_frame());
+    let sources = majorcan_workload::plan_periodic_load(job.n_nodes, load, frame_bits as usize);
+    let mut workload = majorcan_workload::Workload::from_periodic(&sources, horizon);
+    let released = workload.len() as u64;
+    let mut sim = Simulator::new(majorcan_sim::NoFaults);
+    for _ in 0..job.n_nodes {
+        sim.attach(Controller::new(variant.clone()));
+    }
+    // Drain past the horizon so frames released near its end still land.
+    majorcan_workload::drive(&mut sim, &mut workload, horizon);
+    let bits = horizon + run_until_quiescent(&mut sim, SETTLE_BITS, horizon);
+    let delivered = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, CanEvent::Delivered { .. }))
+        .count() as u64;
+    out.frames += released;
+    out.bits += bits;
+    out.counters.add("released", released);
+    out.counters.add("delivered", delivered);
+    grade(sim.events(), job.n_nodes, out);
+}
+
+/// Maps a link-layer variant to its [`ProtocolSpec`] (the names match by
+/// construction — see [`ProtocolSpec::from_name`]).
+pub fn protocol_spec_of<V: Variant>(variant: &V) -> ProtocolSpec {
+    let name = variant.name();
+    ProtocolSpec::from_name(&name)
+        .unwrap_or_else(|| panic!("variant {name:?} has no campaign protocol spec"))
+}
+
+/// Splits `total` trials into per-job chunks of at most `chunk` — the
+/// granularity campaigns parallelize over. The split never changes results
+/// (per-trial seeds depend only on the job seed and in-job trial index),
+/// only scheduling.
+pub fn chunked_frames(total: u64, chunk: u64) -> Vec<u64> {
+    assert!(chunk > 0, "chunk must be positive");
+    let mut left = total;
+    let mut out = Vec::new();
+    while left > 0 {
+        let take = left.min(chunk);
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majorcan_campaign::Job;
+
+    #[test]
+    fn run_job_is_a_pure_function_of_the_job() {
+        let job = Job::new(
+            0,
+            0xD15EA5E,
+            ProtocolSpec::StandardCan,
+            FaultSpec::IndependentBitErrors {
+                ber_star: 0.02,
+                domain: DomainSpec::EofOnly,
+            },
+            WorkloadSpec::SingleBroadcast,
+            4,
+            40,
+        );
+        let a = run_job(&job);
+        let b = run_job(&job);
+        assert_eq!(a, b);
+        assert_eq!(a.frames, 40);
+        assert!(a.bits > 0);
+        assert_eq!(
+            a.counters.get("verdict/consistent")
+                + a.counters.get("verdict/double")
+                + a.counters.get("verdict/omission")
+                + a.counters.get("verdict/validity"),
+            40
+        );
+    }
+
+    #[test]
+    fn clean_bus_single_broadcasts_are_all_consistent() {
+        let job = Job::new(
+            1,
+            1,
+            ProtocolSpec::MajorCan { m: 5 },
+            FaultSpec::None,
+            WorkloadSpec::SingleBroadcast,
+            3,
+            3,
+        );
+        let r = run_job(&job);
+        assert_eq!(r.counters.get("verdict/consistent"), 3);
+        assert_eq!(r.counters.get("imo"), 0);
+        assert_eq!(r.counters.get("retx"), 0);
+    }
+
+    #[test]
+    fn periodic_load_job_delivers_traffic() {
+        let job = Job::new(
+            2,
+            2,
+            ProtocolSpec::StandardCan,
+            FaultSpec::None,
+            WorkloadSpec::PeriodicLoad {
+                load: 0.5,
+                horizon: 4_000,
+            },
+            3,
+            1,
+        );
+        let r = run_job(&job);
+        let released = r.counters.get("released");
+        assert!(released >= 3, "{r:?}");
+        // Every broadcast reaches the other n-1 nodes on a clean bus.
+        assert_eq!(r.counters.get("delivered"), released * 2, "{r:?}");
+    }
+
+    #[test]
+    fn chunking_covers_the_total_exactly() {
+        assert_eq!(chunked_frames(10, 4), vec![4, 4, 2]);
+        assert_eq!(chunked_frames(4, 4), vec![4]);
+        assert!(chunked_frames(0, 4).is_empty());
+        assert_eq!(chunked_frames(3, 100), vec![3]);
+    }
+
+    #[test]
+    fn protocol_specs_round_trip_through_names() {
+        assert_eq!(protocol_spec_of(&StandardCan), ProtocolSpec::StandardCan);
+        assert_eq!(protocol_spec_of(&MinorCan), ProtocolSpec::MinorCan);
+        assert_eq!(
+            protocol_spec_of(&MajorCan::proposed()),
+            ProtocolSpec::MajorCan { m: 5 }
+        );
+    }
+}

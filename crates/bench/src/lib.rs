@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod atlas;
+pub mod cli;
 pub mod figures;
+pub mod jobs;
 pub mod montecarlo;
 pub mod overhead;
 pub mod quiesce;

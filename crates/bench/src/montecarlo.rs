@@ -34,11 +34,13 @@
 //! desynchronization hole is a real property of the protocol as specified,
 //! measured here and documented in EXPERIMENTS.md.
 
-use majorcan_abcast::trace_from_can_events;
+use crate::jobs::{protocol_spec_of, run_job, trial_frame};
 use majorcan_analysis::p_new_scenario;
-use majorcan_can::{CanEvent, Controller, ControllerConfig, Frame, FrameId, Variant};
-use majorcan_faults::{ActiveAfter, FieldFiltered, GlobalEventErrors, IndependentBitErrors};
-use majorcan_sim::{NodeId, Simulator};
+use majorcan_campaign::{
+    run_campaign_in_memory, CampaignOptions, DomainSpec, FaultSpec, Job, ProtocolSpec, Totals,
+    WorkloadSpec,
+};
+use majorcan_can::Variant;
 use std::fmt::Write as _;
 
 /// Where the random channel is allowed to strike.
@@ -90,88 +92,63 @@ impl ImoMeasurement {
     }
 }
 
-fn trial_frame() -> Frame {
-    Frame::new(FrameId::new(0x2A5).unwrap(), &[0x5C]).unwrap()
-}
-
 /// Measured clean on-wire length of the trial frame under `variant`.
 pub fn measured_tau<V: Variant>(variant: &V) -> u64 {
     crate::overhead::measure_clean_frame_bits_of(variant, &trial_frame())
 }
 
-/// Runs `frames` independent single-broadcast trials of `variant` under an
-/// [`IndependentBitErrors`] channel at `ber_star` and grades each with the
-/// Atomic Broadcast checker.
-///
-/// Counter-based shutoffs are disabled for the measurement (each trial uses
-/// a fresh bus, so confinement plays no role anyway) to keep nodes correct
-/// throughout.
-pub fn measure_imo_rate<V: Variant>(
+/// Trials per campaign job — the granule an IMO measurement parallelizes
+/// over. The split never changes results (per-trial seeds depend only on
+/// the owning job), only scheduling.
+pub const FRAMES_PER_JOB: u64 = 1_000;
+
+impl ErrorDomain {
+    fn spec(self) -> DomainSpec {
+        match self {
+            ErrorDomain::FullFrame => DomainSpec::FullFrame,
+            ErrorDomain::EofOnly => DomainSpec::EofOnly,
+        }
+    }
+}
+
+/// Builds the campaign job list of one IMO-rate measurement cell:
+/// `frames` single-broadcast trials under `fault`, chunked into jobs with
+/// ids starting at `first_id`. Binaries string several cells into one
+/// campaign by advancing `first_id`.
+pub fn imo_jobs(
+    first_id: u64,
+    campaign_seed: u64,
+    protocol: ProtocolSpec,
+    n_nodes: usize,
+    fault: FaultSpec,
+    frames: u64,
+) -> Vec<Job> {
+    crate::jobs::chunked_frames(frames, FRAMES_PER_JOB)
+        .into_iter()
+        .enumerate()
+        .map(|(k, chunk)| {
+            Job::new(
+                first_id + k as u64,
+                campaign_seed,
+                protocol,
+                fault.clone(),
+                WorkloadSpec::SingleBroadcast,
+                n_nodes,
+                chunk,
+            )
+        })
+        .collect()
+}
+
+/// Folds campaign totals back into an [`ImoMeasurement`] for one cell.
+pub fn measurement_from_totals<V: Variant>(
     variant: &V,
     n_nodes: usize,
     ber_star: f64,
-    frames: u64,
-    seed: u64,
     domain: ErrorDomain,
+    totals: &Totals,
 ) -> ImoMeasurement {
     let tau = measured_tau(variant);
-    let mut imo = 0u64;
-    let mut double = 0u64;
-    let mut retx = 0u64;
-    for trial in 0..frames {
-        let raw = IndependentBitErrors::new(ber_star, seed ^ (trial.wrapping_mul(0x9E3779B9)));
-        // Faults only arm once every node has integrated (11 recessive
-        // bits): the model has no start-up phase.
-        let fields = match domain {
-            ErrorDomain::FullFrame => None,
-            ErrorDomain::EofOnly => Some(FieldFiltered::eof_only(raw.clone())),
-        };
-        let mut sim_events;
-        match fields {
-            Some(filtered) => {
-                let mut sim = Simulator::new(ActiveAfter::new(11, filtered));
-                for _ in 0..n_nodes {
-                    sim.attach(Controller::with_config(
-                        variant.clone(),
-                        ControllerConfig {
-                            shutoff_at_warning: false,
-                            fail_at: None,
-                        },
-                    ));
-                }
-                sim.node_mut(NodeId(0)).enqueue(trial_frame());
-                crate::quiesce::run_until_quiescent(&mut sim, 25, 4_000);
-                sim_events = sim.take_events();
-            }
-            None => {
-                let mut sim = Simulator::new(ActiveAfter::new(11, raw));
-                for _ in 0..n_nodes {
-                    sim.attach(Controller::with_config(
-                        variant.clone(),
-                        ControllerConfig {
-                            shutoff_at_warning: false,
-                            fail_at: None,
-                        },
-                    ));
-                }
-                sim.node_mut(NodeId(0)).enqueue(trial_frame());
-                crate::quiesce::run_until_quiescent(&mut sim, 25, 4_000);
-                sim_events = sim.take_events();
-            }
-        }
-        let report = trace_from_can_events(&sim_events, n_nodes).check();
-        retx += sim_events
-            .iter()
-            .filter(|e| matches!(e.event, CanEvent::RetransmissionScheduled { .. }))
-            .count() as u64;
-        sim_events.clear();
-        if !report.agreement.holds {
-            imo += 1;
-        }
-        if !report.at_most_once.holds {
-            double += 1;
-        }
-    }
     // The Eq. 4 prediction: over the whole frame for the unrestricted
     // domain; for the EOF-only domain the clean-bit exponents collapse to
     // the two decisive positions (τ = 2 in the formula's structure).
@@ -183,13 +160,45 @@ pub fn measure_imo_rate<V: Variant>(
         protocol: variant.name(),
         domain,
         ber_star,
-        frames,
-        imo_frames: imo,
-        double_frames: double,
-        retransmissions: retx,
+        frames: totals.frames,
+        imo_frames: totals.counters.get("imo"),
+        double_frames: totals.counters.get("double"),
+        retransmissions: totals.counters.get("retx"),
         tau_data: tau,
         predicted_imo_per_frame: predicted,
     }
+}
+
+/// Runs `frames` independent single-broadcast trials of `variant` under an
+/// independent per-view error channel at `ber_star` and grades each with
+/// the Atomic Broadcast checker.
+///
+/// Counter-based shutoffs are disabled for the measurement (each trial uses
+/// a fresh bus, so confinement plays no role anyway) to keep nodes correct
+/// throughout. Internally this is an in-memory campaign on the
+/// `majorcan-campaign` runner, so it parallelizes across CPUs while
+/// producing worker-count-independent results.
+pub fn measure_imo_rate<V: Variant>(
+    variant: &V,
+    n_nodes: usize,
+    ber_star: f64,
+    frames: u64,
+    seed: u64,
+    domain: ErrorDomain,
+) -> ImoMeasurement {
+    let jobs = imo_jobs(
+        0,
+        seed,
+        protocol_spec_of(variant),
+        n_nodes,
+        FaultSpec::IndependentBitErrors {
+            ber_star,
+            domain: domain.spec(),
+        },
+        frames,
+    );
+    let report = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(0), run_job);
+    measurement_from_totals(variant, n_nodes, ber_star, domain, &report.totals)
 }
 
 /// The DESIGN.md ▸ channel-model ablation: the same EOF-confined
@@ -214,54 +223,25 @@ pub fn measure_imo_rate_global<V: Variant>(
     frames: u64,
     seed: u64,
 ) -> ImoMeasurement {
-    let tau = measured_tau(variant);
-    let mut imo = 0u64;
-    let mut double = 0u64;
-    let mut retx = 0u64;
-    for trial in 0..frames {
-        let raw = GlobalEventErrors::with_uniform_spread(
-            ber,
-            n_nodes,
-            seed ^ (trial.wrapping_mul(0x9E3779B9)),
-        );
-        let channel = ActiveAfter::new(11, FieldFiltered::eof_only(raw));
-        let mut sim = Simulator::new(channel);
-        for _ in 0..n_nodes {
-            sim.attach(Controller::with_config(
-                variant.clone(),
-                ControllerConfig {
-                    shutoff_at_warning: false,
-                    fail_at: None,
-                },
-            ));
-        }
-        sim.node_mut(NodeId(0)).enqueue(trial_frame());
-        crate::quiesce::run_until_quiescent(&mut sim, 25, 4_000);
-        let report = trace_from_can_events(sim.events(), n_nodes).check();
-        retx += sim
-            .events()
-            .iter()
-            .filter(|e| matches!(e.event, CanEvent::RetransmissionScheduled { .. }))
-            .count() as u64;
-        if !report.agreement.holds {
-            imo += 1;
-        }
-        if !report.at_most_once.holds {
-            double += 1;
-        }
-    }
-    let ber_star = ber / n_nodes as f64;
-    ImoMeasurement {
-        protocol: format!("{} (global-event channel)", variant.name()),
-        domain: ErrorDomain::EofOnly,
-        ber_star,
+    let jobs = imo_jobs(
+        0,
+        seed,
+        protocol_spec_of(variant),
+        n_nodes,
+        FaultSpec::GlobalEventErrors { ber },
         frames,
-        imo_frames: imo,
-        double_frames: double,
-        retransmissions: retx,
-        tau_data: tau,
-        predicted_imo_per_frame: p_new_scenario(n_nodes, ber_star, 2),
-    }
+    );
+    let report = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(0), run_job);
+    let ber_star = ber / n_nodes as f64;
+    let mut m = measurement_from_totals(
+        variant,
+        n_nodes,
+        ber_star,
+        ErrorDomain::EofOnly,
+        &report.totals,
+    );
+    m.protocol = format!("{} (global-event channel)", variant.name());
+    m
 }
 
 /// Renders a measurement against the model prediction.
@@ -351,7 +331,14 @@ mod tests {
             major.imo_frames > 0,
             "the desynchronization hole must reproduce: {major:?}"
         );
-        let can = measure_imo_rate(&StandardCan, 4, 4e-3, frames, 0xFACE, ErrorDomain::FullFrame);
+        let can = measure_imo_rate(
+            &StandardCan,
+            4,
+            4e-3,
+            frames,
+            0xFACE,
+            ErrorDomain::FullFrame,
+        );
         assert!(
             can.measured_imo_per_frame() > 10.0 * can.predicted_imo_per_frame,
             "desync omissions dominate Eq. 4's pattern: {can:?}"
@@ -367,12 +354,21 @@ mod tests {
         let frames: u64 = if cfg!(debug_assertions) { 400 } else { 30_000 };
         let n = 4;
         let ber_star = 0.02;
-        let indep = measure_imo_rate(&StandardCan, n, ber_star, frames, 0xAB1E, ErrorDomain::EofOnly);
-        let global =
-            measure_imo_rate_global(&StandardCan, n, ber_star * n as f64, frames, 0xAB1E);
+        let indep = measure_imo_rate(
+            &StandardCan,
+            n,
+            ber_star,
+            frames,
+            0xAB1E,
+            ErrorDomain::EofOnly,
+        );
+        let global = measure_imo_rate_global(&StandardCan, n, ber_star * n as f64, frames, 0xAB1E);
         assert!((global.ber_star - indep.ber_star).abs() < 1e-12);
         if frames >= 30_000 {
-            let (a, b) = (indep.measured_imo_per_frame(), global.measured_imo_per_frame());
+            let (a, b) = (
+                indep.measured_imo_per_frame(),
+                global.measured_imo_per_frame(),
+            );
             let err = (indep.std_err() + global.std_err()).max(1e-6);
             // At N = 4 the within-bit correlation attenuates the
             // hit-and-clean pairing by ≈ (1 − p_eff)/(1 − ber*) ≈ 0.77.

@@ -18,9 +18,9 @@ pub fn run_until_quiescent<V: Variant, C: ChannelModel<WirePos>>(
     let mut calm = 0u64;
     for done in 0..max_bits {
         sim.step();
-        let quiet = sim.nodes().all(|n| {
-            (n.is_idle() && n.pending() == 0) || n.is_crashed()
-        });
+        let quiet = sim
+            .nodes()
+            .all(|n| (n.is_idle() && n.pending() == 0) || n.is_crashed());
         calm = if quiet { calm + 1 } else { 0 };
         if calm >= settle {
             return done + 1;

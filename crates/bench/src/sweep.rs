@@ -14,13 +14,14 @@
 //! already at 1–2 errors; MajorCAN_m must stay spotless for every trial
 //! with ≤ m errors.
 
-use majorcan_abcast::trace_from_can_events;
-use majorcan_can::{Controller, Field, StandardCan, Variant};
+use crate::jobs::{protocol_spec_of, run_job};
+use majorcan_campaign::{
+    run_campaign_in_memory, CampaignOptions, FaultSpec, Job, ProtocolSpec, Totals, WorkloadSpec,
+};
+use majorcan_can::{Field, StandardCan, Variant};
 use majorcan_core::{MajorCan, MinorCan};
-use majorcan_faults::{scenario_frame, Disturbance, ScriptedFaults};
-use majorcan_sim::{NodeId, Simulator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use majorcan_faults::Disturbance;
+use rand::Rng;
 use std::fmt::Write as _;
 
 /// Aggregate outcome of a consistency sweep.
@@ -51,8 +52,9 @@ impl SweepOutcome {
 
 /// Draws one random tail-region disturbance for a bus of `n_nodes` nodes
 /// under a variant with `eof_len` EOF bits and agreement end `agree_end`
-/// (EOF-relative, 0 when absent).
-fn random_tail_disturbance<R: Rng>(
+/// (EOF-relative, 0 when absent). Public because the campaign job
+/// interpreter ([`crate::jobs`]) replays exactly this adversary.
+pub fn random_tail_disturbance<R: Rng>(
     rng: &mut R,
     n_nodes: usize,
     eof_len: usize,
@@ -75,9 +77,58 @@ fn random_tail_disturbance<R: Rng>(
     }
 }
 
+/// Trials per campaign job — the granule a sweep parallelizes over.
+pub const TRIALS_PER_JOB: u64 = 250;
+
+/// Builds the campaign job list of one sweep cell (`trials` single
+/// broadcasts under exactly `errors_per_frame` random tail flips), chunked
+/// into jobs with ids starting at `first_id`.
+pub fn sweep_jobs(
+    first_id: u64,
+    campaign_seed: u64,
+    protocol: ProtocolSpec,
+    n_nodes: usize,
+    errors_per_frame: usize,
+    trials: u64,
+) -> Vec<Job> {
+    crate::jobs::chunked_frames(trials, TRIALS_PER_JOB)
+        .into_iter()
+        .enumerate()
+        .map(|(k, chunk)| {
+            Job::new(
+                first_id + k as u64,
+                campaign_seed,
+                protocol,
+                FaultSpec::RandomTail { errors_per_frame },
+                WorkloadSpec::SingleBroadcast,
+                n_nodes,
+                chunk,
+            )
+        })
+        .collect()
+}
+
+/// Folds campaign totals back into a [`SweepOutcome`] for one cell.
+pub fn outcome_from_totals(
+    protocol: String,
+    errors_per_frame: usize,
+    totals: &Totals,
+) -> SweepOutcome {
+    SweepOutcome {
+        protocol,
+        errors_per_frame,
+        trials: totals.frames as usize,
+        agreement_violations: totals.counters.get("imo") as usize,
+        double_deliveries: totals.counters.get("double") as usize,
+        validity_violations: totals.counters.get("validity") as usize,
+    }
+}
+
 /// Runs `trials` single-broadcast trials under `variant` with exactly
 /// `errors_per_frame` random tail-region disturbances each, and grades
-/// every run with the Atomic Broadcast checker.
+/// every run with the Atomic Broadcast checker. Internally an in-memory
+/// campaign on the `majorcan-campaign` runner: parallel across CPUs,
+/// results independent of worker count.
 pub fn sweep<V: Variant>(
     variant: &V,
     n_nodes: usize,
@@ -85,40 +136,16 @@ pub fn sweep<V: Variant>(
     trials: usize,
     seed: u64,
 ) -> SweepOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let eof_len = variant.eof_len();
-    let agree_end = variant.agreement_end().unwrap_or(0);
-    let mut outcome = SweepOutcome {
-        protocol: variant.name(),
+    let jobs = sweep_jobs(
+        0,
+        seed,
+        protocol_spec_of(variant),
+        n_nodes,
         errors_per_frame,
-        trials,
-        agreement_violations: 0,
-        double_deliveries: 0,
-        validity_violations: 0,
-    };
-    for _ in 0..trials {
-        let disturbances: Vec<Disturbance> = (0..errors_per_frame)
-            .map(|_| random_tail_disturbance(&mut rng, n_nodes, eof_len, agree_end))
-            .collect();
-        let script = ScriptedFaults::new(disturbances);
-        let mut sim = Simulator::new(script);
-        for _ in 0..n_nodes {
-            sim.attach(Controller::new(variant.clone()));
-        }
-        sim.node_mut(NodeId(0)).enqueue(scenario_frame());
-        crate::quiesce::run_until_quiescent(&mut sim, 25, 5_000);
-        let report = trace_from_can_events(sim.events(), n_nodes).check();
-        if !report.agreement.holds {
-            outcome.agreement_violations += 1;
-        }
-        if !report.at_most_once.holds {
-            outcome.double_deliveries += 1;
-        }
-        if !report.validity.holds {
-            outcome.validity_violations += 1;
-        }
-    }
-    outcome
+        trials as u64,
+    );
+    let report = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(0), run_job);
+    outcome_from_totals(variant.name(), errors_per_frame, &report.totals)
 }
 
 /// The full sweep table: every protocol × error budget.
@@ -169,7 +196,13 @@ mod tests {
     #[test]
     fn majorcan_stays_spotless_up_to_m_errors() {
         for errors in 1..=5 {
-            let outcome = sweep(&MajorCan::proposed(), 4, errors, TRIALS, 0xCAFE + errors as u64);
+            let outcome = sweep(
+                &MajorCan::proposed(),
+                4,
+                errors,
+                TRIALS,
+                0xCAFE + errors as u64,
+            );
             assert!(
                 outcome.spotless(),
                 "MajorCAN_5 with {errors} errors: {outcome:?}"

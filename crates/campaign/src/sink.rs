@@ -1,0 +1,263 @@
+//! Durable campaign artifacts: the JSONL result sink, the failures file
+//! and the manifest that makes checkpoint/resume safe.
+//!
+//! Layout for `--out results.jsonl`:
+//!
+//! * `results.jsonl` — one [`JobResult`] JSON object per line, appended
+//!   and flushed as jobs complete (completion order, **not** id order —
+//!   sort by `job_id` to compare runs);
+//! * `results.jsonl.manifest.json` — the campaign's identity: name,
+//!   campaign seed, job count and a digest of the full job list. A resume
+//!   against a mismatched manifest is refused instead of silently mixing
+//!   incompatible result sets;
+//! * `results.jsonl.failures.jsonl` — one [`JobFailure`] per panicked
+//!   job, carrying the replay seed. Failed jobs are *not* treated as
+//!   completed: a resumed campaign retries them.
+//!
+//! A process killed mid-write leaves at most one truncated trailing line;
+//! the loader ignores it (and any other unparseable line) and the job is
+//! simply re-run on resume.
+
+use crate::job::{Job, JobFailure, JobResult};
+use crate::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Identity of a campaign, stored next to its results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Human-readable campaign name.
+    pub name: String,
+    /// The seed every job seed was derived from.
+    pub campaign_seed: u64,
+    /// Total number of jobs in the campaign.
+    pub jobs: u64,
+    /// FNV-1a digest of every job's JSON description, order-sensitive.
+    pub digest: u64,
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+}
+
+impl Manifest {
+    /// Builds the manifest describing `jobs`.
+    pub fn for_jobs(name: &str, campaign_seed: u64, jobs: &[Job]) -> Manifest {
+        let mut digest = 0xCBF2_9CE4_8422_2325u64;
+        for job in jobs {
+            fnv1a(&mut digest, job.to_json().to_string().as_bytes());
+            fnv1a(&mut digest, b"\n");
+        }
+        Manifest {
+            name: name.to_string(),
+            campaign_seed,
+            jobs: jobs.len() as u64,
+            digest,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut v = Value::obj();
+        v.set("name", Value::from(self.name.as_str()))
+            .set("campaign_seed", Value::U64(self.campaign_seed))
+            .set("jobs", Value::U64(self.jobs))
+            .set("digest", Value::U64(self.digest));
+        v
+    }
+
+    fn from_json(v: &Value) -> Option<Manifest> {
+        Some(Manifest {
+            name: v.get("name")?.as_str()?.to_string(),
+            campaign_seed: v.get("campaign_seed")?.as_u64()?,
+            jobs: v.get("jobs")?.as_u64()?,
+            digest: v.get("digest")?.as_u64()?,
+        })
+    }
+}
+
+/// Append-only JSONL sink with resume support.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+    failures_path: PathBuf,
+    failures: Option<BufWriter<File>>,
+    completed: BTreeMap<u64, JobResult>,
+}
+
+fn side_path(results: &Path, suffix: &str) -> PathBuf {
+    let mut name = results
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "results.jsonl".to_string());
+    name.push_str(suffix);
+    results.with_file_name(name)
+}
+
+impl JsonlSink {
+    /// Opens (or resumes) the sink at `path` for the campaign described by
+    /// `manifest`.
+    ///
+    /// * First run: writes the manifest, starts an empty results file.
+    /// * Resume: verifies the stored manifest matches and loads every
+    ///   parseable result line so the runner can skip those job ids.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a corrupt stored manifest, or a manifest mismatch
+    /// (different name, seed, job count or job-list digest).
+    pub fn open(path: &Path, manifest: &Manifest) -> io::Result<JsonlSink> {
+        let manifest_path = side_path(path, ".manifest.json");
+        if manifest_path.exists() {
+            let mut text = String::new();
+            File::open(&manifest_path)?.read_to_string(&mut text)?;
+            let stored = parse(&text)
+                .ok()
+                .as_ref()
+                .and_then(Manifest::from_json)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt campaign manifest {}", manifest_path.display()),
+                    )
+                })?;
+            if stored != *manifest {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "campaign manifest mismatch at {}: stored {stored:?}, \
+                         requested {manifest:?}; refusing to resume a different campaign",
+                        manifest_path.display()
+                    ),
+                ));
+            }
+        } else {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            let mut f = File::create(&manifest_path)?;
+            writeln!(f, "{}", manifest.to_json())?;
+        }
+
+        let mut completed = BTreeMap::new();
+        if path.exists() {
+            let mut text = String::new();
+            File::open(path)?.read_to_string(&mut text)?;
+            for line in text.lines() {
+                if let Some(result) = parse(line).ok().as_ref().and_then(JobResult::from_json) {
+                    completed.insert(result.job_id, result);
+                }
+            }
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            writer: BufWriter::new(file),
+            failures_path: side_path(path, ".failures.jsonl"),
+            failures: None,
+            completed,
+        })
+    }
+
+    /// Results already present in the file (resume state).
+    pub fn completed(&self) -> &BTreeMap<u64, JobResult> {
+        &self.completed
+    }
+
+    /// Appends one result line and flushes it to the OS, so a kill loses
+    /// at most the line being written. The result also joins
+    /// [`completed`](JsonlSink::completed).
+    pub fn record(&mut self, result: &JobResult) -> io::Result<()> {
+        writeln!(self.writer, "{}", result.to_json())?;
+        self.writer.flush()?;
+        self.completed.insert(result.job_id, result.clone());
+        Ok(())
+    }
+
+    /// Appends one failure line to the failures artifact (created lazily,
+    /// so clean campaigns leave no failures file).
+    pub fn record_failure(&mut self, failure: &JobFailure) -> io::Result<()> {
+        if self.failures.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.failures_path)?;
+            self.failures = Some(BufWriter::new(file));
+        }
+        let w = self.failures.as_mut().expect("just created");
+        writeln!(w, "{}", failure.to_json())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{FaultSpec, ProtocolSpec, WorkloadSpec};
+
+    fn sample_jobs(n: u64) -> Vec<Job> {
+        (0..n)
+            .map(|id| {
+                Job::new(
+                    id,
+                    7,
+                    ProtocolSpec::StandardCan,
+                    FaultSpec::None,
+                    WorkloadSpec::SingleBroadcast,
+                    3,
+                    10,
+                )
+            })
+            .collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "majorcan-campaign-sink-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn resume_reloads_completed_and_ignores_truncated_tail() {
+        let dir = tmp_dir("resume");
+        let path = dir.join("results.jsonl");
+        let jobs = sample_jobs(3);
+        let manifest = Manifest::for_jobs("t", 7, &jobs);
+        {
+            let mut sink = JsonlSink::open(&path, &manifest).unwrap();
+            let mut r = JobResult::for_job(&jobs[0]);
+            r.frames = 10;
+            sink.record(&r).unwrap();
+        }
+        // Simulate a kill mid-write: a truncated trailing line.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"job_id\":1,\"seed\":2,\"fra").unwrap();
+        }
+        let sink = JsonlSink::open(&path, &manifest).unwrap();
+        assert_eq!(sink.completed().len(), 1);
+        assert!(sink.completed().contains_key(&0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_manifest_is_refused() {
+        let dir = tmp_dir("mismatch");
+        let path = dir.join("results.jsonl");
+        let jobs = sample_jobs(3);
+        JsonlSink::open(&path, &Manifest::for_jobs("t", 7, &jobs)).unwrap();
+        let other = Manifest::for_jobs("t", 8, &sample_jobs(3));
+        let err = JsonlSink::open(&path, &other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

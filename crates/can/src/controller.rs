@@ -19,9 +19,9 @@
 //! while observing the ACK delimiter.
 
 use crate::{
-    CanEvent, ConfinementEvent, DecisionBasis, EofReaction, ErrorKind, FaultConfinement,
-    FaultState, Field, FlagKind, Frame, Role, RxPipeline, RxStep, Variant, WireBit, WirePos,
-    encode_frame,
+    encode_frame, CanEvent, ConfinementEvent, DecisionBasis, EofReaction, ErrorKind,
+    FaultConfinement, FaultState, Field, FlagKind, Frame, Role, RxPipeline, RxStep, Variant,
+    WireBit, WirePos,
 };
 use majorcan_sim::{BitNode, Level};
 
@@ -71,9 +71,7 @@ enum AfterFlag {
     PrimaryProbe,
     /// MajorCAN: hold recessive until the agreement end; if `voting`, count
     /// dominant samples inside the window and decide by majority.
-    MajorHold {
-        voting: bool,
-    },
+    MajorHold { voting: bool },
 }
 
 /// A decision postponed past the node's own flag (MinorCAN probe,
@@ -315,12 +313,8 @@ impl<V: Variant> Controller<V> {
                         self.crash();
                     }
                 }
-                ConfinementEvent::EnteredPassive => {
-                    events.push(CanEvent::EnteredErrorPassive)
-                }
-                ConfinementEvent::ReturnedActive => {
-                    events.push(CanEvent::ReturnedErrorActive)
-                }
+                ConfinementEvent::EnteredPassive => events.push(CanEvent::EnteredErrorPassive),
+                ConfinementEvent::ReturnedActive => events.push(CanEvent::ReturnedErrorActive),
                 ConfinementEvent::WentBusOff => {
                     events.push(CanEvent::WentBusOff);
                     self.tx = None;
@@ -345,12 +339,7 @@ impl<V: Variant> Controller<V> {
 
     /// Resolves a deferred accept/reject decision (MinorCAN probe or
     /// MajorCAN vote).
-    fn resolve_deferred(
-        &mut self,
-        accept: bool,
-        basis: DecisionBasis,
-        events: &mut Vec<CanEvent>,
-    ) {
+    fn resolve_deferred(&mut self, accept: bool, basis: DecisionBasis, events: &mut Vec<CanEvent>) {
         let Some(deferred) = self.deferred.take() else {
             return;
         };
@@ -412,12 +401,7 @@ impl<V: Variant> Controller<V> {
     }
 
     /// Begins a 6-bit dominant flag (active error or overload) next bit.
-    fn start_flag(
-        &mut self,
-        kind: FlagKind,
-        then: AfterFlag,
-        events: &mut Vec<CanEvent>,
-    ) {
+    fn start_flag(&mut self, kind: FlagKind, then: AfterFlag, events: &mut Vec<CanEvent>) {
         let overload = kind == FlagKind::Overload;
         events.push(CanEvent::FlagStarted { kind });
         self.state = CState::Flag {
@@ -441,12 +425,7 @@ impl<V: Variant> Controller<V> {
 
     /// Handles an error detected outside the EOF region (or a CRC error):
     /// reject, signal, schedule retransmission if transmitting.
-    fn standard_error(
-        &mut self,
-        kind: ErrorKind,
-        pos: WirePos,
-        events: &mut Vec<CanEvent>,
-    ) {
+    fn standard_error(&mut self, kind: ErrorKind, pos: WirePos, events: &mut Vec<CanEvent>) {
         let role = self.role();
         self.episode_role = role;
         events.push(CanEvent::ErrorDetected { kind, pos });
@@ -487,12 +466,7 @@ impl<V: Variant> Controller<V> {
 
     /// Handles an error detected at EOF bit `eof_bit` (1-based) by routing
     /// through the protocol variant.
-    fn eof_error(
-        &mut self,
-        kind: ErrorKind,
-        eof_bit: usize,
-        events: &mut Vec<CanEvent>,
-    ) {
+    fn eof_error(&mut self, kind: ErrorKind, eof_bit: usize, events: &mut Vec<CanEvent>) {
         let role = self.role();
         self.episode_role = role;
         let pos = WirePos::eof(eof_bit as u16);
@@ -665,17 +639,13 @@ impl<V: Variant> Controller<V> {
 
         // Start the agreement clock the moment EOF begins.
         let pipe = self.pipe.as_ref().expect("pipeline still active");
-        if self.eof_start.is_none() && pipe.pos().field == Field::Eof && pipe.eof_done() == 0
-        {
+        if self.eof_start.is_none() && pipe.pos().field == Field::Eof && pipe.eof_done() == 0 {
             self.eof_start = Some(now + 1);
         }
 
         // CRC verdict: receivers with a bad CRC start their error flag at
         // the first EOF bit (the bit following the ACK delimiter).
-        if pos.field == Field::AckDelim
-            && self.tx.is_none()
-            && pipe.crc_ok() == Some(false)
-        {
+        if pos.field == Field::AckDelim && self.tx.is_none() && pipe.crc_ok() == Some(false) {
             self.standard_error(ErrorKind::Crc, WirePos::eof(1), events);
             return;
         }
@@ -683,9 +653,7 @@ impl<V: Variant> Controller<V> {
         // Clean-bit commit logic within EOF.
         if pos.field == Field::Eof {
             let eof_bit = pos.index as usize + 1;
-            if self.tx.is_none()
-                && eof_bit == self.variant.commit_point(Role::Receiver)
-            {
+            if self.tx.is_none() && eof_bit == self.variant.commit_point(Role::Receiver) {
                 self.commit_rx_delivery(DecisionBasis::CleanEof, events);
             }
         }
@@ -844,7 +812,10 @@ impl<V: Variant> Controller<V> {
                 // Form error within the delimiter.
                 self.standard_error(
                     ErrorKind::Form,
-                    WirePos::new(Field::Delim, (self.variant.delimiter_len() - remaining) as u16),
+                    WirePos::new(
+                        Field::Delim,
+                        (self.variant.delimiter_len() - remaining) as u16,
+                    ),
                     events,
                 );
             }
@@ -1039,17 +1010,11 @@ impl<V: Variant> BitNode for Controller<V> {
             }
             CState::PassiveFlag { sent } => WirePos::new(Field::PassiveErrorFlag, *sent as u16),
             CState::ExtendedFlag => {
-                let idx = self
-                    .eof_rel(self.bit_now)
-                    .map(|r| r as u16)
-                    .unwrap_or(0);
+                let idx = self.eof_rel(self.bit_now).map(|r| r as u16).unwrap_or(0);
                 WirePos::new(Field::ExtendedFlag, idx)
             }
             CState::Hold { .. } => {
-                let idx = self
-                    .eof_rel(self.bit_now)
-                    .map(|r| r as u16)
-                    .unwrap_or(0);
+                let idx = self.eof_rel(self.bit_now).map(|r| r as u16).unwrap_or(0);
                 WirePos::new(Field::AgreementHold, idx)
             }
             CState::DelimWait { .. } => WirePos::new(Field::DelimWait, 0),
@@ -1117,9 +1082,7 @@ impl<V: Variant> BitNode for Controller<V> {
                 }
             }
             CState::ExtendedFlag => self.observe_extended_flag(now, events),
-            CState::Hold { votes, voting } => {
-                self.observe_hold(now, seen, votes, voting, events)
-            }
+            CState::Hold { votes, voting } => self.observe_hold(now, seen, votes, voting, events),
             CState::DelimWait {
                 overload,
                 probe,

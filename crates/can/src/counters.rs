@@ -188,7 +188,10 @@ impl FaultConfinement {
 mod tests {
     use super::*;
 
-    fn drain(fc: &mut FaultConfinement, f: impl Fn(&mut FaultConfinement, &mut Vec<ConfinementEvent>)) -> Vec<ConfinementEvent> {
+    fn drain(
+        fc: &mut FaultConfinement,
+        f: impl Fn(&mut FaultConfinement, &mut Vec<ConfinementEvent>),
+    ) -> Vec<ConfinementEvent> {
         let mut ev = Vec::new();
         f(fc, &mut ev);
         ev

@@ -198,7 +198,10 @@ impl fmt::Display for CanEvent {
                 frame,
                 attempts,
                 basis,
-            } => write!(f, "tx success {frame} after {attempts} attempt(s) [{basis}]"),
+            } => write!(
+                f,
+                "tx success {frame} after {attempts} attempt(s) [{basis}]"
+            ),
             CanEvent::RetransmissionScheduled { frame } => {
                 write!(f, "retransmission scheduled for {frame}")
             }

@@ -306,8 +306,14 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(FrameError::IdOutOfRange(0x900).to_string().contains("11 bits"));
-        assert!(FrameError::IdReserved(0x7F3).to_string().contains("reserved"));
-        assert!(FrameError::PayloadTooLong(12).to_string().contains("8-byte"));
+        assert!(FrameError::IdOutOfRange(0x900)
+            .to_string()
+            .contains("11 bits"));
+        assert!(FrameError::IdReserved(0x7F3)
+            .to_string()
+            .contains("reserved"));
+        assert!(FrameError::PayloadTooLong(12)
+            .to_string()
+            .contains("8-byte"));
     }
 }

@@ -318,9 +318,7 @@ mod tests {
         assert_eq!(pipe.crc_ok(), Some(true));
         assert_eq!(pipe.frame(), Some(&frame));
         assert_eq!(steps.last(), Some(&RxStep::FrameComplete));
-        assert!(steps[..steps.len() - 1]
-            .iter()
-            .all(|s| *s == RxStep::Ok));
+        assert!(steps[..steps.len() - 1].iter().all(|s| *s == RxStep::Ok));
     }
 
     #[test]

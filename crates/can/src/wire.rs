@@ -207,9 +207,7 @@ impl Layout {
             14 => (Field::R0, 0),
             15..=18 => (Field::Dlc, (i - Self::DLC_START) as u16),
             _ if i < self.crc_start() => (Field::Data, (i - Self::DATA_START) as u16),
-            _ if i < self.stuffed_region_len() => {
-                (Field::Crc, (i - self.crc_start()) as u16)
-            }
+            _ if i < self.stuffed_region_len() => (Field::Crc, (i - self.crc_start()) as u16),
             _ => panic!("destuffed index {i} beyond stuffed region"),
         }
     }
@@ -347,7 +345,7 @@ pub fn frame_payload_bits(frame: &Frame) -> Vec<bool> {
 ///
 /// The transmitter drives recessive in the ACK slot and expects to monitor
 /// dominant there.
-pub fn encode_frame<V: Variant + ?Sized>(frame: &Frame, variant: &V) -> Vec<WireBit> {
+pub fn encode_frame<V: Variant>(frame: &Frame, variant: &V) -> Vec<WireBit> {
     let bits = frame_payload_bits(frame);
     let layout = Layout::new(frame.data().len());
     let levels: Vec<Level> = bits.iter().map(|&b| Level::from_bit(b)).collect();

@@ -60,7 +60,11 @@ fn clean_broadcast_reaches_every_receiver_once() {
         assert_eq!(deliveries(events, NodeId(rx)), vec![f.clone()], "rx {rx}");
     }
     assert_eq!(tx_successes(events, NodeId(0)), 1);
-    assert_eq!(deliveries(events, NodeId(0)), vec![], "tx does not self-deliver");
+    assert_eq!(
+        deliveries(events, NodeId(0)),
+        vec![],
+        "tx does not self-deliver"
+    );
 }
 
 #[test]
@@ -331,7 +335,11 @@ fn fig3a_new_scenario_imo_with_correct_transmitter() {
     sim.run(800);
     let events = sim.events();
 
-    assert_eq!(tx_successes(events, NodeId(0)), 1, "tx believes it succeeded");
+    assert_eq!(
+        tx_successes(events, NodeId(0)),
+        1,
+        "tx believes it succeeded"
+    );
     assert_eq!(count_retransmissions(events, NodeId(0)), 0);
     assert_eq!(deliveries(events, NodeId(2)), vec![f], "Y accepted");
     assert_eq!(
@@ -385,7 +393,8 @@ fn error_counters_move_with_traffic() {
     assert_eq!(tx_successes(sim.events(), NodeId(0)), 1);
     // Now push several clean frames; counters must decay to 0.
     for i in 0..10 {
-        sim.node_mut(NodeId(0)).enqueue(frame(0x200 + i, &[i as u8]));
+        sim.node_mut(NodeId(0))
+            .enqueue(frame(0x200 + i, &[i as u8]));
     }
     sim.run(2500);
     assert_eq!(sim.node(NodeId(0)).fault_confinement().tec(), 0);
@@ -439,7 +448,10 @@ fn worst_case_stuffing_frame_round_trips() {
     let f = frame(0x000, &[0x00; 8]);
     let wire = majorcan_can::encode_frame(&f, &StandardCan);
     let stuff_bits = wire.iter().filter(|wb| wb.pos.stuff).count();
-    assert!(stuff_bits >= 10, "worst-case frame really stuffs: {stuff_bits}");
+    assert!(
+        stuff_bits >= 10,
+        "worst-case frame really stuffs: {stuff_bits}"
+    );
     sim.node_mut(NodeId(0)).enqueue(f.clone());
     sim.run(400);
     assert_eq!(deliveries(sim.events(), NodeId(1)), vec![f.clone()]);

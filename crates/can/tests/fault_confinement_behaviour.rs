@@ -11,8 +11,7 @@
 //! with the switch-off-at-warning policy.
 
 use majorcan_can::{
-    CanEvent, Controller, ControllerConfig, FaultState, Field, Frame, FrameId, StandardCan,
-    WirePos,
+    CanEvent, Controller, ControllerConfig, FaultState, Field, Frame, FrameId, StandardCan, WirePos,
 };
 use majorcan_sim::{FnChannel, Level, NodeId, Simulator};
 
@@ -77,7 +76,8 @@ fn pump_until_passive(
     // flag is answered); the optional finale flip then hits frame 2 while
     // node 1 is still passive. A few clean frames follow.
     for k in 0..20u16 {
-        sim.node_mut(NodeId(0)).enqueue(frame(0x100 + k, &[0xFF, 0xFF, 0xFF]));
+        sim.node_mut(NodeId(0))
+            .enqueue(frame(0x100 + k, &[0xFF, 0xFF, 0xFF]));
     }
     sim.run(12_000);
     sim
@@ -186,13 +186,15 @@ fn lonely_transmitter_eventually_goes_bus_off() {
                 && e.at < bus_off_at + silent_window
         })
         .count();
-    assert_eq!(premature, 0, "bus-off nodes do not transmit during recovery");
+    assert_eq!(
+        premature, 0,
+        "bus-off nodes do not transmit during recovery"
+    );
     // …and then recovers per the specification and retries.
     sim.run(4_000);
-    let resumed = sim
-        .events()
-        .iter()
-        .any(|e| matches!(e.event, CanEvent::TxStarted { .. }) && e.at > bus_off_at + silent_window);
+    let resumed = sim.events().iter().any(|e| {
+        matches!(e.event, CanEvent::TxStarted { .. }) && e.at > bus_off_at + silent_window
+    });
     assert!(resumed, "recovered node resumes transmission");
 }
 
@@ -206,7 +208,8 @@ fn transmitter_error_counting_decays_with_successes() {
         sim.attach(Controller::with_config(StandardCan, no_shutoff()));
     }
     for k in 0..40u16 {
-        sim.node_mut(NodeId(0)).enqueue(frame(0x100 + k, &[0xEE, 0xEE, 0xEE]));
+        sim.node_mut(NodeId(0))
+            .enqueue(frame(0x100 + k, &[0xEE, 0xEE, 0xEE]));
     }
     sim.run(16_000);
     let tec = sim.node(NodeId(0)).fault_confinement().tec();

@@ -156,7 +156,11 @@ fn queue_orders_by_priority_not_insertion() {
     );
     for wb in expected.iter().take(13) {
         let driven = ctrl.drive(now);
-        assert_eq!(driven, wb.level, "highest-priority frame first at {:?}", wb.pos);
+        assert_eq!(
+            driven, wb.level,
+            "highest-priority frame first at {:?}",
+            wb.pos
+        );
         let mut events = Vec::new();
         ctrl.observe(now, driven, &mut events);
         now += 1;

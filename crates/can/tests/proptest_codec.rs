@@ -13,7 +13,10 @@ fn arb_frame_id() -> impl Strategy<Value = FrameId> {
 }
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
-    (arb_frame_id(), proptest::collection::vec(any::<u8>(), 0..=8))
+    (
+        arb_frame_id(),
+        proptest::collection::vec(any::<u8>(), 0..=8),
+    )
         .prop_map(|(id, data)| Frame::new(id, &data).expect("payload within range"))
 }
 

@@ -117,7 +117,10 @@ mod tests {
     fn only_last_bit_defers() {
         let v = MinorCan;
         for bit in 1..=6 {
-            assert_eq!(v.eof_reaction(Role::Receiver, bit), EofReaction::RejectAndFlag);
+            assert_eq!(
+                v.eof_reaction(Role::Receiver, bit),
+                EofReaction::RejectAndFlag
+            );
         }
         assert_eq!(
             v.eof_reaction(Role::Receiver, 7),

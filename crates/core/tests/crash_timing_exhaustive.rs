@@ -21,11 +21,7 @@ use majorcan_sim::{NodeId, Simulator};
 /// Runs the Fig. 1b script with `crash_node` failing at absolute bit time
 /// `crash_at`, and returns the Agreement verdict plus whether the error
 /// had been detected before the crash.
-fn run_with_crash<V: Variant>(
-    variant: &V,
-    crash_node: usize,
-    crash_at: u64,
-) -> (bool, bool) {
+fn run_with_crash<V: Variant>(variant: &V, crash_node: usize, crash_at: u64) -> (bool, bool) {
     let eof_len = variant.eof_len() as u16;
     let script = ScriptedFaults::new(vec![Disturbance::eof(1, eof_len - 1)]);
     let mut sim = Simulator::new(script);
@@ -70,8 +66,7 @@ fn minorcan_is_consistent_for_every_crash_time_of_every_node() {
 fn majorcan_is_consistent_for_every_crash_time_of_every_node() {
     for crash_node in 0..3usize {
         for crash_at in SWEEP {
-            let (agreement, _) =
-                run_with_crash(&MajorCan::proposed(), crash_node, crash_at);
+            let (agreement, _) = run_with_crash(&MajorCan::proposed(), crash_node, crash_at);
             assert!(
                 agreement,
                 "MajorCAN_5 broken by n{crash_node} crashing at bit {crash_at}"
@@ -111,7 +106,11 @@ fn standard_can_breaks_for_a_contiguous_window_of_tx_crash_times() {
     );
     // Early crashes (dominant bits still owed) stay consistent…
     let (agreement_early, _) = run_with_crash(&StandardCan, 0, first - 5);
-    assert!(agreement_early, "crash at {} must corrupt the frame globally", first - 5);
+    assert!(
+        agreement_early,
+        "crash at {} must corrupt the frame globally",
+        first - 5
+    );
     // …and part of the window indeed lies after the error detection (the
     // classic Fig. 1c reading).
     assert!(

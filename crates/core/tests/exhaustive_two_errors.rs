@@ -19,7 +19,10 @@ fn agreement_holds<V: Variant>(variant: &V, a: Disturbance, b: Disturbance) -> b
     }
     sim.node_mut(NodeId(0)).enqueue(scenario_frame());
     sim.run(2_500);
-    trace_from_can_events(sim.events(), 3).check().agreement.holds
+    trace_from_can_events(sim.events(), 3)
+        .check()
+        .agreement
+        .holds
 }
 
 #[test]
@@ -69,9 +72,7 @@ fn standard_can_fails_exactly_on_the_fig3a_pattern() {
     for ((an, ab), (bn, bb)) in &failures {
         let pair = [(*an, *ab), (*bn, *bb)];
         let tx_blinded = pair.iter().any(|&(n, bit)| n == 0 && bit == eof);
-        let rx_hit = pair
-            .iter()
-            .any(|&(n, bit)| n != 0 && bit == eof - 1);
+        let rx_hit = pair.iter().any(|&(n, bit)| n != 0 && bit == eof - 1);
         assert!(
             tx_blinded && rx_hit,
             "unexpected standard CAN failure pattern: {pair:?}"
@@ -108,11 +109,8 @@ fn majorcan5_survives_every_eof_plus_sampling_disturbance_pair() {
             for b_node in 0..3usize {
                 for hold_rel in (eof + 1)..=(agree_end as u16) {
                     let a = Disturbance::eof(a_node, a_bit);
-                    let b = Disturbance::first(
-                        b_node,
-                        majorcan_can::Field::AgreementHold,
-                        hold_rel,
-                    );
+                    let b =
+                        Disturbance::first(b_node, majorcan_can::Field::AgreementHold, hold_rel);
                     assert!(
                         agreement_holds(&v, a, b),
                         "MajorCAN_5 split by (n{a_node}@EOF{a_bit}, n{b_node}@HOLD{hold_rel})"

@@ -27,9 +27,9 @@ fn run(disturbances: Vec<Disturbance>) -> majorcan_abcast::Report {
 /// rejects a frame the transmitter and Y keep.
 fn boundary_pattern() -> Vec<Disturbance> {
     vec![
-        Disturbance::eof(1, 3),  // X's original error
-        Disturbance::eof(0, 4),  // tx blinded …
-        Disturbance::eof(0, 5),  // … until the second sub-field
+        Disturbance::eof(1, 3), // X's original error
+        Disturbance::eof(0, 4), // tx blinded …
+        Disturbance::eof(0, 5), // … until the second sub-field
         Disturbance::first(1, Field::AgreementHold, 12),
         Disturbance::first(1, Field::AgreementHold, 13),
         Disturbance::first(1, Field::AgreementHold, 14),

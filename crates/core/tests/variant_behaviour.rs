@@ -87,8 +87,16 @@ fn minorcan_fig2_last_but_one_error_consistent_single_delivery() {
     sim.node_mut(NodeId(0)).enqueue(f.clone());
     sim.run(800);
     let ev = sim.events();
-    assert_eq!(deliveries(ev, NodeId(1)), vec![f.clone()], "X delivers once");
-    assert_eq!(deliveries(ev, NodeId(2)), vec![f], "Y delivers once — no double reception");
+    assert_eq!(
+        deliveries(ev, NodeId(1)),
+        vec![f.clone()],
+        "X delivers once"
+    );
+    assert_eq!(
+        deliveries(ev, NodeId(2)),
+        vec![f],
+        "Y delivers once — no double reception"
+    );
     assert_eq!(retransmissions(ev, NodeId(0)), 1);
     assert_eq!(tx_successes(ev, NodeId(0)), 1);
     // Y's rejection was reached through the Primary_error criterion.
@@ -179,7 +187,11 @@ fn minorcan_beats_standard_can_when_tx_sees_last_bit_error() {
     can.node_mut(NodeId(0)).enqueue(f.clone());
     can.run(800);
     assert_eq!(retransmissions(can.events(), NodeId(0)), 1);
-    assert_eq!(deliveries(can.events(), NodeId(1)).len(), 2, "double reception");
+    assert_eq!(
+        deliveries(can.events(), NodeId(1)).len(),
+        2,
+        "double reception"
+    );
 
     // MinorCAN: the transmitter's probe finds the receivers' overload flags
     // ⇒ primary ⇒ accepted, no retransmission, single delivery.
@@ -282,7 +294,10 @@ fn majorcan_fig4_first_subfield_bits_flag_and_vote() {
                 && matches!(
                     e.event,
                     CanEvent::Rejected {
-                        basis: DecisionBasis::Vote { dominant: 0, window: 9 }
+                        basis: DecisionBasis::Vote {
+                            dominant: 0,
+                            window: 9
+                        }
                     }
                 )),
             "EOF bit {bit}: expected an all-recessive vote rejection"
@@ -416,7 +431,11 @@ fn majorcan_survives_the_fig3a_disturbance_pattern() {
     sim.node_mut(NodeId(0)).enqueue(f.clone());
     sim.run(900);
     let ev = sim.events();
-    assert_eq!(deliveries(ev, NodeId(1)), vec![f.clone()], "X has the frame");
+    assert_eq!(
+        deliveries(ev, NodeId(1)),
+        vec![f.clone()],
+        "X has the frame"
+    );
     assert_eq!(deliveries(ev, NodeId(2)), vec![f], "Y has the frame");
     assert_eq!(tx_successes(ev, NodeId(0)), 1);
     assert_eq!(retransmissions(ev, NodeId(0)), 0);
@@ -436,9 +455,9 @@ fn majorcan_fig5_consistency_under_five_errors() {
         MajorCan::proposed(),
         3,
         flips(vec![
-            (1, Field::Eof, 2),          // X: error at EOF bit 3
-            (0, Field::Eof, 3),          // tx view of bit 4 (hides X's flag)
-            (0, Field::Eof, 4),          // tx view of bit 5 (hides X's flag)
+            (1, Field::Eof, 2),            // X: error at EOF bit 3
+            (0, Field::Eof, 3),            // tx view of bit 4 (hides X's flag)
+            (0, Field::Eof, 4),            // tx view of bit 5 (hides X's flag)
             (1, Field::AgreementHold, 13), // X sampling corruption at rel 13
             (1, Field::AgreementHold, 15), // X sampling corruption at rel 15
         ]),
@@ -462,7 +481,11 @@ fn majorcan_fig5_consistency_under_five_errors() {
             }
         )));
     assert_eq!(retransmissions(ev, NodeId(0)), 0);
-    assert_eq!(deliveries(ev, NodeId(1)), vec![f.clone()], "X accepts by vote");
+    assert_eq!(
+        deliveries(ev, NodeId(1)),
+        vec![f.clone()],
+        "X accepts by vote"
+    );
     assert_eq!(deliveries(ev, NodeId(2)), vec![f], "Y accepts by vote");
     // X's vote saw the extended flag through two corrupted samples: 7 of 9.
     assert!(ev.iter().any(|e| e.node == NodeId(1)

@@ -84,7 +84,11 @@ fn first_subfield_flag_is_exactly_six_bits() {
     let rel = |r: u64| eof1 + r - 1;
     assert_eq!(driven_at(&trace, 1, rel(2)), Level::Recessive);
     for r in 3..=8u64 {
-        assert_eq!(driven_at(&trace, 1, rel(r)), Level::Dominant, "flag bit {r}");
+        assert_eq!(
+            driven_at(&trace, 1, rel(r)),
+            Level::Dominant,
+            "flag bit {r}"
+        );
     }
     for r in 9..=20u64 {
         assert_eq!(
@@ -128,13 +132,15 @@ fn minorcan_probe_is_the_first_post_flag_bit() {
     let (trace, events, eof1) = run_traced(&v, vec![Disturbance::eof(1, 7)]);
     let rel = |r: u64| eof1 + r - 1;
     for r in 8..=13u64 {
-        assert_eq!(driven_at(&trace, 1, rel(r)), Level::Dominant, "flag bit {r}");
+        assert_eq!(
+            driven_at(&trace, 1, rel(r)),
+            Level::Dominant,
+            "flag bit {r}"
+        );
     }
     let delivered_at = events
         .iter()
-        .find(|e| {
-            e.node == NodeId(1) && matches!(e.event, CanEvent::Delivered { .. })
-        })
+        .find(|e| e.node == NodeId(1) && matches!(e.event, CanEvent::Delivered { .. }))
         .expect("X delivers by Primary_error")
         .at;
     assert_eq!(
@@ -152,8 +158,9 @@ fn overload_flags_of_clean_nodes_answer_an_extended_flag() {
     let v = MajorCan::proposed();
     let (trace, events, eof1) = run_traced(&v, vec![Disturbance::eof(1, 10)]);
     let rel = |r: u64| eof1 + r - 1;
-    assert!(events.iter().any(|e| e.node == NodeId(2)
-        && matches!(e.event, CanEvent::OverloadCondition)));
+    assert!(events
+        .iter()
+        .any(|e| e.node == NodeId(2) && matches!(e.event, CanEvent::OverloadCondition)));
     // X extends from EOF-relative 11; Y's first intermission bit is 11
     // too, so its 6-bit overload flag spans EOF-relative 12..=17.
     for r in 12..=17u64 {

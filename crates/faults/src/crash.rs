@@ -21,11 +21,7 @@ const SECS_PER_HOUR: f64 = 3600.0;
 /// # Panics
 ///
 /// Panics if `lambda_per_hour` is negative or `bitrate` is not positive.
-pub fn exponential_failure_bits<R: Rng>(
-    lambda_per_hour: f64,
-    bitrate: f64,
-    rng: &mut R,
-) -> u64 {
+pub fn exponential_failure_bits<R: Rng>(lambda_per_hour: f64, bitrate: f64, rng: &mut R) -> u64 {
     assert!(lambda_per_hour >= 0.0, "failure rate must be non-negative");
     assert!(bitrate > 0.0, "bitrate must be positive");
     if lambda_per_hour == 0.0 {
@@ -82,10 +78,7 @@ mod tests {
             .map(|_| exponential_failure_bits(3600.0, 1e6, &mut rng) as f64)
             .sum::<f64>()
             / n as f64;
-        assert!(
-            (mean - 1e6).abs() < 3e4,
-            "mean={mean}, expected ≈ 1e6 bits"
-        );
+        assert!((mean - 1e6).abs() < 3e4, "mean={mean}, expected ≈ 1e6 bits");
     }
 
     #[test]

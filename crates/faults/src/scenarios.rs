@@ -203,9 +203,7 @@ impl ScenarioRun {
     pub fn tx_successes(&self, node: usize) -> usize {
         self.events
             .iter()
-            .filter(|e| {
-                e.node == NodeId(node) && matches!(e.event, CanEvent::TxSucceeded { .. })
-            })
+            .filter(|e| e.node == NodeId(node) && matches!(e.event, CanEvent::TxSucceeded { .. }))
             .count()
     }
 
@@ -272,10 +270,7 @@ fn execute<V: Variant>(
     let script = ScriptedFaults::new(scenario.disturbances.clone());
     let mut sim = Simulator::new(script);
     for i in 0..scenario.n_nodes {
-        let fail_at = crashes
-            .iter()
-            .find(|(n, _)| *n == i)
-            .map(|&(_, at)| at);
+        let fail_at = crashes.iter().find(|(n, _)| *n == i).map(|&(_, at)| at);
         sim.attach(Controller::with_config(
             variant.clone(),
             ControllerConfig {
@@ -388,7 +383,9 @@ mod tests {
         scenario.crash = Some(CrashRule::AfterRetransmissionScheduled { node: 0 });
         let run = run_scenario(&StandardCan, &scenario, 800);
         assert!(
-            !run.events.iter().any(|e| matches!(e.event, CanEvent::Crashed)),
+            !run.events
+                .iter()
+                .any(|e| matches!(e.event, CanEvent::Crashed)),
             "no retransmission, no crash"
         );
         assert!(run.consistent_single_delivery());

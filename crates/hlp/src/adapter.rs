@@ -84,11 +84,14 @@ mod tests {
 
     #[test]
     fn identity_scheme_is_consistent() {
-        assert_eq!(
+        assert_eq!(msg_id_of_broadcast(2, 7, &[]), MsgId::new(2, vec![0, 7]));
+        assert_ne!(
             msg_id_of_broadcast(2, 7, &[]),
-            MsgId::new(2, vec![0, 7])
+            msg_id_of_broadcast(2, 8, &[])
         );
-        assert_ne!(msg_id_of_broadcast(2, 7, &[]), msg_id_of_broadcast(2, 8, &[]));
-        assert_ne!(msg_id_of_broadcast(2, 7, &[]), msg_id_of_broadcast(3, 7, &[]));
+        assert_ne!(
+            msg_id_of_broadcast(2, 7, &[]),
+            msg_id_of_broadcast(3, 7, &[])
+        );
     }
 }

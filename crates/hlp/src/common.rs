@@ -191,7 +191,12 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        for kind in [MsgKind::Data, MsgKind::Dup, MsgKind::Confirm, MsgKind::Accept] {
+        for kind in [
+            MsgKind::Data,
+            MsgKind::Dup,
+            MsgKind::Confirm,
+            MsgKind::Accept,
+        ] {
             for payload in [&[][..], &[1u8, 2, 3, 4][..]] {
                 let m = msg(kind, 17, 0xBEEF, payload);
                 let f = m.encode(5).unwrap();

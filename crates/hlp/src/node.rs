@@ -237,8 +237,7 @@ impl<L: HlpLayer> BitNode for HlpNode<L> {
             if matches!(ev, CanEvent::Crashed) {
                 events.push(HlpEvent::Crashed);
             }
-            self.layer
-                .on_link_event(now, self.index, ev, &mut actions);
+            self.layer.on_link_event(now, self.index, ev, &mut actions);
             events.push(HlpEvent::Link(ev.clone()));
         }
         self.link_buf = link_events;

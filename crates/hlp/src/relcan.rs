@@ -194,9 +194,9 @@ mod tests {
         sim.node_mut(NodeId(0)).broadcast(&[7]);
         // Run until the DATA tx success, then crash node 0.
         sim.run_until(5000, |s| {
-            s.events().iter().any(|e| {
-                matches!(&e.event, HlpEvent::Link(CanEvent::TxSucceeded { .. }))
-            })
+            s.events()
+                .iter()
+                .any(|e| matches!(&e.event, HlpEvent::Link(CanEvent::TxSucceeded { .. })))
         });
         sim.node_mut(NodeId(0)).crash();
         sim.run(4000);

@@ -121,10 +121,9 @@ impl HlpLayer for TotCan {
             MsgKind::Data | MsgKind::Dup => {
                 if !self.delivered.contains(&msg.id) {
                     // Queue at the tail; the ACCEPT will fix the position.
-                    self.pending.entry(msg.id).or_insert((
-                        msg.payload,
-                        now + self.config.accept_timeout_bits,
-                    ));
+                    self.pending
+                        .entry(msg.id)
+                        .or_insert((msg.payload, now + self.config.accept_timeout_bits));
                 }
             }
             MsgKind::Accept => {
@@ -206,9 +205,9 @@ mod tests {
         // Crash the transmitter right after the DATA succeeds (before the
         // ACCEPT transmission completes).
         sim.run_until(5000, |s| {
-            s.events().iter().any(|e| {
-                matches!(&e.event, HlpEvent::Link(CanEvent::TxSucceeded { .. }))
-            })
+            s.events()
+                .iter()
+                .any(|e| matches!(&e.event, HlpEvent::Link(CanEvent::TxSucceeded { .. })))
         });
         sim.node_mut(NodeId(0)).crash();
         sim.run(4000);
@@ -224,7 +223,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.event, HlpEvent::Dropped { .. }))
             .count();
-        assert_eq!(drops, 2, "both receivers dropped: agreement on non-delivery");
+        assert_eq!(
+            drops, 2,
+            "both receivers dropped: agreement on non-delivery"
+        );
     }
 
     #[test]

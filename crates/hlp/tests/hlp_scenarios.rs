@@ -12,9 +12,7 @@
 
 use majorcan_can::{CanEvent, ControllerConfig};
 use majorcan_faults::{Disturbance, ScriptedFaults};
-use majorcan_hlp::{
-    trace_from_hlp_events, EdCan, HlpEvent, HlpLayer, HlpNode, RelCan, TotCan,
-};
+use majorcan_hlp::{trace_from_hlp_events, EdCan, HlpEvent, HlpLayer, HlpNode, RelCan, TotCan};
 use majorcan_sim::{NodeId, Simulator};
 
 /// Fig. 3a's disturbance script: X's view of EOF bit 6 and the
@@ -230,10 +228,7 @@ fn hlp_layers_deduplicate_link_level_double_receptions() {
             .iter()
             .filter(|e| {
                 e.node == NodeId(2)
-                    && matches!(
-                        &e.event,
-                        HlpEvent::Link(CanEvent::Delivered { .. })
-                    )
+                    && matches!(&e.event, HlpEvent::Link(CanEvent::Delivered { .. }))
             })
             .count();
         assert!(

@@ -75,8 +75,7 @@ fn run_mix<L: HlpLayer, F: Fn() -> L>(
         sim.run(2_500);
     }
     sim.run(8_000);
-    trace_from_hlp_events(sim.events(), n_nodes)
-        .check()
+    trace_from_hlp_events(sim.events(), n_nodes).check()
 }
 
 proptest! {

@@ -196,9 +196,7 @@ impl<N: BitNode, C: ChannelModel<N::Tag>> Simulator<N, C> {
             }
         }
 
-        if let (Some(trace), Some(record), Some(labels)) =
-            (self.trace.as_mut(), record, labels)
-        {
+        if let (Some(trace), Some(record), Some(labels)) = (self.trace.as_mut(), record, labels) {
             trace.push(record, labels);
         }
         self.now += 1;
@@ -297,7 +295,11 @@ mod tests {
         sim.attach(Scripted::new(vec![R]));
         sim.run(2);
         assert_eq!(sim.node(NodeId(0)).seen, vec![R, R]);
-        assert_eq!(sim.node(NodeId(1)).seen, vec![D, R], "node 1's view flipped");
+        assert_eq!(
+            sim.node(NodeId(1)).seen,
+            vec![D, R],
+            "node 1's view flipped"
+        );
     }
 
     #[test]
@@ -367,9 +369,7 @@ mod tests {
     fn run_until_stops_on_predicate() {
         let mut sim = Simulator::new(NoFaults);
         sim.attach(Scripted::new(vec![R, R, D, R]));
-        let steps = sim.run_until(100, |s| {
-            s.events().iter().any(|e| e.event == D)
-        });
+        let steps = sim.run_until(100, |s| s.events().iter().any(|e| e.event == D));
         assert_eq!(steps, 3);
         assert_eq!(sim.now(), 3);
     }

@@ -154,10 +154,7 @@ mod tests {
             Level::resolve([Level::Recessive, Level::Recessive, Level::Dominant]),
             Level::Dominant
         );
-        assert_eq!(
-            Level::resolve([Level::Recessive; 32]),
-            Level::Recessive
-        );
+        assert_eq!(Level::resolve([Level::Recessive; 32]), Level::Recessive);
     }
 
     #[test]

@@ -186,7 +186,11 @@ mod tests {
         let mut t = BitTrace::new();
         for bit in 0..10 {
             t.push(
-                record(bit, Level::Recessive, &[(Level::Recessive, Level::Recessive, false)]),
+                record(
+                    bit,
+                    Level::Recessive,
+                    &[(Level::Recessive, Level::Recessive, false)],
+                ),
                 vec!["IDLE".into()],
             );
         }
@@ -227,7 +231,11 @@ mod tests {
     fn display_renders_whole_trace() {
         let mut t = BitTrace::new();
         t.push(
-            record(5, Level::Dominant, &[(Level::Dominant, Level::Dominant, false)]),
+            record(
+                5,
+                Level::Dominant,
+                &[(Level::Dominant, Level::Dominant, false)],
+            ),
             vec![String::new()],
         );
         let s = t.to_string();

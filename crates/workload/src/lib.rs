@@ -156,6 +156,12 @@ impl Workload {
         }
     }
 
+    /// Builds the merged schedule of `sources` over `[0, horizon)` — the
+    /// common "every node streams periodically" setup in one call.
+    pub fn from_periodic(sources: &[PeriodicSource], horizon: u64) -> Workload {
+        Workload::new(sources.iter().flat_map(|s| s.releases(horizon)).collect())
+    }
+
     /// Total number of releases.
     pub fn len(&self) -> usize {
         self.releases.len()
@@ -225,7 +231,8 @@ where
         let now = sim.now();
         let due: Vec<Release> = workload.due(now).to_vec();
         for release in due {
-            sim.node_mut(NodeId(release.node)).enqueue_frame(release.frame);
+            sim.node_mut(NodeId(release.node))
+                .enqueue_frame(release.frame);
             queued += 1;
         }
         sim.step();
@@ -295,8 +302,7 @@ mod tests {
         let period = sources[0].period as f64;
         let achieved = 32.0 * 110.0 / period;
         assert!((achieved - 0.9).abs() < 0.01, "load={achieved}");
-        let ids: std::collections::BTreeSet<_> =
-            sources.iter().map(|s| s.id.raw()).collect();
+        let ids: std::collections::BTreeSet<_> = sources.iter().map(|s| s.id.raw()).collect();
         assert_eq!(ids.len(), 32, "distinct identifiers per node");
     }
 

@@ -41,8 +41,7 @@ fn drive<V: Variant>(variant: &V) -> Vec<bool> {
             ControllerConfig::default(),
         ));
     }
-    let brake = Frame::new(FrameId::new(0x010).unwrap(), b"BRAKE!")
-        .expect("valid brake command");
+    let brake = Frame::new(FrameId::new(0x010).unwrap(), b"BRAKE!").expect("valid brake command");
     sim.node_mut(NodeId(PEDAL)).enqueue(brake.clone());
     sim.run(1_500);
 
@@ -62,7 +61,11 @@ fn report<V: Variant>(variant: &V) {
     for (wheel, did) in WHEELS.iter().zip(&actuated) {
         println!(
             "  {wheel:<12} {}",
-            if *did { "BRAKING" } else { "*** NOT BRAKING ***" }
+            if *did {
+                "BRAKING"
+            } else {
+                "*** NOT BRAKING ***"
+            }
         );
     }
     let all = actuated.iter().all(|&b| b);
@@ -85,7 +88,10 @@ fn main() {
     report(&MajorCan::proposed());
 
     // Make the contrast machine-checkable too.
-    assert!(drive(&StandardCan).contains(&false), "CAN must drop a wheel");
+    assert!(
+        drive(&StandardCan).contains(&false),
+        "CAN must drop a wheel"
+    );
     assert!(
         drive(&MajorCan::proposed()).iter().all(|&b| b),
         "MajorCAN must reach every wheel"

@@ -33,8 +33,11 @@ fn main() {
         Scenario::fig1c(),
         Scenario::fig3a(),
     ] {
-        let disturbances: Vec<String> =
-            scenario.disturbances.iter().map(|d| d.to_string()).collect();
+        let disturbances: Vec<String> = scenario
+            .disturbances
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
         let mut line = format!(
             "{:<8} {:<58} | {:<22} | {:<22} | {}",
             scenario.name,

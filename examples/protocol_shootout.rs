@@ -34,7 +34,10 @@ fn shootout_link<V: Variant>(variant: &V) -> (usize, f64) {
     let mut workload = Workload::new(releases);
     let sent = drive(&mut sim, &mut workload, HORIZON);
     let stats = BusStats::from_events(sim.events());
-    assert_eq!(sent, stats.successes, "fault-free bus completes the schedule");
+    assert_eq!(
+        sent, stats.successes,
+        "fault-free bus completes the schedule"
+    );
     (stats.successes, stats.bits_per_message())
 }
 

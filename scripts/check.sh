@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests, and a campaign smoke
+# run exercising the JSONL sink, resume path and determinism end to end.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --fast   # skip the test suite (fmt + clippy + smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> cargo test --workspace"
+    cargo test --workspace -q
+fi
+
+echo "==> campaign smoke run (sweep, 30 trials, 1 vs 2 workers)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q -p majorcan-bench --bin sweep -- \
+    30 --seed 0xAB --jobs 1 --out "$tmp/j1.jsonl" --quiet >/dev/null
+cargo run -q -p majorcan-bench --bin sweep -- \
+    30 --seed 0xAB --jobs 2 --out "$tmp/j2.jsonl" --quiet >/dev/null
+sort "$tmp/j1.jsonl" >"$tmp/j1.sorted"
+sort "$tmp/j2.jsonl" >"$tmp/j2.sorted"
+if ! cmp -s "$tmp/j1.sorted" "$tmp/j2.sorted"; then
+    echo "FAIL: campaign artifact differs between 1 and 2 workers" >&2
+    exit 1
+fi
+echo "    artifact identical across worker counts ($(wc -l <"$tmp/j1.jsonl") jobs)"
+
+echo "OK"

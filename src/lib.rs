@@ -11,11 +11,14 @@
 //! * [`abcast`] — Atomic Broadcast property checking.
 //! * [`analysis`] — the paper's analytic probability model (Table 1).
 //! * [`workload`] — traffic generation.
+//! * [`campaign`] — parallel deterministic experiment-campaign runner
+//!   (JSONL results, checkpoint/resume, live progress).
 
 #![forbid(unsafe_code)]
 
 pub use majorcan_abcast as abcast;
 pub use majorcan_analysis as analysis;
+pub use majorcan_campaign as campaign;
 pub use majorcan_can as can;
 pub use majorcan_core as protocols;
 pub use majorcan_faults as faults;

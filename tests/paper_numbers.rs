@@ -11,9 +11,7 @@ use majorcan::protocols::MajorCan;
 #[test]
 fn table1_matches_the_paper_within_half_a_percent() {
     let params = NetworkParams::paper_reference();
-    for (row, &(ber, paper_new, _, paper_star)) in
-        table1(&params).iter().zip(PAPER_TABLE1.iter())
-    {
+    for (row, &(ber, paper_new, _, paper_star)) in table1(&params).iter().zip(PAPER_TABLE1.iter()) {
         assert_eq!(row.ber, ber);
         assert!(
             (row.imo_new_per_hour - paper_new).abs() / paper_new < 5e-3,
@@ -69,5 +67,8 @@ fn facade_reexports_are_usable_together() {
     let msg = MsgId::new(id.raw(), vec![1]);
     assert_eq!(msg.channel, 0x42);
     let v = MajorCan::proposed();
-    assert_eq!(majorcan::protocols::overhead::majorcan_best_case_overhead(&v), 3);
+    assert_eq!(
+        majorcan::protocols::overhead::majorcan_best_case_overhead(&v),
+        3
+    );
 }

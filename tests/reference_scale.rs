@@ -12,7 +12,11 @@ use majorcan::sim::{NoFaults, Simulator};
 use majorcan::workload::{drive, plan_periodic_load, Workload};
 
 const N_NODES: usize = if cfg!(debug_assertions) { 8 } else { 32 };
-const HORIZON: u64 = if cfg!(debug_assertions) { 30_000 } else { 150_000 };
+const HORIZON: u64 = if cfg!(debug_assertions) {
+    30_000
+} else {
+    150_000
+};
 
 fn run_reference<V: Variant>(variant: &V) -> (usize, usize, majorcan::abcast::Report) {
     let mut sim = Simulator::new(NoFaults);
@@ -47,7 +51,10 @@ fn standard_can_carries_90_percent_load_fault_free() {
 #[test]
 fn majorcan_carries_the_same_load_with_its_3_bit_overhead() {
     let (queued, delivered, report) = run_reference(&MajorCan::proposed());
-    assert_eq!(queued, delivered, "3 extra bits per frame fit into the 10% slack");
+    assert_eq!(
+        queued, delivered,
+        "3 extra bits per frame fit into the 10% slack"
+    );
     assert!(report.atomic_broadcast(), "{report}");
 }
 

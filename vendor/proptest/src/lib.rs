@@ -1,0 +1,177 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the API subset the workspace's test suites use:
+//!
+//! * [`Strategy`] with `prop_map` and `boxed`, implemented for integer and
+//!   `f64` ranges, tuples, [`Just`] and [`any`];
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * [`sample::Index`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros;
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Semantics match real proptest for passing suites: each test body runs
+//! for `cases` generated inputs, `prop_assume!` rejections are retried
+//! without counting, and any failure panics with the offending case's
+//! values. **Shrinking is not implemented** — a failing case is reported
+//! as drawn. Case generation is deterministic per test name, so failures
+//! reproduce across runs; set `PROPTEST_RERUN_SALT` to explore different
+//! streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// `proptest!` — declares property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in strategy, y in other_strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(#[test] fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_property(
+                    __config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )+
+                        let __case = format!(
+                            concat!($(stringify!($arg), " = {:?}, ",)+),
+                            $(&$arg),+
+                        );
+                        let __outcome: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        (__outcome, __case)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_oneof!` — a strategy choosing uniformly among the listed
+/// strategies (weights are not supported by this stand-in).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// `prop_assert!` — like `assert!`, but reported through the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!` — like `assert_eq!`, reported through the runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n{}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert_ne!` — like `assert_ne!`, reported through the runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: {:?}\n{}",
+            l,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assume!` — rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

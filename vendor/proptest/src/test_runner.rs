@@ -1,0 +1,132 @@
+//! Case generation and the test-runner loop.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration. Only `cases` is honoured by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: draw a fresh case, don't count this one.
+    Reject,
+    /// `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with `message`.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.next_f64()
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot draw below 0");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `case` until `config.cases` accepted cases pass, panicking on the
+/// first failure. The per-case closure returns its outcome plus a rendered
+/// description of the drawn values for failure reports.
+///
+/// Case seeds derive from the test's fully qualified name (plus the
+/// optional `PROPTEST_RERUN_SALT` environment variable), so runs are
+/// reproducible by default.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when more than `100 × cases + 1000`
+/// consecutive-case rejections suggest an over-restrictive `prop_assume!`.
+pub fn run_property<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let salt = std::env::var("PROPTEST_RERUN_SALT")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let base = fnv1a(name.as_bytes()) ^ salt;
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let reject_budget = config.cases as u64 * 100 + 1000;
+    let mut case_index = 0u64;
+    while accepted < config.cases {
+        let seed = base ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        case_index += 1;
+        let mut rng = TestRng::from_seed(seed);
+        let (outcome, values) = case(&mut rng);
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "{name}: too many prop_assume! rejections \
+                     ({rejected} rejects for {accepted} accepted cases)"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => panic!(
+                "proptest property {name} failed at case #{case_index} \
+                 (seed {seed:#x}):\n{message}\nwith values: {values}"
+            ),
+        }
+    }
+}
