@@ -10,9 +10,47 @@
 //! * `--quiet` — suppress the runner's progress lines;
 //! * positional arguments — binary-specific sizes (trial counts, node
 //!   counts), consumed in order via [`CliArgs::positional`].
+//!
+//! Binaries with flags of their own (the falsifier's `--corpus`,
+//! `--targets`, …) declare them as [`ExtraFlag`]s and parse via
+//! [`CliArgs::parse_with_extras`]; undeclared `--…` arguments still fail
+//! fast instead of being swallowed as positionals.
 
 use majorcan_campaign::{CampaignOptions, JsonlSink, Manifest};
 use std::path::{Path, PathBuf};
+
+/// Declaration of one binary-specific flag accepted on top of the common
+/// set.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtraFlag {
+    /// Flag spelling including the leading dashes (`"--corpus"`).
+    pub name: &'static str,
+    /// `true` when the flag consumes the following argument as its value;
+    /// `false` for a boolean switch.
+    pub takes_value: bool,
+    /// Usage fragment shown in error messages (`"<dir>"`).
+    pub help: &'static str,
+}
+
+impl ExtraFlag {
+    /// A flag that takes a value (`--corpus <dir>`).
+    pub const fn value(name: &'static str, help: &'static str) -> ExtraFlag {
+        ExtraFlag {
+            name,
+            takes_value: true,
+            help,
+        }
+    }
+
+    /// A boolean switch (`--strict`).
+    pub const fn switch(name: &'static str, help: &'static str) -> ExtraFlag {
+        ExtraFlag {
+            name,
+            takes_value: false,
+            help,
+        }
+    }
+}
 
 /// Parsed common arguments.
 #[derive(Debug, Clone)]
@@ -27,6 +65,7 @@ pub struct CliArgs {
     pub quiet: bool,
     positionals: Vec<String>,
     cursor: usize,
+    extras: Vec<(String, String)>,
 }
 
 fn parse_u64(flag: &str, text: &str) -> u64 {
@@ -61,6 +100,21 @@ impl CliArgs {
     where
         I: IntoIterator<Item = String>,
     {
+        CliArgs::parse_from_with_extras(args, default_seed, &[])
+    }
+
+    /// Parses `std::env::args()` accepting the declared binary-specific
+    /// flags in addition to the common set.
+    pub fn parse_with_extras(default_seed: u64, extras: &[ExtraFlag]) -> CliArgs {
+        CliArgs::parse_from_with_extras(std::env::args().skip(1), default_seed, extras)
+    }
+
+    /// Parses an explicit argument list with binary-specific flags (tests
+    /// use this).
+    pub fn parse_from_with_extras<I>(args: I, default_seed: u64, extras: &[ExtraFlag]) -> CliArgs
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut out = CliArgs {
             seed: default_seed,
             jobs: 0,
@@ -68,6 +122,16 @@ impl CliArgs {
             quiet: false,
             positionals: Vec::new(),
             cursor: 0,
+            extras: Vec::new(),
+        };
+        let usage = {
+            let mut u = String::from(
+                "common flags: [--seed <u64>] [--jobs <n>] [--out <file.jsonl>] [--quiet]",
+            );
+            for e in extras {
+                u.push_str(&format!(" [{} {}]", e.name, e.help));
+            }
+            u
         };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -81,16 +145,45 @@ impl CliArgs {
                 "--out" => out.out = Some(PathBuf::from(flag_value("--out"))),
                 "--quiet" => out.quiet = true,
                 "--help" | "-h" => {
-                    println!(
-                        "common flags: [--seed <u64>] [--jobs <n>] [--out <file.jsonl>] [--quiet]"
-                    );
+                    println!("{usage}");
                     std::process::exit(0);
                 }
-                other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+                other if other.starts_with("--") => match extras.iter().find(|e| e.name == other) {
+                    Some(e) if e.takes_value => {
+                        let value = flag_value(e.name);
+                        out.extras.push((e.name.to_string(), value));
+                    }
+                    Some(e) => out.extras.push((e.name.to_string(), String::new())),
+                    None => die(&format!("unknown flag {other}\n{usage}")),
+                },
                 _ => out.positionals.push(arg),
             }
         }
         out
+    }
+
+    /// The value of a declared extra flag, if it was passed (boolean
+    /// switches yield `Some("")`). The last occurrence wins.
+    pub fn extra(&self, name: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a declared extra flag parsed as `u64` (decimal or
+    /// `0x…`), or `default` when absent.
+    pub fn extra_u64(&self, name: &str, default: u64) -> u64 {
+        match self.extra(name) {
+            Some(text) => parse_u64(name, text),
+            None => default,
+        }
+    }
+
+    /// `true` when the declared boolean switch was passed.
+    pub fn extra_flag(&self, name: &str) -> bool {
+        self.extra(name).is_some()
     }
 
     /// The next positional argument parsed as `T`, or `default`.
@@ -151,5 +244,43 @@ mod tests {
     fn out_flag_sets_the_artifact_path() {
         let cli = CliArgs::parse_from(strs(&["--out", "runs/mc.jsonl"]), 1);
         assert_eq!(cli.out, Some(PathBuf::from("runs/mc.jsonl")));
+    }
+
+    #[test]
+    fn declared_extra_flags_parse_alongside_common_ones() {
+        let extras = [
+            ExtraFlag::value("--corpus", "<dir>"),
+            ExtraFlag::value("--max-errors", "<n>"),
+            ExtraFlag::switch("--strict", ""),
+        ];
+        let mut cli = CliArgs::parse_from_with_extras(
+            strs(&[
+                "600",
+                "--corpus",
+                "corpus",
+                "--seed",
+                "9",
+                "--strict",
+                "--max-errors",
+                "0x4",
+            ]),
+            1,
+            &extras,
+        );
+        assert_eq!(cli.seed, 9);
+        assert_eq!(cli.positional(0u64), 600);
+        assert_eq!(cli.extra("--corpus"), Some("corpus"));
+        assert_eq!(cli.extra_u64("--max-errors", 2), 4);
+        assert_eq!(cli.extra_u64("--nodes", 3), 3, "absent -> default");
+        assert!(cli.extra_flag("--strict"));
+        assert!(!cli.extra_flag("--other"));
+    }
+
+    #[test]
+    fn last_occurrence_of_an_extra_wins() {
+        let extras = [ExtraFlag::value("--corpus", "<dir>")];
+        let cli =
+            CliArgs::parse_from_with_extras(strs(&["--corpus", "a", "--corpus", "b"]), 1, &extras);
+        assert_eq!(cli.extra("--corpus"), Some("b"));
     }
 }

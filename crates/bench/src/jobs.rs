@@ -77,6 +77,11 @@ pub fn run_job(job: &Job) -> JobResult {
                 .unwrap_or_else(|e| panic!("job {} has invalid MajorCAN tolerance: {e}", job.id));
             run_with(&variant, job)
         }
+        ProtocolSpec::EdCan | ProtocolSpec::RelCan | ProtocolSpec::TotCan => panic!(
+            "job {}: higher-level protocol {} jobs are interpreted by the \
+             majorcan-falsify oracle, not the experiment interpreter",
+            job.id, job.protocol
+        ),
     }
 }
 
@@ -231,6 +236,11 @@ fn single_broadcast_trial<V: Variant>(variant: &V, job: &Job, trial: u64, out: &
             sim.run(2_500);
             (2_500, sim.take_events())
         }
+        FaultSpec::AdversarialSearch { .. } => panic!(
+            "job {}: adversarial-search jobs are interpreted by the \
+             majorcan-falsify executor, not the experiment interpreter",
+            job.id
+        ),
     };
     out.frames += 1;
     out.bits += bits;

@@ -43,7 +43,8 @@ pub fn derive_trial_seed(job_seed: u64, trial: u64) -> u64 {
     derive_job_seed(job_seed, trial ^ 0x5851_F42D_4C95_7F2D)
 }
 
-/// Which link-layer protocol a job simulates.
+/// Which protocol a job simulates: a link-layer variant, or one of the
+/// FTCS'98 higher-level protocols layered over standard CAN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolSpec {
     /// Standard CAN.
@@ -55,6 +56,12 @@ pub enum ProtocolSpec {
         /// The paper's `m` (tolerated disturbed views per frame).
         m: usize,
     },
+    /// EDCAN over standard CAN (every receiver retransmits).
+    EdCan,
+    /// RELCAN over standard CAN (CONFIRM frames, timeout recovery).
+    RelCan,
+    /// TOTCAN over standard CAN (ACCEPT frames define the total order).
+    TotCan,
 }
 
 impl fmt::Display for ProtocolSpec {
@@ -63,23 +70,40 @@ impl fmt::Display for ProtocolSpec {
             ProtocolSpec::StandardCan => f.write_str("CAN"),
             ProtocolSpec::MinorCan => f.write_str("MinorCAN"),
             ProtocolSpec::MajorCan { m } => write!(f, "MajorCAN_{m}"),
+            ProtocolSpec::EdCan => f.write_str("EDCAN"),
+            ProtocolSpec::RelCan => f.write_str("RELCAN"),
+            ProtocolSpec::TotCan => f.write_str("TOTCAN"),
         }
     }
 }
 
 impl ProtocolSpec {
-    /// Parses the names this type's `Display` produces — which are exactly
-    /// the link-layer `Variant::name()` strings (`CAN`, `MinorCAN`,
-    /// `MajorCAN_<m>`), so experiment code can map a variant to its spec.
+    /// Parses the names this type's `Display` produces. For the link-layer
+    /// variants these are exactly the `Variant::name()` strings (`CAN`,
+    /// `MinorCAN`, `MajorCAN_<m>`), so experiment code can map a variant to
+    /// its spec; the higher-level protocols use their paper names
+    /// (`EDCAN`, `RELCAN`, `TOTCAN`).
     pub fn from_name(name: &str) -> Option<ProtocolSpec> {
         match name {
             "CAN" => Some(ProtocolSpec::StandardCan),
             "MinorCAN" => Some(ProtocolSpec::MinorCan),
+            "EDCAN" => Some(ProtocolSpec::EdCan),
+            "RELCAN" => Some(ProtocolSpec::RelCan),
+            "TOTCAN" => Some(ProtocolSpec::TotCan),
             _ => {
                 let m = name.strip_prefix("MajorCAN_")?.parse().ok()?;
                 Some(ProtocolSpec::MajorCan { m })
             }
         }
+    }
+
+    /// `true` for the higher-level protocols (EDCAN/RELCAN/TOTCAN), which
+    /// run over a standard-CAN link layer rather than being one.
+    pub fn is_hlp(&self) -> bool {
+        matches!(
+            self,
+            ProtocolSpec::EdCan | ProtocolSpec::RelCan | ProtocolSpec::TotCan
+        )
     }
 }
 
@@ -128,6 +152,15 @@ pub enum FaultSpec {
         index: u16,
         /// `true` to hit the stuff bit after `index` instead.
         stuff: bool,
+    },
+    /// Adversarial schedule search: each trial synthesizes a fresh
+    /// disturbance schedule of up to `max_errors` view-flips from the
+    /// trial seed and hunts for Agreement/Validity violations. Interpreted
+    /// by the `majorcan-falsify` crate's job executor, not by the standard
+    /// experiment interpreter.
+    AdversarialSearch {
+        /// Maximum disturbances per synthesized schedule.
+        max_errors: usize,
     },
 }
 
@@ -315,9 +348,15 @@ impl JobResult {
     }
 }
 
-/// A job that panicked: recorded with its replay seed, never merged into
-/// totals.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A job that panicked: recorded with its replay seed **and its full
+/// payload**, never merged into totals.
+///
+/// The payload matters for schedule-searching campaigns (the
+/// `majorcan-falsify` fuzzer): a crashing job must be replayable
+/// standalone from the failures artifact alone — protocol, fault model,
+/// workload, bus size and trial count included — without consulting the
+/// (possibly regenerated) job list that produced it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobFailure {
     /// The failed job.
     pub job_id: u64,
@@ -325,16 +364,42 @@ pub struct JobFailure {
     pub seed: u64,
     /// The panic payload, if it was a string.
     pub message: String,
+    /// The failed job's full JSON description ([`Job::to_json`]), so the
+    /// failure line is a standalone repro.
+    pub job: Value,
 }
 
 impl JobFailure {
+    /// Builds the failure record for `job`, capturing its full payload.
+    pub fn for_job(job: &Job, message: String) -> JobFailure {
+        JobFailure {
+            job_id: job.id,
+            seed: job.seed,
+            message,
+            job: job.to_json(),
+        }
+    }
+
     /// One JSONL line for the failures artifact.
     pub fn to_json(&self) -> Value {
         let mut v = Value::obj();
         v.set("job_id", Value::U64(self.job_id))
             .set("seed", Value::U64(self.seed))
-            .set("error", Value::from(self.message.as_str()));
+            .set("error", Value::from(self.message.as_str()))
+            .set("job", self.job.clone());
         v
+    }
+
+    /// Parses a line written by [`JobFailure::to_json`]. Lines from
+    /// artifacts predating the embedded payload (no `"job"` key) load with
+    /// a `Null` payload rather than failing.
+    pub fn from_json(v: &Value) -> Option<JobFailure> {
+        Some(JobFailure {
+            job_id: v.get("job_id")?.as_u64()?,
+            seed: v.get("seed")?.as_u64()?,
+            message: v.get("error")?.as_str()?.to_string(),
+            job: v.get("job").cloned().unwrap_or(Value::Null),
+        })
     }
 }
 
@@ -395,6 +460,52 @@ mod tests {
         assert_eq!(ab.get("imo"), 3);
         assert_eq!(ab.get("double"), 5);
         assert_eq!(ab.get("missing"), 0);
+    }
+
+    #[test]
+    fn protocol_specs_round_trip_including_hlps() {
+        for spec in [
+            ProtocolSpec::StandardCan,
+            ProtocolSpec::MinorCan,
+            ProtocolSpec::MajorCan { m: 3 },
+            ProtocolSpec::EdCan,
+            ProtocolSpec::RelCan,
+            ProtocolSpec::TotCan,
+        ] {
+            assert_eq!(ProtocolSpec::from_name(&spec.to_string()), Some(spec));
+        }
+        assert!(!ProtocolSpec::StandardCan.is_hlp());
+        assert!(ProtocolSpec::EdCan.is_hlp());
+        assert_eq!(ProtocolSpec::from_name("FooCAN"), None);
+    }
+
+    #[test]
+    fn failure_record_is_a_standalone_repro() {
+        let job = Job::new(
+            4,
+            0xFA15,
+            ProtocolSpec::MinorCan,
+            FaultSpec::AdversarialSearch { max_errors: 4 },
+            WorkloadSpec::SingleBroadcast,
+            3,
+            100,
+        );
+        let failure = JobFailure::for_job(&job, "boom".to_string());
+        let line = failure.to_json().to_string();
+        assert!(line.contains("\"protocol\":\"MinorCAN\""), "{line}");
+        assert!(line.contains("AdversarialSearch"), "{line}");
+        assert!(line.contains("\"frames\":100"), "{line}");
+        let back = JobFailure::from_json(&crate::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, failure);
+        assert_eq!(back.job.get("seed").and_then(Value::as_u64), Some(job.seed));
+    }
+
+    #[test]
+    fn legacy_failure_lines_without_payload_still_parse() {
+        let legacy = "{\"job_id\":5,\"seed\":9,\"error\":\"old\"}";
+        let back = JobFailure::from_json(&crate::json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(back.job_id, 5);
+        assert_eq!(back.job, Value::Null);
     }
 
     #[test]

@@ -245,11 +245,9 @@ where
                 let t0 = Instant::now();
                 let outcome = match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
                     Ok(result) => Outcome::Done(result),
-                    Err(payload) => Outcome::Panicked(JobFailure {
-                        job_id: job.id,
-                        seed: job.seed,
-                        message: panic_message(payload),
-                    }),
+                    Err(payload) => {
+                        Outcome::Panicked(JobFailure::for_job(job, panic_message(payload)))
+                    }
                 };
                 let completion = Completion {
                     worker,

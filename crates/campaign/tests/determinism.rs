@@ -142,10 +142,22 @@ fn panicking_job_is_recorded_and_campaign_continues() {
     assert_eq!(report.totals.jobs, 11);
     assert!(report.results.iter().all(|r| r.job_id != 5));
 
-    // The failures artifact names the job and its replay seed.
+    // The failures artifact names the job, its replay seed AND its full
+    // payload, so the line is a standalone repro.
     let failures = std::fs::read_to_string(dir.join("results.jsonl.failures.jsonl")).unwrap();
     assert!(failures.contains("\"job_id\":5"));
     assert!(failures.contains("injected failure"));
+    assert!(
+        failures.contains("\"job\":{") && failures.contains("\"protocol\":\"MajorCAN_2\""),
+        "failure line must embed the job payload: {failures}"
+    );
+    assert_eq!(
+        report.failures[0]
+            .job
+            .get("frames")
+            .and_then(|v| v.as_u64()),
+        Some(js[5].frames)
+    );
 
     // A rerun retries the failed job (it is not marked completed) and,
     // with a healthy executor, completes the campaign.

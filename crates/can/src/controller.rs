@@ -425,7 +425,13 @@ impl<V: Variant> Controller<V> {
 
     /// Handles an error detected outside the EOF region (or a CRC error):
     /// reject, signal, schedule retransmission if transmitting.
-    fn standard_error(&mut self, kind: ErrorKind, pos: WirePos, events: &mut Vec<CanEvent>) {
+    fn standard_error(
+        &mut self,
+        now: u64,
+        kind: ErrorKind,
+        pos: WirePos,
+        events: &mut Vec<CanEvent>,
+    ) {
         let role = self.role();
         self.episode_role = role;
         events.push(CanEvent::ErrorDetected { kind, pos });
@@ -449,10 +455,20 @@ impl<V: Variant> Controller<V> {
                 }
             }
         }
-        // MajorCAN: a CRC-error flag occupies EOF bits 1..6 and the node
-        // must then hold (without voting) until the agreement end so it
-        // cannot disrupt other nodes' windows.
-        let then = if kind == ErrorKind::Crc && self.variant.agreement_end().is_some() {
+        // MajorCAN: a flag born at the frame end — a CRC verdict (signalled
+        // at EOF bit 1) or a disturbed view of the ACK delimiter — occupies
+        // EOF bits 1..6 and the node must then hold (without voting) until
+        // the agreement end. Standard delimiter recovery would instead run
+        // straight through the other nodes' sampling windows, where any
+        // second flag reads as an acceptance notification and two disturbed
+        // bit-views suffice to break agreement.
+        let frame_end = kind == ErrorKind::Crc || pos.field == Field::AckDelim;
+        let then = if frame_end && self.variant.agreement_end().is_some() {
+            if self.eof_start.is_none() {
+                // The node knows where EOF begins: at the bit after the ACK
+                // delimiter it is observing right now.
+                self.eof_start = Some(now + 1);
+            }
             AfterFlag::MajorHold { voting: false }
         } else {
             AfterFlag::Delimiter
@@ -607,12 +623,12 @@ impl<V: Variant> Controller<V> {
                 if pos.field == Field::Eof {
                     self.eof_error(ErrorKind::Bit, pos.index as usize + 1, events);
                 } else {
-                    self.standard_error(ErrorKind::Bit, pos, events);
+                    self.standard_error(now, ErrorKind::Bit, pos, events);
                 }
                 return;
             }
             TxCheck::AckError => {
-                self.standard_error(ErrorKind::Ack, pos, events);
+                self.standard_error(now, ErrorKind::Ack, pos, events);
                 return;
             }
         }
@@ -623,14 +639,14 @@ impl<V: Variant> Controller<V> {
 
         match step {
             RxStep::StuffError => {
-                self.standard_error(ErrorKind::Stuff, pos, events);
+                self.standard_error(now, ErrorKind::Stuff, pos, events);
                 return;
             }
             RxStep::FormError => {
                 if pos.field == Field::Eof {
                     self.eof_error(ErrorKind::Form, pos.index as usize + 1, events);
                 } else {
-                    self.standard_error(ErrorKind::Form, pos, events);
+                    self.standard_error(now, ErrorKind::Form, pos, events);
                 }
                 return;
             }
@@ -646,7 +662,7 @@ impl<V: Variant> Controller<V> {
         // CRC verdict: receivers with a bad CRC start their error flag at
         // the first EOF bit (the bit following the ACK delimiter).
         if pos.field == Field::AckDelim && self.tx.is_none() && pipe.crc_ok() == Some(false) {
-            self.standard_error(ErrorKind::Crc, WirePos::eof(1), events);
+            self.standard_error(now, ErrorKind::Crc, WirePos::eof(1), events);
             return;
         }
 
@@ -798,6 +814,7 @@ impl<V: Variant> Controller<V> {
 
     fn observe_delim(
         &mut self,
+        now: u64,
         seen: Level,
         remaining: usize,
         overload: bool,
@@ -811,6 +828,7 @@ impl<V: Variant> Controller<V> {
             } else {
                 // Form error within the delimiter.
                 self.standard_error(
+                    now,
                     ErrorKind::Form,
                     WirePos::new(
                         Field::Delim,
@@ -1091,7 +1109,7 @@ impl<V: Variant> BitNode for Controller<V> {
             CState::Delim {
                 remaining,
                 overload,
-            } => self.observe_delim(seen, remaining, overload, events),
+            } => self.observe_delim(now, seen, remaining, overload, events),
             CState::Intermission { done } => self.observe_intermission(seen, done, events),
             CState::Suspend { remaining } => {
                 if seen.is_dominant() {

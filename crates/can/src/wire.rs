@@ -77,6 +77,44 @@ impl Field {
     pub fn in_arbitration(self) -> bool {
         matches!(self, Field::Id | Field::Rtr)
     }
+
+    /// Every field, in wire order — iteration support for tooling that
+    /// enumerates or serialises positions (the single-error atlas, the
+    /// falsifier's corpus format).
+    pub const ALL: [Field; 25] = [
+        Field::Idle,
+        Field::Integrating,
+        Field::Sof,
+        Field::Id,
+        Field::Rtr,
+        Field::Ide,
+        Field::R0,
+        Field::Dlc,
+        Field::Data,
+        Field::Crc,
+        Field::CrcDelim,
+        Field::AckSlot,
+        Field::AckDelim,
+        Field::Eof,
+        Field::Intermission,
+        Field::Suspend,
+        Field::ErrorFlag,
+        Field::PassiveErrorFlag,
+        Field::OverloadFlag,
+        Field::ExtendedFlag,
+        Field::AgreementHold,
+        Field::DelimWait,
+        Field::Delim,
+        Field::BusOff,
+        Field::Crashed,
+    ];
+
+    /// Parses the token this type's `Display` produces (`"EOF"`, `"HOLD"`,
+    /// …), so positions serialised into durable artifacts (the falsifier's
+    /// counterexample corpus) round-trip exactly.
+    pub fn from_token(token: &str) -> Option<Field> {
+        Field::ALL.into_iter().find(|f| f.to_string() == token)
+    }
 }
 
 impl fmt::Display for Field {
@@ -397,6 +435,16 @@ mod tests {
     use super::*;
     use crate::{FrameId, StandardCan};
     use majorcan_sim::Level::{Dominant as D, Recessive as R};
+
+    #[test]
+    fn field_tokens_round_trip() {
+        for field in Field::ALL {
+            assert_eq!(Field::from_token(&field.to_string()), Some(field));
+        }
+        assert_eq!(Field::from_token("EOF"), Some(Field::Eof));
+        assert_eq!(Field::from_token("HOLD"), Some(Field::AgreementHold));
+        assert_eq!(Field::from_token("nonsense"), None);
+    }
 
     #[test]
     fn stuff_inserts_after_five() {

@@ -1,0 +1,129 @@
+//! Adversarial fault-schedule falsifier.
+//!
+//! Synthesizes thousands of seeded disturbance schedules per protocol
+//! target, hunts Atomic Broadcast violations, shrinks every finding to
+//! its causal core and (with `--corpus`) archives the minima as
+//! replayable JSON repros.
+//!
+//! ```text
+//! falsify [schedules_per_target] [--seed <u64>] [--jobs <n>] [--out <f.jsonl>]
+//!         [--quiet] [--corpus <dir>] [--targets <csv>] [--max-errors <n>]
+//!         [--nodes <n>]
+//! ```
+//!
+//! Results are bit-identical for any `--jobs`. The process exits with
+//! status 3 if any MajorCAN target yields a finding — the falsifier
+//! doubles as a regression gate for the protocol under test.
+
+use majorcan_bench::cli::{open_sink, CliArgs, ExtraFlag};
+use majorcan_campaign::{Manifest, ProtocolSpec};
+use majorcan_falsify::{build_jobs, run_search, write_corpus, SearchConfig, SearchReport};
+use std::path::Path;
+
+const DEFAULT_SEED: u64 = 0xFA15;
+const DEFAULT_SCHEDULES: u64 = 400;
+
+const EXTRAS: &[ExtraFlag] = &[
+    ExtraFlag::value("--corpus", "<dir: archive shrunk repros>"),
+    ExtraFlag::value("--targets", "<csv: default CAN,MinorCAN,MajorCAN_5,TOTCAN>"),
+    ExtraFlag::value("--max-errors", "<n: disturbances per schedule, default 4>"),
+    ExtraFlag::value("--nodes", "<n: bus size, default 3>"),
+];
+
+fn parse_targets(text: &str) -> Vec<ProtocolSpec> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            ProtocolSpec::from_name(t).unwrap_or_else(|| {
+                eprintln!("error: unknown protocol target {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn print_summary(cfg: &SearchConfig, report: &SearchReport) {
+    for &target in &cfg.targets {
+        let prefix = format!("outcome/{target}/");
+        let mut parts: Vec<String> = report
+            .totals
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, v)| format!("{} {v}", &k[prefix.len()..]))
+            .collect();
+        if parts.is_empty() {
+            parts.push("none explored".to_string());
+        }
+        println!(
+            "{target:>11}: {} schedules, {} distinct findings ({})",
+            report.explored_for(target),
+            report.findings_for(target),
+            parts.join(", ")
+        );
+    }
+    println!(
+        "shrunk {} corpus entries ({} shrink evaluations, {} findings dropped by class caps)",
+        report.entries.len(),
+        report.shrink_evaluations,
+        report.dropped
+    );
+    for entry in &report.entries {
+        println!(
+            "  {} [{}] {}",
+            entry.file_name(),
+            entry.expected,
+            entry.schedule
+        );
+    }
+}
+
+fn main() {
+    let mut cli = CliArgs::parse_with_extras(DEFAULT_SEED, EXTRAS);
+    let schedules_per_target = cli.positional(DEFAULT_SCHEDULES);
+    let mut cfg = SearchConfig::new(cli.seed, schedules_per_target);
+    cfg.targets = parse_targets(
+        cli.extra("--targets")
+            .unwrap_or("CAN,MinorCAN,MajorCAN_5,TOTCAN"),
+    );
+    cfg.max_errors = cli.extra_u64("--max-errors", 4) as usize;
+    cfg.n_nodes = cli.extra_u64("--nodes", 3) as usize;
+
+    let opts = cli.campaign_options();
+    let report = match &cli.out {
+        Some(path) => {
+            let manifest = Manifest::for_jobs("falsify", cli.seed, &build_jobs(&cfg));
+            let mut sink = open_sink(path, &manifest);
+            run_search(&cfg, &opts, Some(&mut sink))
+        }
+        None => run_search(&cfg, &opts, None),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    print_summary(&cfg, &report);
+
+    if let Some(dir) = cli.extra("--corpus") {
+        let written = write_corpus(Path::new(dir), &report.entries).unwrap_or_else(|e| {
+            eprintln!("error: writing corpus to {dir}: {e}");
+            std::process::exit(1);
+        });
+        println!("archived {} repros under {dir}/", written.len());
+    }
+
+    let protected: Vec<&ProtocolSpec> = cfg
+        .targets
+        .iter()
+        .filter(|t| matches!(t, ProtocolSpec::MajorCan { .. }))
+        .collect();
+    for target in protected {
+        let n = report.findings_for(*target);
+        if n > 0 {
+            eprintln!("FALSIFIED: {n} finding(s) against {target} — see the corpus entries above");
+            std::process::exit(3);
+        }
+    }
+}

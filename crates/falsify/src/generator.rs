@@ -1,0 +1,305 @@
+//! Seeded adversarial schedule synthesis.
+//!
+//! The generator is structure-aware: instead of spraying flips uniformly,
+//! it concentrates on the positions the paper's analysis lives in — the
+//! last and last-but-one EOF bits, error-flag/delimiter boundaries, the
+//! CRC tail, and (where the variant has one) the agreement window — and a
+//! quarter of the time it mutates one of the paper's own figure schedules.
+//!
+//! The search domain is deliberately the frame **tail**. Flips earlier in
+//! the frame can desynchronize a receiver's length decoding, a class that
+//! genuinely defeats MajorCAN (the twelve atlas omissions documented as
+//! finding F1 in EXPERIMENTS.md) but that the paper's sub-field analysis
+//! explicitly excludes. Confining the falsifier to the analysis domain is
+//! what makes "MajorCAN survives the search" a meaningful reproduction
+//! claim rather than a rediscovery of F1.
+//!
+//! Everything here is a pure function of the `StdRng` handed in, so a
+//! schedule is reproducible from `(campaign seed, job id, trial)` alone.
+
+use crate::schedule::Schedule;
+use majorcan_campaign::ProtocolSpec;
+use majorcan_can::{Field, StandardCan, Variant};
+use majorcan_core::MajorCan;
+use majorcan_faults::Disturbance;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The frame-tail geometry of a protocol target, as the generator needs
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Geometry {
+    /// Bus size (disturbances pick victims in `0..n_nodes`).
+    pub n_nodes: usize,
+    /// EOF length in bits (7 for CAN/MinorCAN, `2m` for MajorCAN).
+    pub eof_len: usize,
+    /// Error/overload delimiter length in bits.
+    pub delimiter_len: usize,
+    /// Last EOF-relative bit of the agreement window (`3m+5`), when the
+    /// variant has one.
+    pub agreement_end: Option<usize>,
+}
+
+impl Geometry {
+    /// The geometry `spec` presents to a schedule. The higher-level
+    /// protocols run over a standard-CAN link layer, so they share its
+    /// geometry; MinorCAN changes decisions, not the frame format.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid MajorCAN `m` (the campaign runner records the
+    /// panic as a job failure).
+    pub fn for_protocol(spec: ProtocolSpec, n_nodes: usize) -> Geometry {
+        let (eof_len, delimiter_len, agreement_end) = match spec {
+            ProtocolSpec::MajorCan { m } => {
+                let v = MajorCan::new(m)
+                    .unwrap_or_else(|e| panic!("invalid MajorCAN tolerance for falsifier: {e}"));
+                (v.eof_len(), v.delimiter_len(), v.agreement_end())
+            }
+            _ => (
+                StandardCan.eof_len(),
+                StandardCan.delimiter_len(),
+                StandardCan.agreement_end(),
+            ),
+        };
+        Geometry {
+            n_nodes,
+            eof_len,
+            delimiter_len,
+            agreement_end,
+        }
+    }
+}
+
+/// Draws one biased frame-tail disturbance.
+///
+/// Weights (out of 100): 40 EOF (itself biased toward the last and
+/// last-but-one bits), 15 error-flag/delimiter boundaries, 15 CRC tail
+/// (occasionally the stuff bit), 12 agreement window (EOF fallback where
+/// none exists), 12 intermission, 6 ACK slot.
+pub fn tail_disturbance(rng: &mut StdRng, geo: &Geometry) -> Disturbance {
+    let node = rng.gen_range(0..geo.n_nodes);
+    let roll = rng.gen_range(0..100);
+    let mut d = if roll < 40 {
+        let bit = match rng.gen_range(0..10) {
+            0..=3 => geo.eof_len - 1, // last but one — the paper's sore spot
+            4..=6 => geo.eof_len,     // last bit — the accept/reject boundary
+            _ => rng.gen_range(1..=geo.eof_len),
+        };
+        Disturbance::eof(node, bit as u16)
+    } else if roll < 55 {
+        match rng.gen_range(0..4) {
+            0 => Disturbance::first(node, Field::ErrorFlag, rng.gen_range(0..6)),
+            1 => Disturbance::first(node, Field::DelimWait, 0),
+            2 => Disturbance::first(
+                node,
+                Field::Delim,
+                rng.gen_range(0..geo.delimiter_len.max(2) - 1) as u16,
+            ),
+            _ => Disturbance::first(node, Field::OverloadFlag, rng.gen_range(0..6)),
+        }
+    } else if roll < 70 {
+        match rng.gen_range(0..4) {
+            0 | 1 => {
+                let index = rng.gen_range(10..15);
+                if rng.gen_bool(0.2) {
+                    Disturbance::stuff_bit(node, Field::Crc, index)
+                } else {
+                    Disturbance::first(node, Field::Crc, index)
+                }
+            }
+            2 => Disturbance::first(node, Field::CrcDelim, 0),
+            _ => Disturbance::first(node, Field::AckDelim, 0),
+        }
+    } else if roll < 82 {
+        match geo.agreement_end {
+            Some(end) => Disturbance::first(
+                node,
+                Field::AgreementHold,
+                rng.gen_range(geo.eof_len + 1..=end) as u16,
+            ),
+            None => Disturbance::eof(node, rng.gen_range(1..=geo.eof_len) as u16),
+        }
+    } else if roll < 94 {
+        Disturbance::first(node, Field::Intermission, rng.gen_range(0..3))
+    } else {
+        Disturbance::first(node, Field::AckSlot, 0)
+    };
+    if rng.gen_range(0..100) < 10 {
+        d.occurrence = 2;
+    }
+    d
+}
+
+/// The paper's figure schedules, re-expressed relative to `geo` (so
+/// "last-but-one EOF bit" lands correctly in a `2m`-bit EOF too). These
+/// are the starting points of the mutation path.
+fn seed_schedules(geo: &Geometry) -> Vec<Vec<Disturbance>> {
+    let last = geo.eof_len as u16;
+    let mut seeds = vec![
+        // Fig. 1a: last EOF bit of X.
+        vec![Disturbance::eof(1, last)],
+        // Fig. 1b: last-but-one EOF bit of X.
+        vec![Disturbance::eof(1, last - 1)],
+        // Fig. 3a: X's last-but-one plus a mask on the transmitter's last.
+        vec![Disturbance::eof(1, last - 1), Disturbance::eof(0, last)],
+    ];
+    if let Some(end) = geo.agreement_end {
+        // Fig. 5-shaped: X flags early, the transmitter is blinded, two
+        // of X's sampling-window bits are hit.
+        let lo = (geo.eof_len + 1) as u16;
+        seeds.push(vec![
+            Disturbance::eof(1, 3.min(last)),
+            Disturbance::eof(0, 4.min(last)),
+            Disturbance::eof(0, 5.min(last)),
+            Disturbance::first(1, Field::AgreementHold, lo + 2),
+            Disturbance::first(1, Field::AgreementHold, (end as u16).min(lo + 4)),
+        ]);
+    }
+    seeds
+}
+
+/// Picks a paper seed schedule and applies one or two random mutations:
+/// retarget a victim, move a bit, bump an occurrence, add/drop/replace a
+/// disturbance.
+fn mutated_seed(rng: &mut StdRng, geo: &Geometry, max_errors: usize) -> Vec<Disturbance> {
+    let seeds = seed_schedules(geo);
+    let mut schedule = seeds[rng.gen_range(0..seeds.len())].clone();
+    for _ in 0..rng.gen_range(1..=2) {
+        let i = rng.gen_range(0..schedule.len());
+        match rng.gen_range(0..6) {
+            0 => schedule[i].node = rng.gen_range(0..geo.n_nodes),
+            1 => {
+                let d = &mut schedule[i];
+                if d.field == Field::Eof {
+                    d.index = rng.gen_range(0..geo.eof_len) as u16;
+                } else if d.index > 0 && rng.gen_bool(0.5) {
+                    d.index -= 1;
+                } else {
+                    d.index += 1;
+                }
+            }
+            2 => schedule[i].occurrence = rng.gen_range(1..=2),
+            3 => schedule.push(tail_disturbance(rng, geo)),
+            4 => {
+                if schedule.len() > 1 {
+                    schedule.remove(i);
+                }
+            }
+            _ => schedule[i] = tail_disturbance(rng, geo),
+        }
+    }
+    schedule.truncate(max_errors.max(1));
+    schedule
+}
+
+/// Synthesizes one adversarial schedule of `1..=max_errors` disturbances:
+/// 25% mutations of the paper's figure schedules, 75% fresh biased draws
+/// (small schedules weighted heavily — most violations need few flips).
+pub fn generate(rng: &mut StdRng, geo: &Geometry, max_errors: usize) -> Schedule {
+    let max = max_errors.max(1);
+    let disturbances = if rng.gen_bool(0.25) {
+        mutated_seed(rng, geo, max)
+    } else {
+        let count = match rng.gen_range(0..100) {
+            0..=39 => 1,
+            40..=74 => 2,
+            75..=89 => 3,
+            _ => rng.gen_range(1..=max),
+        }
+        .min(max);
+        (0..count).map(|_| tail_disturbance(rng, geo)).collect()
+    };
+    Schedule::new(disturbances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const TAIL_FIELDS: &[Field] = &[
+        Field::Eof,
+        Field::ErrorFlag,
+        Field::OverloadFlag,
+        Field::DelimWait,
+        Field::Delim,
+        Field::Crc,
+        Field::CrcDelim,
+        Field::AckSlot,
+        Field::AckDelim,
+        Field::AgreementHold,
+        Field::Intermission,
+    ];
+
+    #[test]
+    fn geometry_matches_the_variants() {
+        let can = Geometry::for_protocol(ProtocolSpec::StandardCan, 3);
+        assert_eq!(can.eof_len, 7);
+        assert_eq!(can.agreement_end, None);
+        assert_eq!(can, Geometry::for_protocol(ProtocolSpec::MinorCan, 3));
+        assert_eq!(can, Geometry::for_protocol(ProtocolSpec::TotCan, 3));
+        let major = Geometry::for_protocol(ProtocolSpec::MajorCan { m: 5 }, 3);
+        assert_eq!(major.eof_len, 10);
+        assert_eq!(major.agreement_end, Some(20));
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let geo = Geometry::for_protocol(ProtocolSpec::StandardCan, 3);
+        let a: Vec<Schedule> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| generate(&mut rng, &geo, 4)).collect()
+        };
+        let b: Vec<Schedule> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| generate(&mut rng, &geo, 4)).collect()
+        };
+        assert_eq!(a, b);
+        let mut rng = StdRng::seed_from_u64(8);
+        let c: Vec<Schedule> = (0..50).map(|_| generate(&mut rng, &geo, 4)).collect();
+        assert_ne!(a, c, "different seeds explore different schedules");
+    }
+
+    #[test]
+    fn schedules_stay_in_the_tail_and_respect_the_error_cap() {
+        for spec in [ProtocolSpec::StandardCan, ProtocolSpec::MajorCan { m: 5 }] {
+            let geo = Geometry::for_protocol(spec, 4);
+            let mut rng = StdRng::seed_from_u64(0xFA15);
+            for _ in 0..500 {
+                let s = generate(&mut rng, &geo, 4);
+                assert!(!s.is_empty() && s.len() <= 4, "{s}");
+                for d in s.disturbances() {
+                    assert!(d.node < 4, "{d}");
+                    assert!(TAIL_FIELDS.contains(&d.field), "early-frame flip: {d}");
+                    if d.field == Field::AgreementHold {
+                        assert!(geo.agreement_end.is_some(), "{d} without a window");
+                    }
+                    if d.field == Field::Eof {
+                        assert!((d.index as usize) < geo.eof_len, "{d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_biased_toward_the_paper_positions() {
+        let geo = Geometry::for_protocol(ProtocolSpec::StandardCan, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut eof_tail_hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..400 {
+            for d in generate(&mut rng, &geo, 4).to_vec() {
+                total += 1;
+                if d.field == Field::Eof && d.index as usize >= geo.eof_len - 2 {
+                    eof_tail_hits += 1;
+                }
+            }
+        }
+        assert!(
+            eof_tail_hits * 4 > total,
+            "last/last-but-one EOF bits underrepresented: {eof_tail_hits}/{total}"
+        );
+    }
+}

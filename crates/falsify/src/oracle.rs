@@ -1,0 +1,267 @@
+//! The falsification oracle: schedule in, verdict out.
+//!
+//! [`evaluate`] runs one disturbance [`Schedule`] against any protocol
+//! target — a link-layer variant through
+//! [`run_script`](majorcan_faults::run_script), or one of the FTCS'98
+//! higher-level protocols over a standard-CAN link — feeds the resulting
+//! event log to the Atomic Broadcast checker, and classifies the run:
+//!
+//! * [`Outcome::Consistent`] — every checked property held and the whole
+//!   schedule actually fired;
+//! * [`Outcome::Vacuous`] — consistent, but part of the schedule never
+//!   applied (a position the geometry lacks, an occurrence the traffic
+//!   never reached) — **not** evidence of robustness;
+//! * [`Outcome::Violation`] — a broken property, graded by the checker's
+//!   [`Verdict`] (double reception / omission / validity loss);
+//! * [`Outcome::CheckerPanic`] — the simulator or checker itself blew up,
+//!   which is always a finding (panics are caught, never propagated).
+
+use crate::schedule::Schedule;
+use majorcan_abcast::{trace_from_can_events, Verdict};
+use majorcan_campaign::ProtocolSpec;
+use majorcan_can::{StandardCan, Variant};
+use majorcan_core::{MajorCan, MinorCan};
+use majorcan_faults::{run_script, ScriptedFaults};
+use majorcan_hlp::{trace_from_hlp_events, EdCan, HlpLayer, HlpNode, RelCan, TotCan};
+use majorcan_sim::{NodeId, Simulator};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Bit budget for one link-layer schedule evaluation (matches the
+/// scripted-trial budget of the bench interpreter).
+pub const LINK_BUDGET: u64 = 5_000;
+
+/// Bit budget for one higher-level-protocol evaluation (CONFIRM/ACCEPT
+/// rounds and timeout recovery need more bus time than a bare frame).
+pub const HLP_BUDGET: u64 = 8_000;
+
+/// The evaluation budget appropriate for `target`.
+pub fn budget_for(target: ProtocolSpec) -> u64 {
+    if target.is_hlp() {
+        HLP_BUDGET
+    } else {
+        LINK_BUDGET
+    }
+}
+
+/// The classification of one schedule evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// All checked properties held; the schedule fully applied.
+    Consistent,
+    /// All checked properties held, but `unfired` disturbances never
+    /// applied — the schedule did not test what it claims to test.
+    Vacuous {
+        /// Number of scripted disturbances that never fired.
+        unfired: usize,
+    },
+    /// A broken Atomic Broadcast property (never
+    /// [`Verdict::Consistent`]).
+    Violation(Verdict),
+    /// The simulator or checker panicked; the payload message is kept.
+    CheckerPanic(String),
+}
+
+impl Outcome {
+    /// Stable token for counters and corpus files: `consistent`,
+    /// `vacuous`, the checker's verdict tokens (`double` / `omission` /
+    /// `validity`), or `panic`.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Outcome::Consistent => "consistent",
+            Outcome::Vacuous { .. } => "vacuous",
+            Outcome::Violation(v) => v.token(),
+            Outcome::CheckerPanic(_) => "panic",
+        }
+    }
+
+    /// `true` for the outcomes the falsifier hunts: property violations
+    /// and checker panics.
+    pub fn is_finding(&self) -> bool {
+        matches!(self, Outcome::Violation(_) | Outcome::CheckerPanic(_))
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn classify(verdict: Verdict, unfired: usize) -> Outcome {
+    match (verdict, unfired) {
+        (Verdict::Consistent, 0) => Outcome::Consistent,
+        (Verdict::Consistent, n) => Outcome::Vacuous { unfired: n },
+        (v, _) => Outcome::Violation(v),
+    }
+}
+
+fn link<V: Variant>(variant: &V, schedule: &Schedule, n_nodes: usize, budget: u64) -> Outcome {
+    let run = run_script(variant, schedule.to_vec(), n_nodes, budget);
+    let verdict = trace_from_can_events(&run.events, n_nodes)
+        .check()
+        .verdict();
+    classify(verdict, run.remaining())
+}
+
+fn hlp<L: HlpLayer, F: Fn() -> L>(
+    make: F,
+    schedule: &Schedule,
+    n_nodes: usize,
+    budget: u64,
+) -> Outcome {
+    let mut sim = Simulator::new(ScriptedFaults::new(schedule.to_vec()));
+    for i in 0..n_nodes {
+        sim.attach(HlpNode::new(make(), i));
+    }
+    sim.node_mut(NodeId(0)).broadcast(&[0x5A]);
+    sim.run(budget);
+    let unfired = sim.channel().unfired().len();
+    let verdict = trace_from_hlp_events(sim.events(), n_nodes)
+        .check()
+        .verdict();
+    classify(verdict, unfired)
+}
+
+fn evaluate_inner(
+    target: ProtocolSpec,
+    schedule: &Schedule,
+    n_nodes: usize,
+    budget: u64,
+) -> Outcome {
+    match target {
+        ProtocolSpec::StandardCan => link(&StandardCan, schedule, n_nodes, budget),
+        ProtocolSpec::MinorCan => link(&MinorCan, schedule, n_nodes, budget),
+        ProtocolSpec::MajorCan { m } => {
+            let variant = MajorCan::new(m)
+                .unwrap_or_else(|e| panic!("invalid MajorCAN tolerance for oracle: {e}"));
+            link(&variant, schedule, n_nodes, budget)
+        }
+        ProtocolSpec::EdCan => hlp(EdCan::new, schedule, n_nodes, budget),
+        ProtocolSpec::RelCan => hlp(RelCan::new, schedule, n_nodes, budget),
+        ProtocolSpec::TotCan => hlp(TotCan::new, schedule, n_nodes, budget),
+    }
+}
+
+/// Evaluates `schedule` against `target` for `budget` bit times and
+/// classifies the run. Panics inside the simulator or checker are caught
+/// and reported as [`Outcome::CheckerPanic`] — the oracle itself never
+/// unwinds.
+pub fn evaluate(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget: u64) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(|| {
+        evaluate_inner(target, schedule, n_nodes, budget)
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => Outcome::CheckerPanic(panic_text(payload)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majorcan_can::Field;
+    use majorcan_faults::{Disturbance, Scenario};
+
+    fn sched(ds: Vec<Disturbance>) -> Schedule {
+        Schedule::new(ds)
+    }
+
+    #[test]
+    fn clean_schedule_is_consistent_everywhere() {
+        for target in [
+            ProtocolSpec::StandardCan,
+            ProtocolSpec::MinorCan,
+            ProtocolSpec::MajorCan { m: 5 },
+            ProtocolSpec::EdCan,
+            ProtocolSpec::RelCan,
+            ProtocolSpec::TotCan,
+        ] {
+            let outcome = evaluate(target, &sched(vec![]), 3, budget_for(target));
+            assert_eq!(outcome, Outcome::Consistent, "{target}");
+        }
+    }
+
+    #[test]
+    fn fig1b_is_a_double_reception_on_can_only() {
+        let s = sched(Scenario::fig1b().disturbances);
+        assert_eq!(
+            evaluate(ProtocolSpec::StandardCan, &s, 3, LINK_BUDGET),
+            Outcome::Violation(Verdict::DoubleReception)
+        );
+        assert_eq!(
+            evaluate(ProtocolSpec::MinorCan, &s, 3, LINK_BUDGET),
+            Outcome::Consistent
+        );
+        assert_eq!(
+            evaluate(ProtocolSpec::MajorCan { m: 5 }, &s, 3, LINK_BUDGET),
+            Outcome::Consistent
+        );
+    }
+
+    #[test]
+    fn fig3a_breaks_can_minorcan_and_the_tx_bound_hlps() {
+        let s = sched(Scenario::fig3a().disturbances);
+        for target in [ProtocolSpec::StandardCan, ProtocolSpec::MinorCan] {
+            assert_eq!(
+                evaluate(target, &s, 3, LINK_BUDGET),
+                Outcome::Violation(Verdict::Omission),
+                "{target}"
+            );
+        }
+        assert_eq!(
+            evaluate(ProtocolSpec::MajorCan { m: 5 }, &s, 3, LINK_BUDGET),
+            Outcome::Consistent
+        );
+        // EDCAN recovers (every receiver retransmits); RELCAN and TOTCAN
+        // only act when the transmitter fails — Section 4's verdict.
+        assert_eq!(
+            evaluate(ProtocolSpec::EdCan, &s, 3, HLP_BUDGET),
+            Outcome::Consistent
+        );
+        for target in [ProtocolSpec::RelCan, ProtocolSpec::TotCan] {
+            assert!(
+                matches!(
+                    evaluate(target, &s, 3, HLP_BUDGET),
+                    Outcome::Violation(Verdict::Omission)
+                ),
+                "{target}"
+            );
+        }
+    }
+
+    #[test]
+    fn unfired_schedules_classify_as_vacuous_not_consistent() {
+        // A MajorCAN-only position under standard CAN never fires.
+        let s = sched(vec![Disturbance::first(1, Field::AgreementHold, 13)]);
+        assert_eq!(
+            evaluate(ProtocolSpec::StandardCan, &s, 3, LINK_BUDGET),
+            Outcome::Vacuous { unfired: 1 }
+        );
+        assert_eq!(
+            evaluate(ProtocolSpec::StandardCan, &s, 3, LINK_BUDGET).token(),
+            "vacuous"
+        );
+    }
+
+    #[test]
+    fn oracle_contains_panics() {
+        // m = 2 is rejected by MajorCan::new — the oracle must catch the
+        // panic and classify, not unwind into the caller.
+        let outcome = evaluate(
+            ProtocolSpec::MajorCan { m: 2 },
+            &sched(vec![]),
+            3,
+            LINK_BUDGET,
+        );
+        assert!(outcome.is_finding());
+        match outcome {
+            Outcome::CheckerPanic(msg) => {
+                assert!(msg.contains("invalid MajorCAN tolerance"), "{msg}")
+            }
+            other => panic!("expected CheckerPanic, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The search campaign: fanning schedule synthesis across the
+//! deterministic campaign runner.
+//!
+//! Every target protocol contributes a slice of
+//! [`FaultSpec::AdversarialSearch`] jobs; trial `t` of job `j` derives its
+//! RNG from `(campaign seed, j, t)` and synthesizes + evaluates exactly
+//! one schedule, so the explored space is a pure function of the campaign
+//! seed — identical for any `--jobs` worker count. Violations flow
+//! through a side channel, are ordered by `(job id, trial)`, deduplicated,
+//! shrunk, deduplicated again post-shrink and capped per outcome class
+//! before archiving; every cap is reported, never silent.
+//!
+//! Resume note: the JSONL counter artifact is resume-safe like any
+//! campaign, but the finding side channel only sees jobs executed in the
+//! current invocation — archive corpora from fresh (or in-memory) runs.
+
+use crate::corpus::{CorpusEntry, Provenance};
+use crate::generator::{generate, Geometry};
+use crate::oracle::{budget_for, evaluate, Outcome};
+use crate::schedule::Schedule;
+use crate::shrink::shrink;
+use majorcan_bench::jobs::chunked_frames;
+use majorcan_campaign::{
+    derive_trial_seed, run_campaign, run_campaign_in_memory, CampaignOptions, FaultSpec, Job,
+    JobResult, JsonlSink, ProtocolSpec, Totals, WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::sync::Mutex;
+
+/// Schedules per campaign job — the parallelization granule.
+pub const SCHEDULES_PER_JOB: u64 = 50;
+
+/// Configuration of one falsification campaign.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Campaign seed: the whole explored space derives from it.
+    pub campaign_seed: u64,
+    /// Protocol targets, each searched independently.
+    pub targets: Vec<ProtocolSpec>,
+    /// Bus size.
+    pub n_nodes: usize,
+    /// Schedules synthesized per target.
+    pub schedules_per_target: u64,
+    /// Maximum disturbances per schedule.
+    pub max_errors: usize,
+    /// Archived entries kept per `(target, outcome)` class; the shrink
+    /// queue admits four times this many raw findings per class.
+    pub keep_per_class: usize,
+}
+
+impl SearchConfig {
+    /// A campaign over the paper's protagonists (CAN, MinorCAN,
+    /// MajorCAN_5) with the default budgets.
+    pub fn new(campaign_seed: u64, schedules_per_target: u64) -> SearchConfig {
+        SearchConfig {
+            campaign_seed,
+            targets: vec![
+                ProtocolSpec::StandardCan,
+                ProtocolSpec::MinorCan,
+                ProtocolSpec::MajorCan { m: 5 },
+            ],
+            n_nodes: 3,
+            schedules_per_target,
+            max_errors: 4,
+            keep_per_class: 4,
+        }
+    }
+}
+
+/// One raw (pre-shrink) violation discovered by the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Target protocol.
+    pub target: ProtocolSpec,
+    /// Discovering job.
+    pub job_id: u64,
+    /// Discovering trial within the job.
+    pub trial: u64,
+    /// The oracle's classification.
+    pub outcome: Outcome,
+    /// The synthesized schedule, as generated.
+    pub schedule: Schedule,
+}
+
+/// Everything a finished search produced.
+#[derive(Debug)]
+pub struct SearchReport {
+    /// Campaign totals; outcome counters are keyed
+    /// `outcome/<protocol>/<token>`.
+    pub totals: Totals,
+    /// Deduplicated raw findings in `(job id, trial)` order.
+    pub findings: Vec<Finding>,
+    /// Shrunk, deduplicated, per-class-capped corpus entries.
+    pub entries: Vec<CorpusEntry>,
+    /// Findings dropped by the per-class caps (reported, never silent).
+    pub dropped: usize,
+    /// Oracle evaluations spent shrinking.
+    pub shrink_evaluations: usize,
+}
+
+impl SearchReport {
+    /// Number of deduplicated raw findings against `target`.
+    pub fn findings_for(&self, target: ProtocolSpec) -> usize {
+        self.findings.iter().filter(|f| f.target == target).count()
+    }
+
+    /// The explored-schedule count for `target` (sum of its outcome
+    /// counters).
+    pub fn explored_for(&self, target: ProtocolSpec) -> u64 {
+        let prefix = format!("outcome/{target}/");
+        self.totals
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// Builds the job list of a search campaign: per target,
+/// `schedules_per_target` trials chunked into [`SCHEDULES_PER_JOB`]-sized
+/// [`FaultSpec::AdversarialSearch`] jobs.
+pub fn build_jobs(cfg: &SearchConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &target in &cfg.targets {
+        for chunk in chunked_frames(cfg.schedules_per_target, SCHEDULES_PER_JOB) {
+            jobs.push(Job::new(
+                jobs.len() as u64,
+                cfg.campaign_seed,
+                target,
+                FaultSpec::AdversarialSearch {
+                    max_errors: cfg.max_errors,
+                },
+                WorkloadSpec::SingleBroadcast,
+                cfg.n_nodes,
+                chunk,
+            ));
+        }
+    }
+    jobs
+}
+
+/// Executes one adversarial-search job: synthesize and evaluate
+/// `job.frames` schedules, counting outcomes and reporting findings into
+/// the side channel.
+fn execute_job(job: &Job, findings: &Mutex<Vec<Finding>>) -> JobResult {
+    let FaultSpec::AdversarialSearch { max_errors } = job.fault else {
+        panic!("falsify executor got a non-adversarial job {}", job.id);
+    };
+    let geo = Geometry::for_protocol(job.protocol, job.n_nodes);
+    let budget = budget_for(job.protocol);
+    let mut out = JobResult::for_job(job);
+    for trial in 0..job.frames {
+        let mut rng = StdRng::seed_from_u64(derive_trial_seed(job.seed, trial));
+        let schedule = generate(&mut rng, &geo, max_errors);
+        let outcome = evaluate(job.protocol, &schedule, job.n_nodes, budget);
+        out.counters
+            .add(&format!("outcome/{}/{}", job.protocol, outcome.token()), 1);
+        out.frames += 1;
+        out.bits += budget;
+        if outcome.is_finding() {
+            findings.lock().unwrap().push(Finding {
+                target: job.protocol,
+                job_id: job.id,
+                trial,
+                outcome,
+                schedule: schedule.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Runs a falsification campaign: explore, collect, shrink, archive.
+///
+/// With a sink, the counter artifact is durable and resumable like any
+/// campaign artifact; without one the run is in-memory. Results —
+/// counters, findings, shrunk entries — are bit-identical for any worker
+/// count in `opts`.
+///
+/// # Errors
+///
+/// Only sink I/O errors fail a search; job panics become findings or
+/// failure artifacts.
+pub fn run_search(
+    cfg: &SearchConfig,
+    opts: &CampaignOptions,
+    sink: Option<&mut JsonlSink>,
+) -> io::Result<SearchReport> {
+    let jobs = build_jobs(cfg);
+    let findings = Mutex::new(Vec::new());
+    let run = |job: &Job| execute_job(job, &findings);
+    let report = match sink {
+        Some(s) => run_campaign(&jobs, opts, s, run)?,
+        None => run_campaign_in_memory(&jobs, opts, run),
+    };
+    let mut raw = findings.into_inner().expect("finding channel poisoned");
+    // The runner hands jobs out in nondeterministic order; sorting by the
+    // deterministic (job id, trial) coordinates restores a canonical
+    // sequence.
+    raw.sort_by_key(|f| (f.job_id, f.trial));
+
+    // Dedup raw findings: the same schedule rediscovered against the same
+    // target adds nothing.
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    let deduped: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| seen.insert((f.target.to_string(), f.schedule.key())))
+        .collect();
+
+    // Cap the shrink queue per (target, token) class, then shrink, dedup
+    // the minima and cap the archive.
+    let shrink_cap = cfg.keep_per_class * 4;
+    let mut queued: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut archived: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut archived_seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    let mut entries = Vec::new();
+    let mut dropped = 0usize;
+    let mut shrink_evaluations = 0usize;
+    for finding in &deduped {
+        let class = (
+            finding.target.to_string(),
+            finding.outcome.token().to_string(),
+        );
+        let in_queue = queued.entry(class.clone()).or_insert(0);
+        if *in_queue >= shrink_cap {
+            dropped += 1;
+            continue;
+        }
+        *in_queue += 1;
+        let budget = budget_for(finding.target);
+        let shrunk = shrink(finding.target, &finding.schedule, cfg.n_nodes, budget);
+        shrink_evaluations += shrunk.evaluations;
+        let key = (class.0.clone(), class.1.clone(), shrunk.schedule.key());
+        if !archived_seen.insert(key) {
+            continue; // distinct raw schedules, same minimum
+        }
+        let kept = archived.entry(class).or_insert(0);
+        if *kept >= cfg.keep_per_class {
+            dropped += 1;
+            continue;
+        }
+        *kept += 1;
+        entries.push(CorpusEntry {
+            protocol: finding.target,
+            n_nodes: cfg.n_nodes,
+            budget,
+            expected: finding.outcome.token().to_string(),
+            schedule: shrunk.schedule,
+            provenance: Provenance {
+                campaign_seed: cfg.campaign_seed,
+                job_id: finding.job_id,
+                trial: finding.trial,
+            },
+        });
+    }
+
+    Ok(SearchReport {
+        totals: report.totals,
+        findings: deduped,
+        entries,
+        dropped,
+        shrink_evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_list_covers_every_target_deterministically() {
+        let cfg = SearchConfig::new(0xFA15, 120);
+        let jobs = build_jobs(&cfg);
+        assert_eq!(jobs.len(), 9, "3 targets x ceil(120/50)");
+        assert_eq!(jobs, build_jobs(&cfg));
+        let total: u64 = jobs
+            .iter()
+            .filter(|j| j.protocol == ProtocolSpec::StandardCan)
+            .map(|j| j.frames)
+            .sum();
+        assert_eq!(total, 120);
+        assert!(jobs
+            .iter()
+            .all(|j| matches!(j.fault, FaultSpec::AdversarialSearch { max_errors: 4 })));
+    }
+
+    #[test]
+    fn small_search_finds_and_shrinks_can_violations() {
+        let mut cfg = SearchConfig::new(3, 60);
+        cfg.targets = vec![ProtocolSpec::StandardCan];
+        let report = run_search(&cfg, &CampaignOptions::quiet(2), None).unwrap();
+        assert_eq!(report.explored_for(ProtocolSpec::StandardCan), 60);
+        assert!(
+            report.findings_for(ProtocolSpec::StandardCan) >= 1,
+            "60 biased schedules must rediscover a CAN violation: {:?}",
+            report.totals.counters
+        );
+        assert!(!report.entries.is_empty());
+        for entry in &report.entries {
+            assert_eq!(entry.replay().token(), entry.expected, "{}", entry.schedule);
+        }
+    }
+}

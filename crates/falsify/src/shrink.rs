@@ -1,0 +1,224 @@
+//! Delta-debugging counterexample minimization.
+//!
+//! A raw finding often carries passenger disturbances that play no part in
+//! the violation. [`shrink`] minimizes a schedule while preserving its
+//! outcome *class* (the [`Outcome::token`]): first drop disturbances one
+//! at a time to a fixpoint (ddmin at granularity 1 — schedules are short),
+//! then normalize each survivor to its canonical form — first occurrence,
+//! real bit rather than stuff bit, earliest bit index that still
+//! reproduces — and finally sort into a canonical order if that preserves
+//! the class. The result is deterministic: same schedule in, same minimum
+//! out, bounded by [`MAX_EVALUATIONS`] oracle calls.
+
+use crate::oracle::{evaluate, Outcome};
+use crate::schedule::Schedule;
+use majorcan_campaign::ProtocolSpec;
+use majorcan_faults::Disturbance;
+
+/// Hard cap on oracle evaluations per shrink (each one is a full
+/// simulator run; the greedy passes converge far earlier in practice).
+pub const MAX_EVALUATIONS: usize = 400;
+
+/// The result of a shrink: the minimized schedule, the preserved outcome,
+/// and how many oracle calls it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shrunk {
+    /// The minimized schedule (reproduces the same outcome token).
+    pub schedule: Schedule,
+    /// The outcome of the original schedule, which the minimized one
+    /// still produces.
+    pub outcome: Outcome,
+    /// Oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+fn preserves(
+    target: ProtocolSpec,
+    candidate: Vec<Disturbance>,
+    n_nodes: usize,
+    budget: u64,
+    token: &str,
+    evals: &mut usize,
+) -> bool {
+    if *evals >= MAX_EVALUATIONS {
+        return false;
+    }
+    *evals += 1;
+    evaluate(target, &Schedule::new(candidate), n_nodes, budget).token() == token
+}
+
+fn canonical_key(d: &Disturbance) -> (usize, String, u16, u32, bool) {
+    (d.node, d.field.to_string(), d.index, d.occurrence, d.stuff)
+}
+
+/// Minimizes `schedule` against `target`, preserving its outcome class.
+///
+/// Intended for findings (violations and panics), but works for any
+/// outcome; the minimum of a one-disturbance violating schedule is
+/// itself.
+pub fn shrink(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget: u64) -> Shrunk {
+    let outcome = evaluate(target, schedule, n_nodes, budget);
+    let token = outcome.token();
+    let mut best = schedule.to_vec();
+    let mut evals = 1usize;
+
+    // Pass 1 — drop passengers to a fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < best.len() && best.len() > 1 {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if preserves(
+                target,
+                candidate.clone(),
+                n_nodes,
+                budget,
+                token,
+                &mut evals,
+            ) {
+                best = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Pass 2 — normalize each survivor: first occurrence, the field bit
+    // rather than its stuff bit, then the earliest index that still
+    // reproduces.
+    for i in 0..best.len() {
+        if best[i].occurrence != 1 {
+            let mut candidate = best.clone();
+            candidate[i].occurrence = 1;
+            if preserves(
+                target,
+                candidate.clone(),
+                n_nodes,
+                budget,
+                token,
+                &mut evals,
+            ) {
+                best = candidate;
+            }
+        }
+        if best[i].stuff {
+            let mut candidate = best.clone();
+            candidate[i].stuff = false;
+            if preserves(
+                target,
+                candidate.clone(),
+                n_nodes,
+                budget,
+                token,
+                &mut evals,
+            ) {
+                best = candidate;
+            }
+        }
+        for index in 0..best[i].index {
+            let mut candidate = best.clone();
+            candidate[i].index = index;
+            if preserves(
+                target,
+                candidate.clone(),
+                n_nodes,
+                budget,
+                token,
+                &mut evals,
+            ) {
+                best = candidate;
+                break;
+            }
+        }
+    }
+
+    // Pass 3 — canonical order, when order doesn't matter to the outcome.
+    let mut sorted = best.clone();
+    sorted.sort_by_key(canonical_key);
+    if sorted != best && preserves(target, sorted.clone(), n_nodes, budget, token, &mut evals) {
+        best = sorted;
+    }
+
+    Shrunk {
+        schedule: Schedule::new(best),
+        outcome,
+        evaluations: evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::LINK_BUDGET;
+    use majorcan_abcast::Verdict;
+    use majorcan_can::Field;
+    use majorcan_faults::Scenario;
+
+    #[test]
+    fn passenger_disturbances_are_dropped() {
+        // Fig. 1b plus two passengers that do not change the verdict.
+        let mut ds = Scenario::fig1b().disturbances;
+        ds.push(Disturbance::first(2, Field::Intermission, 1));
+        ds.push(Disturbance::first(2, Field::Crc, 12));
+        let shrunk = shrink(
+            ProtocolSpec::StandardCan,
+            &Schedule::new(ds),
+            3,
+            LINK_BUDGET,
+        );
+        assert_eq!(shrunk.outcome, Outcome::Violation(Verdict::DoubleReception));
+        assert_eq!(
+            shrunk.schedule.to_vec(),
+            Scenario::fig1b().disturbances,
+            "only the causal flip survives"
+        );
+        assert!(shrunk.evaluations <= MAX_EVALUATIONS);
+    }
+
+    #[test]
+    fn fig3a_is_already_minimal() {
+        let s = Schedule::new(Scenario::fig3a().disturbances);
+        let shrunk = shrink(ProtocolSpec::StandardCan, &s, 3, LINK_BUDGET);
+        assert_eq!(shrunk.outcome, Outcome::Violation(Verdict::Omission));
+        assert_eq!(
+            shrunk.schedule.len(),
+            2,
+            "both flips are causal: {}",
+            shrunk.schedule
+        );
+    }
+
+    #[test]
+    fn occurrence_and_index_normalize_toward_the_canonical_repro() {
+        // The same double-reception class, written with a needlessly exotic
+        // schedule: the shrinker should find an equivalent ≤-sized repro
+        // producing the same token.
+        let baroque = Schedule::new(vec![
+            Disturbance {
+                node: 1,
+                field: Field::Eof,
+                index: 5,
+                occurrence: 1,
+                stuff: false,
+            },
+            Disturbance::first(1, Field::Intermission, 2),
+        ]);
+        let shrunk = shrink(ProtocolSpec::StandardCan, &baroque, 3, LINK_BUDGET);
+        assert_eq!(shrunk.outcome.token(), "double");
+        assert_eq!(shrunk.schedule.len(), 1);
+        assert_eq!(shrunk.schedule.disturbances()[0].occurrence, 1);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let mut ds = Scenario::fig3a().disturbances;
+        ds.push(Disturbance::first(2, Field::Delim, 3));
+        let s = Schedule::new(ds);
+        let a = shrink(ProtocolSpec::MinorCan, &s, 3, LINK_BUDGET);
+        let b = shrink(ProtocolSpec::MinorCan, &s, 3, LINK_BUDGET);
+        assert_eq!(a, b);
+    }
+}

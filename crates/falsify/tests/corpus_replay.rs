@@ -1,0 +1,74 @@
+//! Replays the checked-in regression corpus (`corpus/` at the repo root).
+//!
+//! Every archived counterexample must keep reproducing its recorded
+//! verdict on its target protocol, and MajorCAN_5 must survive every
+//! schedule in the corpus — including the ones that break CAN, MinorCAN
+//! and TOTCAN. A failure here means a behavioral change in the link
+//! layer, the HLPs, or the Atomic Broadcast checker.
+
+use majorcan_campaign::ProtocolSpec;
+use majorcan_falsify::{evaluate, load_corpus, repo_corpus_dir, CorpusEntry, LINK_BUDGET};
+
+fn corpus() -> Vec<CorpusEntry> {
+    let dir = repo_corpus_dir();
+    let entries =
+        load_corpus(&dir).unwrap_or_else(|e| panic!("loading corpus from {}: {e}", dir.display()));
+    assert!(
+        !entries.is_empty(),
+        "the checked-in corpus at {} must not be empty",
+        dir.display()
+    );
+    entries
+}
+
+#[test]
+fn corpus_covers_the_paper_protagonists() {
+    let entries = corpus();
+    let count = |p: ProtocolSpec| entries.iter().filter(|e| e.protocol == p).count();
+    assert!(
+        count(ProtocolSpec::StandardCan) >= 1,
+        "corpus must hold at least one CAN counterexample"
+    );
+    assert!(
+        count(ProtocolSpec::MinorCan) >= 1,
+        "corpus must hold at least one MinorCAN counterexample"
+    );
+    assert!(
+        entries
+            .iter()
+            .all(|e| !matches!(e.protocol, ProtocolSpec::MajorCan { .. })),
+        "a MajorCAN counterexample in the corpus means the protocol is broken"
+    );
+}
+
+#[test]
+fn every_entry_reproduces_its_recorded_verdict() {
+    for entry in corpus() {
+        let outcome = entry.replay();
+        assert_eq!(
+            outcome.token(),
+            entry.expected,
+            "{}: {} no longer reproduces (got {outcome:?})",
+            entry.file_name(),
+            entry.schedule
+        );
+    }
+}
+
+#[test]
+fn majorcan_survives_every_archived_schedule() {
+    for entry in corpus() {
+        let outcome = evaluate(
+            ProtocolSpec::MajorCan { m: 5 },
+            &entry.schedule,
+            entry.n_nodes,
+            LINK_BUDGET,
+        );
+        assert!(
+            !outcome.is_finding(),
+            "{}: MajorCAN_5 fails the schedule that breaks {} ({outcome:?})",
+            entry.file_name(),
+            entry.protocol
+        );
+    }
+}

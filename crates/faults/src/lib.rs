@@ -44,5 +44,7 @@ mod script;
 pub use crash::{crash_probability_within, exponential_failure_bits};
 pub use filter::{ActiveAfter, FieldFiltered};
 pub use random::{Compose, GlobalEventErrors, IndependentBitErrors};
-pub use scenarios::{run_scenario, scenario_frame, CrashRule, Scenario, ScenarioRun};
+pub use scenarios::{
+    run_scenario, run_scenario_strict, run_script, scenario_frame, CrashRule, Scenario, ScenarioRun,
+};
 pub use script::{Disturbance, ScriptedFaults};

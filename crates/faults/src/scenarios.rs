@@ -182,11 +182,44 @@ pub struct ScenarioRun {
     /// `true` if every scripted disturbance actually fired — if not, the
     /// script missed (e.g. wrong variant for the positions used).
     pub script_exhausted: bool,
+    /// The scripted disturbances that never fired, in script order (empty
+    /// exactly when [`script_exhausted`](ScenarioRun::script_exhausted)).
+    /// A disturbance stays unfired when its position never exists under
+    /// the variant's geometry, its node never reaches the position, or the
+    /// requested occurrence count is never met — any of which makes a
+    /// "consistent" verdict vacuous for schedule-searching callers.
+    pub unfired: Vec<Disturbance>,
     /// Number of nodes in the run.
     pub n_nodes: usize,
 }
 
 impl ScenarioRun {
+    /// Number of scripted disturbances that never fired.
+    pub fn remaining(&self) -> usize {
+        self.unfired.len()
+    }
+
+    /// `true` when every scripted disturbance fired, i.e. the run really
+    /// exercised the schedule it claims to have exercised.
+    pub fn fully_applied(&self) -> bool {
+        self.unfired.is_empty()
+    }
+
+    /// Panics with the list of unfired disturbances unless the script
+    /// fully applied. Scenario reproductions call this so a geometry
+    /// mismatch (e.g. a MajorCAN-only position run under standard CAN)
+    /// fails loudly instead of passing vacuously.
+    pub fn assert_fully_applied(&self) {
+        assert!(
+            self.fully_applied(),
+            "disturbance script did not fully apply; unfired: [{}]",
+            self.unfired
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     /// Frames delivered by `node`, in order.
     pub fn deliveries(&self, node: usize) -> Vec<Frame> {
         self.events
@@ -261,15 +294,65 @@ pub fn run_scenario<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -
     execute(variant, scenario, budget, &crashes)
 }
 
+/// Executes `scenario` like [`run_scenario`] and then asserts the
+/// disturbance script fully applied (see
+/// [`ScenarioRun::assert_fully_applied`]), so a schedule that silently
+/// missed cannot be mistaken for a passing one.
+///
+/// # Panics
+///
+/// Panics, listing the unfired disturbances, when any scripted disturbance
+/// never fired.
+pub fn run_scenario_strict<V: Variant>(
+    variant: &V,
+    scenario: &Scenario,
+    budget: u64,
+) -> ScenarioRun {
+    let run = run_scenario(variant, scenario, budget);
+    run.assert_fully_applied();
+    run
+}
+
+/// Executes an ad-hoc disturbance schedule under `variant`: the same
+/// machinery as [`run_scenario`] (node 0 transmits [`scenario_frame`],
+/// full trace recording, unfired-disturbance reporting) without requiring
+/// a named catalogue [`Scenario`]. This is the execution entry point of
+/// the adversarial falsifier (`majorcan-falsify`), which synthesizes
+/// thousands of schedules that have no name.
+pub fn run_script<V: Variant>(
+    variant: &V,
+    disturbances: Vec<Disturbance>,
+    n_nodes: usize,
+    budget: u64,
+) -> ScenarioRun {
+    run_script_with_crashes(variant, disturbances, n_nodes, budget, &[])
+}
+
 fn execute<V: Variant>(
     variant: &V,
     scenario: &Scenario,
     budget: u64,
     crashes: &[(usize, u64)],
 ) -> ScenarioRun {
-    let script = ScriptedFaults::new(scenario.disturbances.clone());
+    run_script_with_crashes(
+        variant,
+        scenario.disturbances.clone(),
+        scenario.n_nodes,
+        budget,
+        crashes,
+    )
+}
+
+fn run_script_with_crashes<V: Variant>(
+    variant: &V,
+    disturbances: Vec<Disturbance>,
+    n_nodes: usize,
+    budget: u64,
+    crashes: &[(usize, u64)],
+) -> ScenarioRun {
+    let script = ScriptedFaults::new(disturbances);
     let mut sim = Simulator::new(script);
-    for i in 0..scenario.n_nodes {
+    for i in 0..n_nodes {
         let fail_at = crashes.iter().find(|(n, _)| *n == i).map(|&(_, at)| at);
         sim.attach(Controller::with_config(
             variant.clone(),
@@ -282,13 +365,14 @@ fn execute<V: Variant>(
     sim.record_trace();
     sim.node_mut(NodeId(0)).enqueue(scenario_frame());
     sim.run(budget);
-    let script_exhausted = sim.channel().exhausted();
+    let unfired = sim.channel().unfired();
     let trace = sim.trace().cloned().unwrap_or_default();
     ScenarioRun {
         events: sim.take_events(),
         trace,
-        script_exhausted,
-        n_nodes: scenario.n_nodes,
+        script_exhausted: unfired.is_empty(),
+        unfired,
+        n_nodes,
     }
 }
 
@@ -312,6 +396,8 @@ mod tests {
     fn fig1b_run_shows_double_reception_on_standard_can() {
         let run = run_scenario(&StandardCan, &Scenario::fig1b(), 800);
         assert!(run.script_exhausted, "disturbance must have fired");
+        assert!(run.fully_applied());
+        assert_eq!(run.remaining(), 0);
         assert_eq!(run.deliveries(2).len(), 2, "Y delivers twice");
         assert_eq!(run.deliveries(1).len(), 1);
         assert!(!run.consistent_single_delivery());
@@ -375,6 +461,44 @@ mod tests {
         assert_eq!(crash.at, 30);
         // Node 2 crashed mid-frame: it never delivers anything.
         assert!(run.deliveries(2).is_empty());
+    }
+
+    #[test]
+    fn run_script_matches_run_scenario_on_the_same_disturbances() {
+        let scenario = Scenario::fig1b();
+        let via_scenario = run_scenario(&StandardCan, &scenario, 800);
+        let via_script = run_script(&StandardCan, scenario.disturbances.clone(), 3, 800);
+        assert_eq!(via_script.events, via_scenario.events);
+        assert!(via_script.fully_applied());
+    }
+
+    #[test]
+    fn unfired_disturbances_are_reported_not_swallowed() {
+        // A MajorCAN-only position run under standard CAN never fires:
+        // the run must say so instead of passing vacuously.
+        let ghost = Disturbance::first(1, Field::AgreementHold, 13);
+        let run = run_script(&StandardCan, vec![ghost.clone()], 3, 800);
+        assert!(!run.script_exhausted);
+        assert!(!run.fully_applied());
+        assert_eq!(run.remaining(), 1);
+        assert_eq!(run.unfired, vec![ghost]);
+        // The broadcast itself still completed cleanly.
+        assert!(run.consistent_single_delivery());
+    }
+
+    #[test]
+    fn strict_runner_accepts_fully_applied_scripts() {
+        let run = run_scenario_strict(&StandardCan, &Scenario::fig1b(), 800);
+        assert!(run.fully_applied());
+    }
+
+    #[test]
+    #[should_panic(expected = "did not fully apply")]
+    fn strict_runner_rejects_scripts_that_missed() {
+        let mut scenario = Scenario::fig1b();
+        // EOF bit 20 does not exist in a 7-bit EOF.
+        scenario.disturbances = vec![Disturbance::eof(1, 20)];
+        run_scenario_strict(&StandardCan, &scenario, 800);
     }
 
     #[test]

@@ -114,6 +114,18 @@ impl ScriptedFaults {
     pub fn exhausted(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// The disturbances that have not fired (yet), in script order.
+    ///
+    /// A non-empty result after a run means the script partially missed —
+    /// a position that never came up under this variant's geometry, a node
+    /// index off the bus, or an occurrence count the traffic never reached.
+    /// Schedule-searching callers (the `majorcan-falsify` crate) use this
+    /// to reject vacuously-passing inputs instead of silently dropping
+    /// them.
+    pub fn unfired(&self) -> Vec<Disturbance> {
+        self.pending.iter().map(|(d, _)| d.clone()).collect()
+    }
 }
 
 impl FromIterator<Disturbance> for ScriptedFaults {

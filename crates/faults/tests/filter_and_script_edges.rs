@@ -1,0 +1,144 @@
+//! Edge-case coverage for the channel combinators and the scripted-fault
+//! conventions the falsifier builds on: the `ActiveAfter` boundary bit,
+//! exact `tail_region` membership, `Disturbance` index conventions, and
+//! the one-disturbance-per-sample rule.
+
+use majorcan_can::{Field, WirePos};
+use majorcan_faults::{ActiveAfter, Disturbance, FieldFiltered, ScriptedFaults};
+use majorcan_sim::{ChannelModel, Level, NodeId};
+
+/// An always-flip inner model that counts how often it is consulted.
+#[derive(Debug, Default)]
+struct CountingFlips {
+    calls: u64,
+}
+
+impl<Tag> ChannelModel<Tag> for CountingFlips {
+    fn disturb(&mut self, _bit: u64, _node: NodeId, _tag: &Tag, _wire: Level) -> bool {
+        self.calls += 1;
+        true
+    }
+}
+
+#[test]
+fn active_after_boundary_is_inclusive() {
+    let mut ch = ActiveAfter::new(50, CountingFlips::default());
+    assert!(
+        !ch.disturb(49, NodeId(0), &(), Level::Recessive),
+        "bit start_bit - 1 is still masked"
+    );
+    assert!(
+        ch.disturb(50, NodeId(0), &(), Level::Recessive),
+        "faults fire from exactly start_bit onwards"
+    );
+    assert!(ch.disturb(51, NodeId(0), &(), Level::Recessive));
+}
+
+#[test]
+fn active_after_consults_the_inner_model_while_masking() {
+    // Stateful inner models (PRNG-backed channels) must consume the same
+    // randomness stream whether or not the quiet period masks the verdict;
+    // otherwise the fault pattern after start_bit would depend on
+    // start_bit itself.
+    let mut ch = ActiveAfter::new(10, CountingFlips::default());
+    for bit in 0..10 {
+        assert!(!ch.disturb(bit, NodeId(0), &(), Level::Recessive));
+    }
+    assert_eq!(ch.inner.calls, 10, "inner consulted on every masked bit");
+}
+
+#[test]
+fn tail_region_membership_is_exact() {
+    let in_tail = [
+        Field::Eof,
+        Field::AgreementHold,
+        Field::ExtendedFlag,
+        Field::ErrorFlag,
+        Field::OverloadFlag,
+        Field::DelimWait,
+        Field::Delim,
+        Field::Intermission,
+    ];
+    let mut ch = FieldFiltered::tail_region(CountingFlips::default());
+    for field in Field::ALL {
+        let expected = in_tail.contains(&field);
+        let flipped = ch.disturb(0, NodeId(0), &WirePos::new(field, 0), Level::Recessive);
+        assert_eq!(
+            flipped, expected,
+            "{field}: tail_region membership must match the documented list \
+             (notably: CRC, CRC/ACK delimiters and the ACK slot are NOT tail)"
+        );
+    }
+}
+
+#[test]
+fn disturbance_first_is_zero_based_and_eof_is_one_based() {
+    let first = Disturbance::first(2, Field::Crc, 14);
+    assert_eq!((first.node, first.field, first.index), (2, Field::Crc, 14));
+    assert_eq!(first.occurrence, 1);
+    assert!(!first.stuff);
+
+    // The paper numbers EOF bits from 1; `eof` translates to the wire's
+    // 0-based index.
+    let eof = Disturbance::eof(1, 6);
+    assert_eq!(eof, Disturbance::first(1, Field::Eof, 5));
+
+    let stuffed = Disturbance::stuff_bit(0, Field::Crc, 10);
+    assert!(stuffed.stuff);
+    assert_eq!(stuffed.index, 10);
+    assert_eq!(stuffed.occurrence, 1);
+}
+
+#[test]
+#[should_panic(expected = "EOF bits are numbered from 1")]
+fn disturbance_eof_rejects_bit_zero() {
+    let _ = Disturbance::eof(0, 0);
+}
+
+#[test]
+fn at_most_one_disturbance_fires_per_sample() {
+    // Two identical disturbances both match the same sample; the script
+    // must spend them one sample at a time, not both at once.
+    let mut script = ScriptedFaults::new(vec![Disturbance::eof(1, 6), Disturbance::eof(1, 6)]);
+    let pos = WirePos::new(Field::Eof, 5);
+    assert!(script.disturb(100, NodeId(1), &pos, Level::Recessive));
+    assert_eq!(script.remaining(), 1, "the second copy is still pending");
+    assert!(script.disturb(200, NodeId(1), &pos, Level::Recessive));
+    assert!(script.exhausted());
+}
+
+#[test]
+fn occurrence_counts_matched_samples_not_bit_times() {
+    // occurrence = 2 skips the first matching sample and fires on the
+    // second, regardless of how far apart the bit times are.
+    let d = Disturbance {
+        occurrence: 2,
+        ..Disturbance::eof(0, 7)
+    };
+    let mut script = ScriptedFaults::new(vec![d.clone()]);
+    let pos = WirePos::new(Field::Eof, 6);
+    assert!(!script.disturb(7, NodeId(0), &pos, Level::Recessive));
+    assert_eq!(
+        script.unfired(),
+        vec![d],
+        "still pending after occurrence 1"
+    );
+    assert!(script.disturb(900, NodeId(0), &pos, Level::Recessive));
+    assert!(script.exhausted());
+}
+
+#[test]
+fn stuff_flag_distinguishes_field_bit_from_stuff_bit() {
+    let mut script = ScriptedFaults::new(vec![Disturbance::stuff_bit(0, Field::Crc, 3)]);
+    let field_bit = WirePos::new(Field::Crc, 3);
+    let stuff_bit = WirePos {
+        stuff: true,
+        ..field_bit
+    };
+    assert!(
+        !script.disturb(0, NodeId(0), &field_bit, Level::Recessive),
+        "the plain field bit must not satisfy a stuff-bit disturbance"
+    );
+    assert!(script.disturb(1, NodeId(0), &stuff_bit, Level::Dominant));
+    assert!(script.exhausted());
+}

@@ -36,4 +36,21 @@ if ! cmp -s "$tmp/j1.sorted" "$tmp/j2.sorted"; then
 fi
 echo "    artifact identical across worker counts ($(wc -l <"$tmp/j1.jsonl") jobs)"
 
+echo "==> falsifier smoke run (60 schedules/target, 1 vs 2 workers, scratch corpus)"
+cargo run -q -p majorcan-falsify --bin falsify -- \
+    60 --jobs 1 --quiet --corpus "$tmp/corpus1" |
+    sed "s|$tmp/corpus1|CORPUS|" >"$tmp/f1.txt"
+cargo run -q -p majorcan-falsify --bin falsify -- \
+    60 --jobs 2 --quiet --corpus "$tmp/corpus2" |
+    sed "s|$tmp/corpus2|CORPUS|" >"$tmp/f2.txt"
+if ! cmp -s "$tmp/f1.txt" "$tmp/f2.txt"; then
+    echo "FAIL: falsifier report differs between 1 and 2 workers" >&2
+    exit 1
+fi
+if ! diff -r -q "$tmp/corpus1" "$tmp/corpus2" >/dev/null; then
+    echo "FAIL: falsifier corpus differs between 1 and 2 workers" >&2
+    exit 1
+fi
+echo "    report and corpus identical across worker counts ($(ls "$tmp/corpus1" | wc -l) repros)"
+
 echo "OK"

@@ -21,6 +21,7 @@ pub use majorcan_analysis as analysis;
 pub use majorcan_campaign as campaign;
 pub use majorcan_can as can;
 pub use majorcan_core as protocols;
+pub use majorcan_falsify as falsify;
 pub use majorcan_faults as faults;
 pub use majorcan_hlp as hlp;
 pub use majorcan_sim as sim;
