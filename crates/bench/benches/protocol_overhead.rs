@@ -8,9 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use majorcan_bench::overhead::{measure_clean_frame_bits, measure_hlp_frames_per_message};
+use majorcan_campaign::ProtocolSpec;
 use majorcan_can::{StandardCan, Variant};
 use majorcan_core::{MajorCan, MinorCan};
-use majorcan_hlp::{EdCan, RelCan, TotCan};
 
 fn bench_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("clean_broadcast");
@@ -33,13 +33,13 @@ fn bench_hlp(c: &mut Criterion) {
     let mut group = c.benchmark_group("hlp_broadcast_4_nodes");
     group.sample_size(20);
     group.bench_function("EDCAN", |b| {
-        b.iter(|| measure_hlp_frames_per_message(EdCan::new, 4))
+        b.iter(|| measure_hlp_frames_per_message(ProtocolSpec::EdCan, 4))
     });
     group.bench_function("RELCAN", |b| {
-        b.iter(|| measure_hlp_frames_per_message(RelCan::new, 4))
+        b.iter(|| measure_hlp_frames_per_message(ProtocolSpec::RelCan, 4))
     });
     group.bench_function("TOTCAN", |b| {
-        b.iter(|| measure_hlp_frames_per_message(TotCan::new, 4))
+        b.iter(|| measure_hlp_frames_per_message(ProtocolSpec::TotCan, 4))
     });
     group.finish();
 }

@@ -11,9 +11,10 @@
 //!   desynchronization cases (finding F1): flips of stuff bits or
 //!   field-length-relevant bits that shift the victim's frame clock.
 
-use crate::jobs::{protocol_spec_of, run_job};
+use crate::jobs::{protocol_spec_of, JobRunner};
 use majorcan_campaign::{
-    run_campaign_in_memory, CampaignOptions, FaultSpec, Job, JobResult, ProtocolSpec, WorkloadSpec,
+    run_campaign_in_memory_scoped, CampaignOptions, FaultSpec, Job, JobResult, ProtocolSpec,
+    WorkloadSpec,
 };
 use majorcan_can::{encode_frame, Field, Variant};
 use majorcan_core::{MajorCan, MinorCan};
@@ -130,7 +131,12 @@ pub fn entries_from(jobs: &[Job], results: &[JobResult]) -> Vec<AtlasEntry> {
 /// the `majorcan-campaign` runner (one job per flip).
 pub fn build_atlas<V: Variant>(variant: &V) -> Vec<AtlasEntry> {
     let jobs = atlas_jobs(0, 0, protocol_spec_of(variant), &frame_positions(variant));
-    let report = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(0), run_job);
+    let report = run_campaign_in_memory_scoped(
+        &jobs,
+        &CampaignOptions::quiet(0),
+        JobRunner::new,
+        |runner, job| runner.run_job(job),
+    );
     entries_from(&jobs, &report.results)
 }
 

@@ -11,8 +11,8 @@
 
 use majorcan_bench::atlas::{atlas_jobs, entries_from, frame_positions, render_entries};
 use majorcan_bench::cli::{self, CliArgs};
-use majorcan_bench::jobs::{protocol_spec_of, run_job};
-use majorcan_campaign::{run_campaign, run_campaign_in_memory, Job, Manifest};
+use majorcan_bench::jobs::{protocol_spec_of, JobRunner};
+use majorcan_campaign::{run_campaign_in_memory_scoped, run_campaign_scoped, Job, Manifest};
 use majorcan_can::{StandardCan, Variant};
 use majorcan_core::{MajorCan, MinorCan};
 use std::ops::Range;
@@ -49,9 +49,14 @@ fn main() {
         Some(path) => {
             let manifest = Manifest::for_jobs("atlas", cli.seed, &jobs);
             let mut sink = cli::open_sink(path, &manifest);
-            run_campaign(&jobs, &opts, &mut sink, run_job).expect("campaign I/O")
+            run_campaign_scoped(&jobs, &opts, &mut sink, JobRunner::new, |runner, job| {
+                runner.run_job(job)
+            })
+            .expect("campaign I/O")
         }
-        None => run_campaign_in_memory(&jobs, &opts, run_job),
+        None => run_campaign_in_memory_scoped(&jobs, &opts, JobRunner::new, |runner, job| {
+            runner.run_job(job)
+        }),
     };
     if !report.failures.is_empty() {
         eprintln!(

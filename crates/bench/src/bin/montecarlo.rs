@@ -24,13 +24,13 @@ use majorcan_analysis::{
     estimate_new_scenario, estimate_old_scenario, p_new_scenario, p_old_scenario,
 };
 use majorcan_bench::cli::{self, CliArgs};
-use majorcan_bench::jobs::run_job;
+use majorcan_bench::jobs::JobRunner;
 use majorcan_bench::montecarlo::{
     imo_jobs, measurement_from_totals, render_measurement, ErrorDomain,
 };
 use majorcan_campaign::{
-    run_campaign, run_campaign_in_memory, DomainSpec, FaultSpec, Job, Manifest, ProtocolSpec,
-    Totals,
+    run_campaign_in_memory_scoped, run_campaign_scoped, DomainSpec, FaultSpec, Job, Manifest,
+    ProtocolSpec, Totals,
 };
 use majorcan_can::StandardCan;
 use majorcan_core::{MajorCan, MinorCan};
@@ -205,9 +205,18 @@ fn main() {
         Some(path) => {
             let manifest = Manifest::for_jobs("montecarlo", cli.seed, &plan.jobs);
             let mut sink = cli::open_sink(path, &manifest);
-            run_campaign(&plan.jobs, &opts, &mut sink, run_job).expect("campaign I/O")
+            run_campaign_scoped(
+                &plan.jobs,
+                &opts,
+                &mut sink,
+                JobRunner::new,
+                |runner, job| runner.run_job(job),
+            )
+            .expect("campaign I/O")
         }
-        None => run_campaign_in_memory(&plan.jobs, &opts, run_job),
+        None => run_campaign_in_memory_scoped(&plan.jobs, &opts, JobRunner::new, |runner, job| {
+            runner.run_job(job)
+        }),
     };
     if !report.failures.is_empty() {
         eprintln!(

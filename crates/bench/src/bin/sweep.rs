@@ -9,10 +9,10 @@
 //! ```
 
 use majorcan_bench::cli::{self, CliArgs};
-use majorcan_bench::jobs::run_job;
+use majorcan_bench::jobs::JobRunner;
 use majorcan_bench::sweep::{outcome_from_totals, render_sweep, sweep_jobs, SweepOutcome};
 use majorcan_campaign::{
-    run_campaign, run_campaign_in_memory, Job, Manifest, ProtocolSpec, Totals,
+    run_campaign_in_memory_scoped, run_campaign_scoped, Job, Manifest, ProtocolSpec, Totals,
 };
 
 /// One sweep cell and its slice of the campaign's job-id space.
@@ -84,9 +84,14 @@ fn main() {
         Some(path) => {
             let manifest = Manifest::for_jobs("sweep", cli.seed, &jobs);
             let mut sink = cli::open_sink(path, &manifest);
-            run_campaign(&jobs, &opts, &mut sink, run_job).expect("campaign I/O")
+            run_campaign_scoped(&jobs, &opts, &mut sink, JobRunner::new, |runner, job| {
+                runner.run_job(job)
+            })
+            .expect("campaign I/O")
         }
-        None => run_campaign_in_memory(&jobs, &opts, run_job),
+        None => run_campaign_in_memory_scoped(&jobs, &opts, JobRunner::new, |runner, job| {
+            runner.run_job(job)
+        }),
     };
     if !report.failures.is_empty() {
         eprintln!(

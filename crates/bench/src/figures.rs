@@ -6,7 +6,8 @@
 use majorcan_abcast::trace_from_can_events;
 use majorcan_can::{CanEvent, Field, StandardCan, Variant};
 use majorcan_core::{MajorCan, MinorCan};
-use majorcan_faults::{run_scenario, Scenario, ScenarioRun};
+use majorcan_faults::Scenario;
+use majorcan_testbed::{run_scenario, ScenarioRun};
 
 /// Default simulation budget per scenario run, in bits.
 pub const SCENARIO_BUDGET: u64 = 1_200;
@@ -175,36 +176,32 @@ fn fig4_rows() -> Vec<FigureReport> {
 /// before the retransmission, so the X set sees `B, A` while the Y set saw
 /// `A, B, A`. Returns the per-node delivery orders and whether AB5 held.
 pub fn total_order_demo<V: Variant>(variant: &V) -> (Vec<Vec<String>>, bool) {
-    use majorcan_can::{Controller, ControllerConfig, Frame, FrameId};
-    use majorcan_faults::{Disturbance, ScriptedFaults};
-    use majorcan_sim::{NodeId, Simulator};
+    use majorcan_can::{Frame, FrameId};
+    use majorcan_faults::Disturbance;
+    use majorcan_sim::NodeId;
+    use majorcan_testbed::{spec_of, Testbed};
 
     // Node 0 broadcasts A; the Fig. 1b disturbance makes X (node 1) reject
     // it while Y (node 2) accepts; node 3 has B queued and beats the
     // retransmission of A through priority.
-    let script = ScriptedFaults::new(vec![Disturbance::eof(1, 6)]);
-    let mut sim = Simulator::new(script);
-    for _ in 0..4 {
-        sim.attach(Controller::with_config(
-            variant.clone(),
-            ControllerConfig::default(),
-        ));
-    }
+    let mut testbed = Testbed::builder(spec_of(variant)).nodes(4).build();
+    testbed.load_script(&[Disturbance::eof(1, 6)]);
     let a = Frame::new(FrameId::new(0x300).unwrap(), b"AAAA").unwrap();
     let b = Frame::new(FrameId::new(0x100).unwrap(), b"BBBB").unwrap();
-    sim.node_mut(NodeId(0)).enqueue(a);
+    testbed.enqueue(0, a);
     // Queue B once A's first transmission is underway.
-    sim.run_until(2_000, |s| {
-        s.events()
+    testbed.run_until_link(2_000, |events| {
+        events
             .iter()
             .any(|e| matches!(e.event, CanEvent::TxStarted { .. }))
     });
-    sim.node_mut(NodeId(3)).enqueue(b);
-    sim.run(2_500);
+    testbed.enqueue(3, b);
+    testbed.run(2_500);
 
     let orders: Vec<Vec<String>> = (0..4)
         .map(|n| {
-            sim.events()
+            testbed
+                .can_events()
                 .iter()
                 .filter(|e| e.node == NodeId(n))
                 .filter_map(|e| match &e.event {
@@ -214,7 +211,7 @@ pub fn total_order_demo<V: Variant>(variant: &V) -> (Vec<Vec<String>>, bool) {
                 .collect()
         })
         .collect();
-    let report = trace_from_can_events(sim.events(), 4).check();
+    let report = trace_from_can_events(testbed.can_events(), 4).check();
     (orders, report.total_order.holds)
 }
 

@@ -23,7 +23,6 @@ pub mod figures;
 pub mod jobs;
 pub mod montecarlo;
 pub mod overhead;
-pub mod quiesce;
 pub mod sweep;
 
 /// Renders Table 1 with the paper's reference parameters (delegates to

@@ -34,11 +34,11 @@
 //! desynchronization hole is a real property of the protocol as specified,
 //! measured here and documented in EXPERIMENTS.md.
 
-use crate::jobs::{protocol_spec_of, run_job, trial_frame};
+use crate::jobs::{protocol_spec_of, trial_frame, JobRunner};
 use majorcan_analysis::p_new_scenario;
 use majorcan_campaign::{
-    run_campaign_in_memory, CampaignOptions, DomainSpec, FaultSpec, Job, ProtocolSpec, Totals,
-    WorkloadSpec,
+    run_campaign_in_memory_scoped, CampaignOptions, DomainSpec, FaultSpec, Job, ProtocolSpec,
+    Totals, WorkloadSpec,
 };
 use majorcan_can::Variant;
 use std::fmt::Write as _;
@@ -197,7 +197,12 @@ pub fn measure_imo_rate<V: Variant>(
         },
         frames,
     );
-    let report = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(0), run_job);
+    let report = run_campaign_in_memory_scoped(
+        &jobs,
+        &CampaignOptions::quiet(0),
+        JobRunner::new,
+        |runner, job| runner.run_job(job),
+    );
     measurement_from_totals(variant, n_nodes, ber_star, domain, &report.totals)
 }
 
@@ -231,7 +236,12 @@ pub fn measure_imo_rate_global<V: Variant>(
         FaultSpec::GlobalEventErrors { ber },
         frames,
     );
-    let report = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(0), run_job);
+    let report = run_campaign_in_memory_scoped(
+        &jobs,
+        &CampaignOptions::quiet(0),
+        JobRunner::new,
+        |runner, job| runner.run_job(job),
+    );
     let ber_star = ber / n_nodes as f64;
     let mut m = measurement_from_totals(
         variant,

@@ -12,10 +12,11 @@
 //! * **frames on the wire per broadcast message** — 1 for any link-layer
 //!   variant, ≥ 2 for every higher-level protocol.
 
-use majorcan_can::{CanEvent, Controller, Frame, FrameId, StandardCan, Variant};
+use majorcan_campaign::ProtocolSpec;
+use majorcan_can::{CanEvent, Frame, FrameId, StandardCan, Variant};
 use majorcan_core::{MajorCan, MinorCan};
-use majorcan_hlp::{EdCan, HlpEvent, HlpLayer, HlpNode, RelCan, TotCan};
-use majorcan_sim::{NoFaults, NodeId, Simulator};
+use majorcan_hlp::HlpEvent;
+use majorcan_testbed::{spec_of, BusChannel, Testbed};
 use std::fmt::Write as _;
 
 /// The measured wire cost of one clean broadcast under a protocol variant.
@@ -41,20 +42,17 @@ pub fn measure_clean_frame_bits<V: Variant>(variant: &V) -> u64 {
 
 /// As [`measure_clean_frame_bits`], for an arbitrary frame.
 pub fn measure_clean_frame_bits_of<V: Variant>(variant: &V, frame: &Frame) -> u64 {
-    let mut sim = Simulator::new(NoFaults);
-    for _ in 0..3 {
-        sim.attach(Controller::new(variant.clone()));
-    }
-    sim.node_mut(NodeId(0)).enqueue(frame.clone());
-    sim.run(600);
-    let start = sim
-        .events()
+    let mut testbed = Testbed::builder(spec_of(variant)).build();
+    testbed.enqueue(0, frame.clone());
+    testbed.run(600);
+    let start = testbed
+        .can_events()
         .iter()
         .find(|e| matches!(e.event, CanEvent::TxStarted { .. }))
         .expect("transmission started")
         .at;
-    let done = sim
-        .events()
+    let done = testbed
+        .can_events()
         .iter()
         .find(|e| matches!(e.event, CanEvent::TxSucceeded { .. }))
         .expect("transmission succeeded")
@@ -64,14 +62,12 @@ pub fn measure_clean_frame_bits_of<V: Variant>(variant: &V, frame: &Frame) -> u6
 
 /// Measures the frames-on-the-wire per broadcast message of a higher-level
 /// protocol on an `n`-node bus (failure-free case).
-pub fn measure_hlp_frames_per_message<L: HlpLayer, F: Fn() -> L>(make: F, n: usize) -> usize {
-    let mut sim = Simulator::new(NoFaults);
-    for i in 0..n {
-        sim.attach(HlpNode::new(make(), i));
-    }
-    sim.node_mut(NodeId(0)).broadcast(&[1, 2, 3, 4]);
-    sim.run(20_000);
-    sim.events()
+pub fn measure_hlp_frames_per_message(protocol: ProtocolSpec, n: usize) -> usize {
+    let mut testbed = Testbed::builder(protocol).nodes(n).build();
+    testbed.broadcast(0, &[1, 2, 3, 4]);
+    testbed.run(20_000);
+    testbed
+        .hlp_events()
         .iter()
         .filter(|e| matches!(&e.event, HlpEvent::Link(CanEvent::TxSucceeded { .. })))
         .count()
@@ -102,17 +98,17 @@ pub fn comparison(n_nodes: usize) -> Vec<FrameCost> {
     rows.push(FrameCost {
         protocol: "EDCAN".into(),
         frame_bits: rows[0].frame_bits,
-        frames_per_message: measure_hlp_frames_per_message(EdCan::new, n_nodes),
+        frames_per_message: measure_hlp_frames_per_message(ProtocolSpec::EdCan, n_nodes),
     });
     rows.push(FrameCost {
         protocol: "RELCAN".into(),
         frame_bits: rows[0].frame_bits,
-        frames_per_message: measure_hlp_frames_per_message(RelCan::new, n_nodes),
+        frames_per_message: measure_hlp_frames_per_message(ProtocolSpec::RelCan, n_nodes),
     });
     rows.push(FrameCost {
         protocol: "TOTCAN".into(),
         frame_bits: rows[0].frame_bits,
-        frames_per_message: measure_hlp_frames_per_message(TotCan::new, n_nodes),
+        frames_per_message: measure_hlp_frames_per_message(ProtocolSpec::TotCan, n_nodes),
     });
     rows
 }
@@ -154,30 +150,22 @@ pub fn render_comparison(n_nodes: usize) -> String {
 /// in the last EOF-sub-field region, from SOF until the bus is idle again.
 /// Returns `(clean_occupation, episode_occupation)` for the given variant.
 pub fn measure_error_episode<V: Variant>(variant: &V, eof_bit_1based: u16) -> (u64, u64) {
-    use crate::quiesce::run_until_quiescent;
-    use majorcan_faults::{Disturbance, ScriptedFaults};
+    use majorcan_faults::Disturbance;
 
-    let clean = {
-        let mut sim = Simulator::new(NoFaults);
-        for _ in 0..3 {
-            sim.attach(Controller::new(variant.clone()));
-        }
-        sim.node_mut(NodeId(0)).enqueue(reference_frame());
-        let start = 11; // integration
-        let total = run_until_quiescent(&mut sim, 4, 3_000);
-        total.saturating_sub(start + 4)
-    };
-    let episode = {
-        let script = ScriptedFaults::new(vec![Disturbance::eof(1, eof_bit_1based)]);
-        let mut sim = Simulator::new(script);
-        for _ in 0..3 {
-            sim.attach(Controller::new(variant.clone()));
-        }
-        sim.node_mut(NodeId(0)).enqueue(reference_frame());
-        let start = 11;
-        let total = run_until_quiescent(&mut sim, 4, 3_000);
-        total.saturating_sub(start + 4)
-    };
+    let start = 11; // integration
+    let mut testbed = Testbed::builder(spec_of(variant)).build();
+    testbed.enqueue(0, reference_frame());
+    let clean = testbed
+        .run_until_quiescent(4, 3_000)
+        .saturating_sub(start + 4);
+    testbed.reset_with(BusChannel::scripted(vec![Disturbance::eof(
+        1,
+        eof_bit_1based,
+    )]));
+    testbed.enqueue(0, reference_frame());
+    let episode = testbed
+        .run_until_quiescent(4, 3_000)
+        .saturating_sub(start + 4);
     (clean, episode)
 }
 
@@ -222,11 +210,11 @@ mod tests {
 
     #[test]
     fn hlp_protocols_cost_at_least_one_extra_frame() {
-        assert!(measure_hlp_frames_per_message(EdCan::new, 4) >= 2);
-        assert_eq!(measure_hlp_frames_per_message(RelCan::new, 4), 2);
-        assert_eq!(measure_hlp_frames_per_message(TotCan::new, 4), 2);
+        assert!(measure_hlp_frames_per_message(ProtocolSpec::EdCan, 4) >= 2);
+        assert_eq!(measure_hlp_frames_per_message(ProtocolSpec::RelCan, 4), 2);
+        assert_eq!(measure_hlp_frames_per_message(ProtocolSpec::TotCan, 4), 2);
         // EDCAN scales with the receiver count: 1 original + n-1 dups.
-        assert_eq!(measure_hlp_frames_per_message(EdCan::new, 5), 5);
+        assert_eq!(measure_hlp_frames_per_message(ProtocolSpec::EdCan, 5), 5);
     }
 
     #[test]

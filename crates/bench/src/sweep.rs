@@ -14,9 +14,10 @@
 //! already at 1–2 errors; MajorCAN_m must stay spotless for every trial
 //! with ≤ m errors.
 
-use crate::jobs::{protocol_spec_of, run_job};
+use crate::jobs::{protocol_spec_of, JobRunner};
 use majorcan_campaign::{
-    run_campaign_in_memory, CampaignOptions, FaultSpec, Job, ProtocolSpec, Totals, WorkloadSpec,
+    run_campaign_in_memory_scoped, CampaignOptions, FaultSpec, Job, ProtocolSpec, Totals,
+    WorkloadSpec,
 };
 use majorcan_can::{Field, StandardCan, Variant};
 use majorcan_core::{MajorCan, MinorCan};
@@ -144,7 +145,12 @@ pub fn sweep<V: Variant>(
         errors_per_frame,
         trials as u64,
     );
-    let report = run_campaign_in_memory(&jobs, &CampaignOptions::quiet(0), run_job);
+    let report = run_campaign_in_memory_scoped(
+        &jobs,
+        &CampaignOptions::quiet(0),
+        JobRunner::new,
+        |runner, job| runner.run_job(job),
+    );
     outcome_from_totals(variant.name(), errors_per_frame, &report.totals)
 }
 

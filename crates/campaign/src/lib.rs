@@ -66,6 +66,7 @@ pub use job::{
     JobResult, ProtocolSpec, Totals, WorkloadSpec,
 };
 pub use runner::{
-    run_campaign, run_campaign_in_memory, CampaignOptions, CampaignReport, WorkerStats,
+    run_campaign, run_campaign_in_memory, run_campaign_in_memory_scoped, run_campaign_scoped,
+    CampaignOptions, CampaignReport, WorkerStats,
 };
 pub use sink::{JsonlSink, Manifest};

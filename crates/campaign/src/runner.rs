@@ -175,7 +175,49 @@ pub fn run_campaign_in_memory<F>(jobs: &[Job], opts: &CampaignOptions, run_job: 
 where
     F: Fn(&Job) -> JobResult + Sync,
 {
-    run_campaign_impl(jobs, opts, None, run_job).expect("in-memory campaigns cannot fail on I/O")
+    run_campaign_impl(jobs, opts, None, || (), |(), job| run_job(job))
+        .expect("in-memory campaigns cannot fail on I/O")
+}
+
+/// Like [`run_campaign_in_memory`], but each worker thread owns a reusable
+/// state `S` built by `init` — typically a testbed whose allocations are
+/// recycled across every job the worker executes. The determinism contract
+/// is unchanged: state reuse must not leak information between jobs (the
+/// state is an allocation cache, not a data channel), and after a job
+/// panics the worker's state is rebuilt from `init` so a poisoned state
+/// can't corrupt later jobs.
+pub fn run_campaign_in_memory_scoped<S, I, F>(
+    jobs: &[Job],
+    opts: &CampaignOptions,
+    init: I,
+    run_job: F,
+) -> CampaignReport
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &Job) -> JobResult + Sync,
+{
+    run_campaign_impl(jobs, opts, None, init, run_job)
+        .expect("in-memory campaigns cannot fail on I/O")
+}
+
+/// Like [`run_campaign`], but with per-worker reusable state (see
+/// [`run_campaign_in_memory_scoped`]).
+///
+/// # Errors
+///
+/// Only sink I/O errors abort a campaign; job panics never do.
+pub fn run_campaign_scoped<S, I, F>(
+    jobs: &[Job],
+    opts: &CampaignOptions,
+    sink: &mut JsonlSink,
+    init: I,
+    run_job: F,
+) -> io::Result<CampaignReport>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &Job) -> JobResult + Sync,
+{
+    run_campaign_impl(jobs, opts, Some(sink), init, run_job)
 }
 
 /// Runs `jobs` through `run_job` on a worker pool, streaming results into
@@ -199,17 +241,19 @@ pub fn run_campaign<F>(
 where
     F: Fn(&Job) -> JobResult + Sync,
 {
-    run_campaign_impl(jobs, opts, Some(sink), run_job)
+    run_campaign_impl(jobs, opts, Some(sink), || (), |(), job| run_job(job))
 }
 
-fn run_campaign_impl<F>(
+fn run_campaign_impl<S, I, F>(
     jobs: &[Job],
     opts: &CampaignOptions,
     mut sink: Option<&mut JsonlSink>,
+    init: I,
     run_job: F,
 ) -> io::Result<CampaignReport>
 where
-    F: Fn(&Job) -> JobResult + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &Job) -> JobResult + Sync,
 {
     let started = Instant::now();
     let resumed: Vec<JobResult> = sink
@@ -239,23 +283,31 @@ where
             let pending = &pending;
             let next = &next;
             let run_job = &run_job;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = pending.get(i) else { break };
-                let t0 = Instant::now();
-                let outcome = match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
-                    Ok(result) => Outcome::Done(result),
-                    Err(payload) => {
-                        Outcome::Panicked(JobFailure::for_job(job, panic_message(payload)))
+            let init = &init;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = pending.get(i) else { break };
+                    let t0 = Instant::now();
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| run_job(&mut state, job)))
+                    {
+                        Ok(result) => Outcome::Done(result),
+                        Err(payload) => {
+                            // The panic may have left the reusable state
+                            // mid-mutation; rebuild it before the next job.
+                            state = init();
+                            Outcome::Panicked(JobFailure::for_job(job, panic_message(payload)))
+                        }
+                    };
+                    let completion = Completion {
+                        worker,
+                        busy: t0.elapsed(),
+                        outcome,
+                    };
+                    if tx.send(completion).is_err() {
+                        break;
                     }
-                };
-                let completion = Completion {
-                    worker,
-                    busy: t0.elapsed(),
-                    outcome,
-                };
-                if tx.send(completion).is_err() {
-                    break;
                 }
             });
         }

@@ -123,25 +123,26 @@ enum CState {
 
 /// A CAN controller speaking protocol variant `V`.
 ///
-/// Attach controllers to a [`Simulator`](majorcan_sim::Simulator), enqueue
-/// frames between steps, and read protocol activity from the engine's event
-/// log.
+/// Controllers implement [`BitNode`](majorcan_sim::BitNode), so they attach
+/// to the bit-level [`Simulator`](majorcan_sim::Simulator); experiment code
+/// assembles whole clusters through the `majorcan-testbed` facade instead
+/// of attaching controllers by hand. Enqueue frames between steps and read
+/// protocol activity from the engine's event log.
 ///
 /// # Examples
 ///
 /// ```
-/// use majorcan_can::{CanEvent, Controller, Frame, FrameId, StandardCan};
-/// use majorcan_sim::{NoFaults, Simulator};
+/// use majorcan_can::{CanEvent, Frame, FrameId};
+/// use majorcan_sim::NodeId;
+/// use majorcan_testbed::{ProtocolSpec, Testbed};
 ///
-/// let mut sim = Simulator::new(NoFaults);
-/// let tx = sim.attach(Controller::new(StandardCan));
-/// let rx = sim.attach(Controller::new(StandardCan));
-/// sim.node_mut(tx).enqueue(Frame::new(FrameId::new(0x42)?, &[7])?);
-/// sim.run(200);
-/// let delivered = sim
-///     .events()
+/// let mut tb = Testbed::builder(ProtocolSpec::StandardCan).nodes(2).build();
+/// tb.enqueue(0, Frame::new(FrameId::new(0x42)?, &[7])?);
+/// tb.run(200);
+/// let delivered = tb
+///     .can_events()
 ///     .iter()
-///     .any(|e| e.node == rx && matches!(e.event, CanEvent::Delivered { .. }));
+///     .any(|e| e.node == NodeId(1) && matches!(e.event, CanEvent::Delivered { .. }));
 /// assert!(delivered);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -195,6 +196,40 @@ impl<V: Variant> Controller<V> {
             fc_scratch: Vec::new(),
             pending_drive_events: Vec::new(),
         }
+    }
+
+    /// Rewinds the controller to its freshly-constructed state (as from
+    /// [`Controller::with_config`] with the same variant and
+    /// configuration), keeping heap allocations such as the transmit queue
+    /// for reuse across runs.
+    pub fn reset(&mut self) {
+        self.fc = FaultConfinement::new(self.config.shutoff_at_warning);
+        self.state = CState::Integrating { recessive_run: 0 };
+        self.queue.clear();
+        self.tx = None;
+        self.pipe = None;
+        self.eof_start = None;
+        self.delivered_this_frame = false;
+        self.deferred = None;
+        self.episode_role = Role::Receiver;
+        self.crashed = false;
+        self.announce_crash = false;
+        self.bit_now = 0;
+        self.fc_scratch.clear();
+        self.pending_drive_events.clear();
+    }
+
+    /// Re-arms (or clears) the scripted fail-silent bit time for the next
+    /// run of a reused controller.
+    pub fn set_fail_at(&mut self, fail_at: Option<u64>) {
+        self.config.fail_at = fail_at;
+    }
+
+    /// Changes the warning-shutoff policy of a reused controller. Takes
+    /// full effect at the next [`Controller::reset`], which rebuilds the
+    /// fault-confinement state from the configuration.
+    pub fn set_shutoff_at_warning(&mut self, shutoff: bool) {
+        self.config.shutoff_at_warning = shutoff;
     }
 
     /// The protocol variant this controller speaks.

@@ -27,23 +27,22 @@
 //!
 //! # Examples
 //!
-//! One transmitter, two receivers, no faults — everyone delivers:
+//! One transmitter, two receivers, no faults — everyone delivers.
+//! Clusters are assembled through the `majorcan-testbed` facade rather
+//! than by attaching controllers to a raw simulator by hand:
 //!
 //! ```
-//! use majorcan_can::{CanEvent, Controller, Frame, FrameId, StandardCan};
-//! use majorcan_sim::{NoFaults, Simulator};
+//! use majorcan_can::{CanEvent, Frame, FrameId};
+//! use majorcan_testbed::{ProtocolSpec, Testbed};
 //!
-//! let mut sim = Simulator::new(NoFaults);
-//! let tx = sim.attach(Controller::new(StandardCan));
-//! let rx1 = sim.attach(Controller::new(StandardCan));
-//! let rx2 = sim.attach(Controller::new(StandardCan));
+//! let mut tb = Testbed::builder(ProtocolSpec::StandardCan).build();
 //!
 //! let frame = Frame::new(FrameId::new(0x0B5)?, b"brake")?;
-//! sim.node_mut(tx).enqueue(frame.clone());
-//! sim.run(200);
+//! tb.enqueue(0, frame.clone());
+//! tb.run(200);
 //!
-//! let deliveries = sim
-//!     .events()
+//! let deliveries = tb
+//!     .can_events()
 //!     .iter()
 //!     .filter(|e| matches!(&e.event, CanEvent::Delivered { frame: f, .. } if *f == frame))
 //!     .count();

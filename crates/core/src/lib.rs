@@ -22,27 +22,22 @@
 //! Running the same broadcast under all three protocols:
 //!
 //! ```
-//! use majorcan_can::{CanEvent, Controller, Frame, FrameId, StandardCan, Variant};
-//! use majorcan_core::{MajorCan, MinorCan};
-//! use majorcan_sim::{NoFaults, Simulator};
+//! use majorcan_can::{CanEvent, Frame, FrameId};
+//! use majorcan_testbed::{ProtocolSpec, Testbed};
 //!
-//! fn deliveries<V: Variant>(variant: V) -> usize {
-//!     let mut sim = Simulator::new(NoFaults);
-//!     let tx = sim.attach(Controller::new(variant.clone()));
-//!     sim.attach(Controller::new(variant.clone()));
-//!     sim.attach(Controller::new(variant));
-//!     sim.node_mut(tx)
-//!         .enqueue(Frame::new(FrameId::new(0x42).unwrap(), &[1]).unwrap());
-//!     sim.run(300);
-//!     sim.events()
+//! fn deliveries(protocol: ProtocolSpec) -> usize {
+//!     let mut tb = Testbed::builder(protocol).build();
+//!     tb.enqueue(0, Frame::new(FrameId::new(0x42).unwrap(), &[1]).unwrap());
+//!     tb.run(300);
+//!     tb.can_events()
 //!         .iter()
 //!         .filter(|e| matches!(e.event, CanEvent::Delivered { .. }))
 //!         .count()
 //! }
 //!
-//! assert_eq!(deliveries(StandardCan), 2);
-//! assert_eq!(deliveries(MinorCan), 2);
-//! assert_eq!(deliveries(MajorCan::proposed()), 2);
+//! assert_eq!(deliveries(ProtocolSpec::StandardCan), 2);
+//! assert_eq!(deliveries(ProtocolSpec::MinorCan), 2);
+//! assert_eq!(deliveries(ProtocolSpec::MajorCan { m: 5 }), 2);
 //! ```
 
 #![forbid(unsafe_code)]

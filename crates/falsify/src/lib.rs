@@ -53,7 +53,7 @@ mod shrink;
 
 pub use corpus::{load_corpus, repo_corpus_dir, write_corpus, CorpusEntry, Provenance};
 pub use generator::{generate, tail_disturbance, Geometry};
-pub use oracle::{budget_for, evaluate, Outcome, HLP_BUDGET, LINK_BUDGET};
+pub use oracle::{budget_for, classify, evaluate, Oracle, Outcome, HLP_BUDGET, LINK_BUDGET};
 pub use schedule::Schedule;
 pub use search::{build_jobs, run_search, Finding, SearchConfig, SearchReport, SCHEDULES_PER_JOB};
-pub use shrink::{shrink, Shrunk, MAX_EVALUATIONS};
+pub use shrink::{shrink, shrink_with, Shrunk, MAX_EVALUATIONS};

@@ -1,10 +1,12 @@
 //! The falsification oracle: schedule in, verdict out.
 //!
-//! [`evaluate`] runs one disturbance [`Schedule`] against any protocol
-//! target — a link-layer variant through
-//! [`run_script`](majorcan_faults::run_script), or one of the FTCS'98
-//! higher-level protocols over a standard-CAN link — feeds the resulting
-//! event log to the Atomic Broadcast checker, and classifies the run:
+//! The oracle is a thin, panic-containing wrapper around the
+//! [`Testbed`](majorcan_testbed::Testbed) facade. [`Oracle::evaluate`]
+//! runs one disturbance [`Schedule`] against any protocol target — a
+//! link-layer variant, or one of the FTCS'98 higher-level protocols over
+//! a standard-CAN link — through the testbed's allocation-free
+//! [`run_schedule`](majorcan_testbed::Testbed::run_schedule) hot loop, and
+//! classifies the run into the shared [`Outcome`] vocabulary:
 //!
 //! * [`Outcome::Consistent`] — every checked property held and the whole
 //!   schedule actually fired;
@@ -12,74 +14,23 @@
 //!   applied (a position the geometry lacks, an occurrence the traffic
 //!   never reached) — **not** evidence of robustness;
 //! * [`Outcome::Violation`] — a broken property, graded by the checker's
-//!   [`Verdict`] (double reception / omission / validity loss);
+//!   [`Verdict`](majorcan_abcast::Verdict) (double reception / omission /
+//!   validity loss);
 //! * [`Outcome::CheckerPanic`] — the simulator or checker itself blew up,
 //!   which is always a finding (panics are caught, never propagated).
+//!
+//! A long-lived [`Oracle`] caches one testbed per (target, node-count)
+//! pair, so a search worker evaluating thousands of schedules against the
+//! same target reuses the cluster instead of reassembling it per run. The
+//! free [`evaluate`] keeps the historical one-shot signature for callers
+//! that grade a single schedule (corpus replay, tests).
 
 use crate::schedule::Schedule;
-use majorcan_abcast::{trace_from_can_events, Verdict};
 use majorcan_campaign::ProtocolSpec;
-use majorcan_can::{StandardCan, Variant};
-use majorcan_core::{MajorCan, MinorCan};
-use majorcan_faults::{run_script, ScriptedFaults};
-use majorcan_hlp::{trace_from_hlp_events, EdCan, HlpLayer, HlpNode, RelCan, TotCan};
-use majorcan_sim::{NodeId, Simulator};
+use majorcan_testbed::Testbed;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Bit budget for one link-layer schedule evaluation (matches the
-/// scripted-trial budget of the bench interpreter).
-pub const LINK_BUDGET: u64 = 5_000;
-
-/// Bit budget for one higher-level-protocol evaluation (CONFIRM/ACCEPT
-/// rounds and timeout recovery need more bus time than a bare frame).
-pub const HLP_BUDGET: u64 = 8_000;
-
-/// The evaluation budget appropriate for `target`.
-pub fn budget_for(target: ProtocolSpec) -> u64 {
-    if target.is_hlp() {
-        HLP_BUDGET
-    } else {
-        LINK_BUDGET
-    }
-}
-
-/// The classification of one schedule evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Outcome {
-    /// All checked properties held; the schedule fully applied.
-    Consistent,
-    /// All checked properties held, but `unfired` disturbances never
-    /// applied — the schedule did not test what it claims to test.
-    Vacuous {
-        /// Number of scripted disturbances that never fired.
-        unfired: usize,
-    },
-    /// A broken Atomic Broadcast property (never
-    /// [`Verdict::Consistent`]).
-    Violation(Verdict),
-    /// The simulator or checker panicked; the payload message is kept.
-    CheckerPanic(String),
-}
-
-impl Outcome {
-    /// Stable token for counters and corpus files: `consistent`,
-    /// `vacuous`, the checker's verdict tokens (`double` / `omission` /
-    /// `validity`), or `panic`.
-    pub fn token(&self) -> &'static str {
-        match self {
-            Outcome::Consistent => "consistent",
-            Outcome::Vacuous { .. } => "vacuous",
-            Outcome::Violation(v) => v.token(),
-            Outcome::CheckerPanic(_) => "panic",
-        }
-    }
-
-    /// `true` for the outcomes the falsifier hunts: property violations
-    /// and checker panics.
-    pub fn is_finding(&self) -> bool {
-        matches!(self, Outcome::Violation(_) | Outcome::CheckerPanic(_))
-    }
-}
+pub use majorcan_testbed::{budget_for, classify, Outcome, HLP_BUDGET, LINK_BUDGET};
 
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -91,77 +42,71 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn classify(verdict: Verdict, unfired: usize) -> Outcome {
-    match (verdict, unfired) {
-        (Verdict::Consistent, 0) => Outcome::Consistent,
-        (Verdict::Consistent, n) => Outcome::Vacuous { unfired: n },
-        (v, _) => Outcome::Violation(v),
+/// A reusable schedule evaluator with a cached testbed.
+///
+/// The cache holds the testbed of the most recent (target, node-count)
+/// pair; search workers evaluate in target-major order, so one entry
+/// suffices. After a contained panic the cached testbed is dropped — a
+/// cluster that unwound mid-run is in an unknown state and must not be
+/// reused.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    cached: Option<((ProtocolSpec, usize), Testbed)>,
+}
+
+impl Oracle {
+    /// A fresh oracle with an empty testbed cache.
+    pub fn new() -> Oracle {
+        Oracle { cached: None }
     }
-}
 
-fn link<V: Variant>(variant: &V, schedule: &Schedule, n_nodes: usize, budget: u64) -> Outcome {
-    let run = run_script(variant, schedule.to_vec(), n_nodes, budget);
-    let verdict = trace_from_can_events(&run.events, n_nodes)
-        .check()
-        .verdict();
-    classify(verdict, run.remaining())
-}
-
-fn hlp<L: HlpLayer, F: Fn() -> L>(
-    make: F,
-    schedule: &Schedule,
-    n_nodes: usize,
-    budget: u64,
-) -> Outcome {
-    let mut sim = Simulator::new(ScriptedFaults::new(schedule.to_vec()));
-    for i in 0..n_nodes {
-        sim.attach(HlpNode::new(make(), i));
-    }
-    sim.node_mut(NodeId(0)).broadcast(&[0x5A]);
-    sim.run(budget);
-    let unfired = sim.channel().unfired().len();
-    let verdict = trace_from_hlp_events(sim.events(), n_nodes)
-        .check()
-        .verdict();
-    classify(verdict, unfired)
-}
-
-fn evaluate_inner(
-    target: ProtocolSpec,
-    schedule: &Schedule,
-    n_nodes: usize,
-    budget: u64,
-) -> Outcome {
-    match target {
-        ProtocolSpec::StandardCan => link(&StandardCan, schedule, n_nodes, budget),
-        ProtocolSpec::MinorCan => link(&MinorCan, schedule, n_nodes, budget),
-        ProtocolSpec::MajorCan { m } => {
-            let variant = MajorCan::new(m)
-                .unwrap_or_else(|e| panic!("invalid MajorCAN tolerance for oracle: {e}"));
-            link(&variant, schedule, n_nodes, budget)
+    /// Evaluates `schedule` against `target` for `budget` bit times and
+    /// classifies the run. Panics inside the simulator or checker are
+    /// caught and reported as [`Outcome::CheckerPanic`] — the oracle
+    /// itself never unwinds.
+    pub fn evaluate(
+        &mut self,
+        target: ProtocolSpec,
+        schedule: &Schedule,
+        n_nodes: usize,
+        budget: u64,
+    ) -> Outcome {
+        let key = (target, n_nodes);
+        if self.cached.as_ref().map(|(k, _)| *k) != Some(key) {
+            self.cached = None; // drop the old cluster before building
+            let built = catch_unwind(AssertUnwindSafe(|| {
+                Testbed::builder(target).nodes(n_nodes).build()
+            }));
+            match built {
+                Ok(testbed) => self.cached = Some((key, testbed)),
+                Err(payload) => return Outcome::CheckerPanic(panic_text(payload)),
+            }
         }
-        ProtocolSpec::EdCan => hlp(EdCan::new, schedule, n_nodes, budget),
-        ProtocolSpec::RelCan => hlp(RelCan::new, schedule, n_nodes, budget),
-        ProtocolSpec::TotCan => hlp(TotCan::new, schedule, n_nodes, budget),
+        let (_, testbed) = self.cached.as_mut().expect("testbed cached above");
+        testbed.set_budget(budget);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            testbed.run_schedule(schedule.disturbances())
+        }));
+        match run {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                self.cached = None;
+                Outcome::CheckerPanic(panic_text(payload))
+            }
+        }
     }
 }
 
-/// Evaluates `schedule` against `target` for `budget` bit times and
-/// classifies the run. Panics inside the simulator or checker are caught
-/// and reported as [`Outcome::CheckerPanic`] — the oracle itself never
-/// unwinds.
+/// Evaluates `schedule` against `target` on a fresh testbed (see
+/// [`Oracle::evaluate`]). Loops should hold an [`Oracle`] instead.
 pub fn evaluate(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget: u64) -> Outcome {
-    match catch_unwind(AssertUnwindSafe(|| {
-        evaluate_inner(target, schedule, n_nodes, budget)
-    })) {
-        Ok(outcome) => outcome,
-        Err(payload) => Outcome::CheckerPanic(panic_text(payload)),
-    }
+    Oracle::new().evaluate(target, schedule, n_nodes, budget)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use majorcan_abcast::Verdict;
     use majorcan_can::Field;
     use majorcan_faults::{Disturbance, Scenario};
 
@@ -263,5 +208,46 @@ mod tests {
             }
             other => panic!("expected CheckerPanic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cached_oracle_agrees_with_fresh_evaluations_across_targets() {
+        let mut oracle = Oracle::new();
+        let schedules = [
+            sched(vec![]),
+            sched(Scenario::fig1b().disturbances),
+            sched(Scenario::fig3a().disturbances),
+            sched(vec![Disturbance::first(1, Field::AgreementHold, 13)]),
+        ];
+        for target in [
+            ProtocolSpec::StandardCan,
+            ProtocolSpec::MajorCan { m: 5 },
+            ProtocolSpec::TotCan,
+        ] {
+            let budget = budget_for(target);
+            for s in &schedules {
+                assert_eq!(
+                    oracle.evaluate(target, s, 3, budget),
+                    evaluate(target, s, 3, budget),
+                    "{target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_recovers_after_a_contained_panic() {
+        let mut oracle = Oracle::new();
+        let bad = oracle.evaluate(
+            ProtocolSpec::MajorCan { m: 2 },
+            &sched(vec![]),
+            3,
+            LINK_BUDGET,
+        );
+        assert!(matches!(bad, Outcome::CheckerPanic(_)));
+        assert_eq!(
+            oracle.evaluate(ProtocolSpec::StandardCan, &sched(vec![]), 3, LINK_BUDGET),
+            Outcome::Consistent
+        );
     }
 }

@@ -16,13 +16,13 @@
 
 use crate::corpus::{CorpusEntry, Provenance};
 use crate::generator::{generate, Geometry};
-use crate::oracle::{budget_for, evaluate, Outcome};
+use crate::oracle::{budget_for, Oracle, Outcome};
 use crate::schedule::Schedule;
-use crate::shrink::shrink;
+use crate::shrink::shrink_with;
 use majorcan_bench::jobs::chunked_frames;
 use majorcan_campaign::{
-    derive_trial_seed, run_campaign, run_campaign_in_memory, CampaignOptions, FaultSpec, Job,
-    JobResult, JsonlSink, ProtocolSpec, Totals, WorkloadSpec,
+    derive_trial_seed, run_campaign_in_memory_scoped, run_campaign_scoped, CampaignOptions,
+    FaultSpec, Job, JobResult, JsonlSink, ProtocolSpec, Totals, WorkloadSpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -146,7 +146,7 @@ pub fn build_jobs(cfg: &SearchConfig) -> Vec<Job> {
 /// Executes one adversarial-search job: synthesize and evaluate
 /// `job.frames` schedules, counting outcomes and reporting findings into
 /// the side channel.
-fn execute_job(job: &Job, findings: &Mutex<Vec<Finding>>) -> JobResult {
+fn execute_job(oracle: &mut Oracle, job: &Job, findings: &Mutex<Vec<Finding>>) -> JobResult {
     let FaultSpec::AdversarialSearch { max_errors } = job.fault else {
         panic!("falsify executor got a non-adversarial job {}", job.id);
     };
@@ -156,7 +156,7 @@ fn execute_job(job: &Job, findings: &Mutex<Vec<Finding>>) -> JobResult {
     for trial in 0..job.frames {
         let mut rng = StdRng::seed_from_u64(derive_trial_seed(job.seed, trial));
         let schedule = generate(&mut rng, &geo, max_errors);
-        let outcome = evaluate(job.protocol, &schedule, job.n_nodes, budget);
+        let outcome = oracle.evaluate(job.protocol, &schedule, job.n_nodes, budget);
         out.counters
             .add(&format!("outcome/{}/{}", job.protocol, outcome.token()), 1);
         out.frames += 1;
@@ -192,10 +192,10 @@ pub fn run_search(
 ) -> io::Result<SearchReport> {
     let jobs = build_jobs(cfg);
     let findings = Mutex::new(Vec::new());
-    let run = |job: &Job| execute_job(job, &findings);
+    let run = |oracle: &mut Oracle, job: &Job| execute_job(oracle, job, &findings);
     let report = match sink {
-        Some(s) => run_campaign(&jobs, opts, s, run)?,
-        None => run_campaign_in_memory(&jobs, opts, run),
+        Some(s) => run_campaign_scoped(&jobs, opts, s, Oracle::new, run)?,
+        None => run_campaign_in_memory_scoped(&jobs, opts, Oracle::new, run),
     };
     let mut raw = findings.into_inner().expect("finding channel poisoned");
     // The runner hands jobs out in nondeterministic order; sorting by the
@@ -220,6 +220,7 @@ pub fn run_search(
     let mut entries = Vec::new();
     let mut dropped = 0usize;
     let mut shrink_evaluations = 0usize;
+    let mut shrink_oracle = Oracle::new();
     for finding in &deduped {
         let class = (
             finding.target.to_string(),
@@ -232,7 +233,13 @@ pub fn run_search(
         }
         *in_queue += 1;
         let budget = budget_for(finding.target);
-        let shrunk = shrink(finding.target, &finding.schedule, cfg.n_nodes, budget);
+        let shrunk = shrink_with(
+            &mut shrink_oracle,
+            finding.target,
+            &finding.schedule,
+            cfg.n_nodes,
+            budget,
+        );
         shrink_evaluations += shrunk.evaluations;
         let key = (class.0.clone(), class.1.clone(), shrunk.schedule.key());
         if !archived_seen.insert(key) {

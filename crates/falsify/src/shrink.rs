@@ -10,7 +10,7 @@
 //! the class. The result is deterministic: same schedule in, same minimum
 //! out, bounded by [`MAX_EVALUATIONS`] oracle calls.
 
-use crate::oracle::{evaluate, Outcome};
+use crate::oracle::{Oracle, Outcome};
 use crate::schedule::Schedule;
 use majorcan_campaign::ProtocolSpec;
 use majorcan_faults::Disturbance;
@@ -33,6 +33,7 @@ pub struct Shrunk {
 }
 
 fn preserves(
+    oracle: &mut Oracle,
     target: ProtocolSpec,
     candidate: Vec<Disturbance>,
     n_nodes: usize,
@@ -44,7 +45,10 @@ fn preserves(
         return false;
     }
     *evals += 1;
-    evaluate(target, &Schedule::new(candidate), n_nodes, budget).token() == token
+    oracle
+        .evaluate(target, &Schedule::new(candidate), n_nodes, budget)
+        .token()
+        == token
 }
 
 fn canonical_key(d: &Disturbance) -> (usize, String, u16, u32, bool) {
@@ -57,7 +61,19 @@ fn canonical_key(d: &Disturbance) -> (usize, String, u16, u32, bool) {
 /// outcome; the minimum of a one-disturbance violating schedule is
 /// itself.
 pub fn shrink(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget: u64) -> Shrunk {
-    let outcome = evaluate(target, schedule, n_nodes, budget);
+    shrink_with(&mut Oracle::new(), target, schedule, n_nodes, budget)
+}
+
+/// As [`shrink`], evaluating through a caller-provided [`Oracle`] so the
+/// hundreds of candidate runs share one cached testbed.
+pub fn shrink_with(
+    oracle: &mut Oracle,
+    target: ProtocolSpec,
+    schedule: &Schedule,
+    n_nodes: usize,
+    budget: u64,
+) -> Shrunk {
+    let outcome = oracle.evaluate(target, schedule, n_nodes, budget);
     let token = outcome.token();
     let mut best = schedule.to_vec();
     let mut evals = 1usize;
@@ -71,6 +87,7 @@ pub fn shrink(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget:
             let mut candidate = best.clone();
             candidate.remove(i);
             if preserves(
+                oracle,
                 target,
                 candidate.clone(),
                 n_nodes,
@@ -94,6 +111,7 @@ pub fn shrink(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget:
             let mut candidate = best.clone();
             candidate[i].occurrence = 1;
             if preserves(
+                oracle,
                 target,
                 candidate.clone(),
                 n_nodes,
@@ -108,6 +126,7 @@ pub fn shrink(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget:
             let mut candidate = best.clone();
             candidate[i].stuff = false;
             if preserves(
+                oracle,
                 target,
                 candidate.clone(),
                 n_nodes,
@@ -122,6 +141,7 @@ pub fn shrink(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget:
             let mut candidate = best.clone();
             candidate[i].index = index;
             if preserves(
+                oracle,
                 target,
                 candidate.clone(),
                 n_nodes,
@@ -138,7 +158,17 @@ pub fn shrink(target: ProtocolSpec, schedule: &Schedule, n_nodes: usize, budget:
     // Pass 3 — canonical order, when order doesn't matter to the outcome.
     let mut sorted = best.clone();
     sorted.sort_by_key(canonical_key);
-    if sorted != best && preserves(target, sorted.clone(), n_nodes, budget, token, &mut evals) {
+    if sorted != best
+        && preserves(
+            oracle,
+            target,
+            sorted.clone(),
+            n_nodes,
+            budget,
+            token,
+            &mut evals,
+        )
+    {
         best = sorted;
     }
 

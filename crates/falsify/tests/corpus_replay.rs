@@ -7,7 +7,9 @@
 //! layer, the HLPs, or the Atomic Broadcast checker.
 
 use majorcan_campaign::ProtocolSpec;
-use majorcan_falsify::{evaluate, load_corpus, repo_corpus_dir, CorpusEntry, LINK_BUDGET};
+use majorcan_falsify::{evaluate, load_corpus, repo_corpus_dir, CorpusEntry, Oracle, LINK_BUDGET};
+use majorcan_testbed::{budget_for, Testbed};
+use proptest::prelude::*;
 
 fn corpus() -> Vec<CorpusEntry> {
     let dir = repo_corpus_dir();
@@ -52,6 +54,59 @@ fn every_entry_reproduces_its_recorded_verdict() {
             entry.file_name(),
             entry.schedule
         );
+    }
+}
+
+// Replay identity under reuse: however a long-lived worker interleaves
+// corpus entries, every replay on a reused testbed must match a fresh
+// build bit for bit — same event log, same bit-level trace, same verdict.
+// This is the property the campaign hot loop's determinism guarantees
+// rest on.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn reused_testbed_replays_corpus_schedules_bit_identically(
+        order in proptest::collection::vec(0usize..1024, 1..10)
+    ) {
+        let entries = corpus();
+        let mut oracle = Oracle::new();
+        let mut cached: Option<((ProtocolSpec, usize), Testbed)> = None;
+        for pick in order {
+            let entry = &entries[pick % entries.len()];
+            let budget = budget_for(entry.protocol);
+
+            // Verdict identity through the cached-oracle path (all targets).
+            let fresh_outcome = entry.replay();
+            let warm_outcome =
+                oracle.evaluate(entry.protocol, &entry.schedule, entry.n_nodes, budget);
+            prop_assert_eq!(warm_outcome, fresh_outcome, "{}", entry.file_name());
+
+            // Bit-level identity through a reused traced testbed
+            // (link-layer targets; `run_script` has no HLP path).
+            if !entry.protocol.is_hlp() {
+                let key = (entry.protocol, entry.n_nodes);
+                if cached.as_ref().map(|(k, _)| *k) != Some(key) {
+                    cached = Some((
+                        key,
+                        Testbed::builder(entry.protocol)
+                            .nodes(entry.n_nodes)
+                            .budget(budget)
+                            .build(),
+                    ));
+                }
+                let (_, reused) = cached.as_mut().expect("testbed cached above");
+                let warm = reused.run_script(entry.schedule.disturbances());
+                let fresh = Testbed::builder(entry.protocol)
+                    .nodes(entry.n_nodes)
+                    .budget(budget)
+                    .build()
+                    .run_script(entry.schedule.disturbances());
+                prop_assert_eq!(&warm.events, &fresh.events, "{}", entry.file_name());
+                prop_assert_eq!(&warm.trace, &fresh.trace, "{}", entry.file_name());
+                prop_assert_eq!(&warm.unfired, &fresh.unfired, "{}", entry.file_name());
+            }
+        }
     }
 }
 

@@ -8,9 +8,9 @@
 //!   after Charzinski), plus [`Compose`] for layering models;
 //! * [`ScriptedFaults`] / [`Disturbance`] — deterministic frame-relative
 //!   disturbances ("the last-but-one EOF bit of node 1's view");
-//! * [`Scenario`] / [`run_scenario`] — the paper's figures as a catalogued,
-//!   executable library (Figs. 1a, 1b, 1c, 3a/3b, 5), runnable under any
-//!   protocol variant;
+//! * [`Scenario`] — the paper's figures as a catalogued, executable
+//!   library (Figs. 1a, 1b, 1c, 3a/3b, 5); the `majorcan-testbed` crate
+//!   runs them under any protocol variant;
 //! * [`exponential_failure_bits`] / [`crash_probability_within`] — the
 //!   crash-fault law behind Eq. 5.
 //!
@@ -22,7 +22,8 @@
 //! ```
 //! use majorcan_core::MajorCan;
 //! use majorcan_can::StandardCan;
-//! use majorcan_faults::{run_scenario, Scenario};
+//! use majorcan_faults::Scenario;
+//! use majorcan_testbed::run_scenario;
 //!
 //! let fig1b = Scenario::fig1b();
 //! let can = run_scenario(&StandardCan, &fig1b, 800);
@@ -44,7 +45,5 @@ mod script;
 pub use crash::{crash_probability_within, exponential_failure_bits};
 pub use filter::{ActiveAfter, FieldFiltered};
 pub use random::{Compose, GlobalEventErrors, IndependentBitErrors};
-pub use scenarios::{
-    run_scenario, run_scenario_strict, run_script, scenario_frame, CrashRule, Scenario, ScenarioRun,
-};
+pub use scenarios::{scenario_frame, CrashRule, Scenario};
 pub use script::{Disturbance, ScriptedFaults};

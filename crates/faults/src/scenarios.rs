@@ -7,14 +7,15 @@
 //! of a set identically, and width can be raised via
 //! [`Scenario::with_nodes`]).
 //!
-//! [`run_scenario`] executes a scenario against any protocol
-//! [`Variant`] and returns the full event log plus the bit trace, so the
-//! same script demonstrates the inconsistency on standard CAN, the partial
-//! fix in MinorCAN and the full fix in MajorCAN.
+//! This module holds only the *data* — the scripts and crash rules.
+//! Execution lives in the `majorcan-testbed` crate: its `run_scenario`
+//! runs a scenario against any protocol and returns the full event log
+//! plus the bit trace, so the same script demonstrates the inconsistency
+//! on standard CAN, the partial fix in MinorCAN and the full fix in
+//! MajorCAN.
 
-use crate::{Disturbance, ScriptedFaults};
-use majorcan_can::{CanEvent, Controller, ControllerConfig, Field, Frame, FrameId, Variant};
-use majorcan_sim::{BitTrace, NodeId, Simulator, TimedEvent};
+use crate::Disturbance;
+use majorcan_can::{Field, Frame, FrameId};
 
 /// A crash fault injected during a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,215 +172,9 @@ impl Scenario {
 pub fn scenario_frame() -> Frame {
     Frame::new(FrameId::new(0x0AA).expect("valid id"), &[0xCD]).expect("valid frame")
 }
-
-/// The outcome of a scenario execution.
-#[derive(Debug, Clone)]
-pub struct ScenarioRun {
-    /// Full controller event log.
-    pub events: Vec<TimedEvent<CanEvent>>,
-    /// Bit-level trace (always recorded for scenario runs).
-    pub trace: BitTrace,
-    /// `true` if every scripted disturbance actually fired — if not, the
-    /// script missed (e.g. wrong variant for the positions used).
-    pub script_exhausted: bool,
-    /// The scripted disturbances that never fired, in script order (empty
-    /// exactly when [`script_exhausted`](ScenarioRun::script_exhausted)).
-    /// A disturbance stays unfired when its position never exists under
-    /// the variant's geometry, its node never reaches the position, or the
-    /// requested occurrence count is never met — any of which makes a
-    /// "consistent" verdict vacuous for schedule-searching callers.
-    pub unfired: Vec<Disturbance>,
-    /// Number of nodes in the run.
-    pub n_nodes: usize,
-}
-
-impl ScenarioRun {
-    /// Number of scripted disturbances that never fired.
-    pub fn remaining(&self) -> usize {
-        self.unfired.len()
-    }
-
-    /// `true` when every scripted disturbance fired, i.e. the run really
-    /// exercised the schedule it claims to have exercised.
-    pub fn fully_applied(&self) -> bool {
-        self.unfired.is_empty()
-    }
-
-    /// Panics with the list of unfired disturbances unless the script
-    /// fully applied. Scenario reproductions call this so a geometry
-    /// mismatch (e.g. a MajorCAN-only position run under standard CAN)
-    /// fails loudly instead of passing vacuously.
-    pub fn assert_fully_applied(&self) {
-        assert!(
-            self.fully_applied(),
-            "disturbance script did not fully apply; unfired: [{}]",
-            self.unfired
-                .iter()
-                .map(|d| d.to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-    }
-    /// Frames delivered by `node`, in order.
-    pub fn deliveries(&self, node: usize) -> Vec<Frame> {
-        self.events
-            .iter()
-            .filter(|e| e.node == NodeId(node))
-            .filter_map(|e| match &e.event {
-                CanEvent::Delivered { frame, .. } => Some(frame.clone()),
-                _ => None,
-            })
-            .collect()
-    }
-
-    /// Number of successful transmissions committed by `node`.
-    pub fn tx_successes(&self, node: usize) -> usize {
-        self.events
-            .iter()
-            .filter(|e| e.node == NodeId(node) && matches!(e.event, CanEvent::TxSucceeded { .. }))
-            .count()
-    }
-
-    /// Number of retransmissions scheduled by `node`.
-    pub fn retransmissions(&self, node: usize) -> usize {
-        self.events
-            .iter()
-            .filter(|e| {
-                e.node == NodeId(node)
-                    && matches!(e.event, CanEvent::RetransmissionScheduled { .. })
-            })
-            .count()
-    }
-
-    /// `true` if every non-crashed receiver delivered the frame at least
-    /// once and no receiver delivered it twice — the per-scenario
-    /// consistency verdict (full Atomic Broadcast checking lives in the
-    /// `majorcan-abcast` crate).
-    pub fn consistent_single_delivery(&self) -> bool {
-        let crashed: Vec<usize> = self
-            .events
-            .iter()
-            .filter(|e| matches!(e.event, CanEvent::Crashed))
-            .map(|e| e.node.index())
-            .collect();
-        (1..self.n_nodes)
-            .filter(|n| !crashed.contains(n))
-            .all(|n| self.deliveries(n).len() == 1)
-    }
-}
-
-/// Executes `scenario` under protocol `variant`: attaches
-/// `scenario.n_nodes` controllers (node 0 transmits [`scenario_frame`]),
-/// runs for `budget` bits with trace recording, and resolves crash rules
-/// (running a fault-free probe pass when needed).
-pub fn run_scenario<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -> ScenarioRun {
-    let crash_at: Option<(usize, u64)> = match scenario.crash {
-        None => None,
-        Some(CrashRule::AtBit { node, at }) => Some((node, at)),
-        Some(CrashRule::AfterRetransmissionScheduled { node }) => {
-            // Probe pass without the crash to find the scheduling time.
-            let probe = execute(variant, scenario, budget, &[]);
-            let at = probe
-                .events
-                .iter()
-                .find(|e| {
-                    e.node == NodeId(node)
-                        && matches!(e.event, CanEvent::RetransmissionScheduled { .. })
-                })
-                .map(|e| e.at + 1);
-            at.map(|at| (node, at))
-        }
-    };
-    let crashes: Vec<(usize, u64)> = crash_at.into_iter().collect();
-    execute(variant, scenario, budget, &crashes)
-}
-
-/// Executes `scenario` like [`run_scenario`] and then asserts the
-/// disturbance script fully applied (see
-/// [`ScenarioRun::assert_fully_applied`]), so a schedule that silently
-/// missed cannot be mistaken for a passing one.
-///
-/// # Panics
-///
-/// Panics, listing the unfired disturbances, when any scripted disturbance
-/// never fired.
-pub fn run_scenario_strict<V: Variant>(
-    variant: &V,
-    scenario: &Scenario,
-    budget: u64,
-) -> ScenarioRun {
-    let run = run_scenario(variant, scenario, budget);
-    run.assert_fully_applied();
-    run
-}
-
-/// Executes an ad-hoc disturbance schedule under `variant`: the same
-/// machinery as [`run_scenario`] (node 0 transmits [`scenario_frame`],
-/// full trace recording, unfired-disturbance reporting) without requiring
-/// a named catalogue [`Scenario`]. This is the execution entry point of
-/// the adversarial falsifier (`majorcan-falsify`), which synthesizes
-/// thousands of schedules that have no name.
-pub fn run_script<V: Variant>(
-    variant: &V,
-    disturbances: Vec<Disturbance>,
-    n_nodes: usize,
-    budget: u64,
-) -> ScenarioRun {
-    run_script_with_crashes(variant, disturbances, n_nodes, budget, &[])
-}
-
-fn execute<V: Variant>(
-    variant: &V,
-    scenario: &Scenario,
-    budget: u64,
-    crashes: &[(usize, u64)],
-) -> ScenarioRun {
-    run_script_with_crashes(
-        variant,
-        scenario.disturbances.clone(),
-        scenario.n_nodes,
-        budget,
-        crashes,
-    )
-}
-
-fn run_script_with_crashes<V: Variant>(
-    variant: &V,
-    disturbances: Vec<Disturbance>,
-    n_nodes: usize,
-    budget: u64,
-    crashes: &[(usize, u64)],
-) -> ScenarioRun {
-    let script = ScriptedFaults::new(disturbances);
-    let mut sim = Simulator::new(script);
-    for i in 0..n_nodes {
-        let fail_at = crashes.iter().find(|(n, _)| *n == i).map(|&(_, at)| at);
-        sim.attach(Controller::with_config(
-            variant.clone(),
-            ControllerConfig {
-                fail_at,
-                ..ControllerConfig::default()
-            },
-        ));
-    }
-    sim.record_trace();
-    sim.node_mut(NodeId(0)).enqueue(scenario_frame());
-    sim.run(budget);
-    let unfired = sim.channel().unfired();
-    let trace = sim.trace().cloned().unwrap_or_default();
-    ScenarioRun {
-        events: sim.take_events(),
-        trace,
-        script_exhausted: unfired.is_empty(),
-        unfired,
-        n_nodes,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use majorcan_can::StandardCan;
 
     #[test]
     fn catalogue_is_complete() {
@@ -393,125 +188,15 @@ mod tests {
     }
 
     #[test]
-    fn fig1b_run_shows_double_reception_on_standard_can() {
-        let run = run_scenario(&StandardCan, &Scenario::fig1b(), 800);
-        assert!(run.script_exhausted, "disturbance must have fired");
-        assert!(run.fully_applied());
-        assert_eq!(run.remaining(), 0);
-        assert_eq!(run.deliveries(2).len(), 2, "Y delivers twice");
-        assert_eq!(run.deliveries(1).len(), 1);
-        assert!(!run.consistent_single_delivery());
-        assert!(!run.trace.is_empty());
-    }
-
-    #[test]
-    fn fig1c_run_crashes_tx_and_omits_x() {
-        let run = run_scenario(&StandardCan, &Scenario::fig1c(), 800);
-        assert!(run.script_exhausted);
-        assert_eq!(run.deliveries(2).len(), 1);
-        assert_eq!(run.deliveries(1).len(), 0, "X omitted");
-        assert!(run
-            .events
-            .iter()
-            .any(|e| e.node == NodeId(0) && matches!(e.event, CanEvent::Crashed)));
-    }
-
-    #[test]
-    fn fig1a_run_is_consistent() {
-        let run = run_scenario(&StandardCan, &Scenario::fig1a(), 800);
-        assert!(run.script_exhausted);
-        assert!(run.consistent_single_delivery());
-        assert_eq!(run.retransmissions(0), 0);
-    }
-
-    #[test]
-    fn fig3a_run_violates_agreement_with_correct_tx() {
-        let run = run_scenario(&StandardCan, &Scenario::fig3a(), 800);
-        assert!(run.script_exhausted);
-        assert_eq!(run.tx_successes(0), 1);
-        assert_eq!(run.deliveries(2).len(), 1);
-        assert_eq!(run.deliveries(1).len(), 0);
-        assert!(!run.consistent_single_delivery());
-    }
-
-    #[test]
-    fn wider_networks_supported() {
-        let run = run_scenario(&StandardCan, &Scenario::fig1a().with_nodes(6), 900);
-        assert!(run.consistent_single_delivery());
-        assert_eq!(run.n_nodes, 6);
+    fn wider_networks_change_only_the_node_count() {
+        let s = Scenario::fig1a().with_nodes(6);
+        assert_eq!(s.n_nodes, 6);
+        assert_eq!(s.disturbances, Scenario::fig1a().disturbances);
     }
 
     #[test]
     #[should_panic(expected = "need tx + X + Y")]
     fn too_few_nodes_rejected() {
         Scenario::fig1a().with_nodes(2);
-    }
-
-    #[test]
-    fn at_bit_crash_rule_fires_at_the_given_time() {
-        let mut scenario = Scenario::fig1b();
-        scenario.crash = Some(CrashRule::AtBit { node: 2, at: 30 });
-        let run = run_scenario(&StandardCan, &scenario, 800);
-        let crash = run
-            .events
-            .iter()
-            .find(|e| matches!(e.event, CanEvent::Crashed))
-            .expect("crash fired");
-        assert_eq!(crash.node, NodeId(2));
-        assert_eq!(crash.at, 30);
-        // Node 2 crashed mid-frame: it never delivers anything.
-        assert!(run.deliveries(2).is_empty());
-    }
-
-    #[test]
-    fn run_script_matches_run_scenario_on_the_same_disturbances() {
-        let scenario = Scenario::fig1b();
-        let via_scenario = run_scenario(&StandardCan, &scenario, 800);
-        let via_script = run_script(&StandardCan, scenario.disturbances.clone(), 3, 800);
-        assert_eq!(via_script.events, via_scenario.events);
-        assert!(via_script.fully_applied());
-    }
-
-    #[test]
-    fn unfired_disturbances_are_reported_not_swallowed() {
-        // A MajorCAN-only position run under standard CAN never fires:
-        // the run must say so instead of passing vacuously.
-        let ghost = Disturbance::first(1, Field::AgreementHold, 13);
-        let run = run_script(&StandardCan, vec![ghost.clone()], 3, 800);
-        assert!(!run.script_exhausted);
-        assert!(!run.fully_applied());
-        assert_eq!(run.remaining(), 1);
-        assert_eq!(run.unfired, vec![ghost]);
-        // The broadcast itself still completed cleanly.
-        assert!(run.consistent_single_delivery());
-    }
-
-    #[test]
-    fn strict_runner_accepts_fully_applied_scripts() {
-        let run = run_scenario_strict(&StandardCan, &Scenario::fig1b(), 800);
-        assert!(run.fully_applied());
-    }
-
-    #[test]
-    #[should_panic(expected = "did not fully apply")]
-    fn strict_runner_rejects_scripts_that_missed() {
-        let mut scenario = Scenario::fig1b();
-        // EOF bit 20 does not exist in a 7-bit EOF.
-        scenario.disturbances = vec![Disturbance::eof(1, 20)];
-        run_scenario_strict(&StandardCan, &scenario, 800);
-    }
-
-    #[test]
-    fn after_resched_rule_is_a_no_op_when_nothing_is_rescheduled() {
-        let mut scenario = Scenario::fig1a(); // no retransmission occurs
-        scenario.crash = Some(CrashRule::AfterRetransmissionScheduled { node: 0 });
-        let run = run_scenario(&StandardCan, &scenario, 800);
-        assert!(
-            !run.events
-                .iter()
-                .any(|e| matches!(e.event, CanEvent::Crashed)),
-            "no retransmission, no crash"
-        );
-        assert!(run.consistent_single_delivery());
     }
 }

@@ -104,6 +104,15 @@ impl ScriptedFaults {
         }
     }
 
+    /// Replaces the script in place with `disturbances`, keeping the
+    /// allocated backing storage so a reused channel does not reallocate
+    /// per run.
+    pub fn reload(&mut self, disturbances: &[Disturbance]) {
+        self.pending.clear();
+        self.pending
+            .extend(disturbances.iter().map(|d| (d.clone(), 0)));
+    }
+
     /// Number of disturbances not yet fired.
     pub fn remaining(&self) -> usize {
         self.pending.len()

@@ -95,6 +95,11 @@ impl HlpLayer for EdCan {
     }
 
     fn on_tick(&mut self, _now: u64, _self_index: usize, _actions: &mut LayerActions) {}
+
+    fn reset(&mut self) {
+        self.delivered.clear();
+        self.duplicated.clear();
+    }
 }
 
 #[cfg(test)]

@@ -23,16 +23,13 @@
 //! # Examples
 //!
 //! ```
-//! use majorcan_hlp::{trace_from_hlp_events, HlpNode, TotCan};
-//! use majorcan_sim::{NoFaults, NodeId, Simulator};
+//! use majorcan_hlp::trace_from_hlp_events;
+//! use majorcan_testbed::{ProtocolSpec, Testbed};
 //!
-//! let mut sim = Simulator::new(NoFaults);
-//! for i in 0..3 {
-//!     sim.attach(HlpNode::new(TotCan::new(), i));
-//! }
-//! sim.node_mut(NodeId(0)).broadcast(b"go");
-//! sim.run(3000);
-//! let trace = trace_from_hlp_events(sim.events(), 3);
+//! let mut tb = Testbed::builder(ProtocolSpec::TotCan).build();
+//! tb.broadcast(0, b"go");
+//! tb.run(3000);
+//! let trace = trace_from_hlp_events(tb.hlp_events(), 3);
 //! assert!(trace.check().atomic_broadcast());
 //! ```
 

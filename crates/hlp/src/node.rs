@@ -95,27 +95,31 @@ pub trait HlpLayer: fmt::Debug {
 
     /// Called once per bit time for timeout processing.
     fn on_tick(&mut self, now: u64, self_index: usize, actions: &mut LayerActions);
+
+    /// Rewinds the layer to its freshly-constructed state (same
+    /// configuration, no delivery history) so a node can be reused across
+    /// independent runs.
+    fn reset(&mut self);
 }
 
 /// A CAN node running a higher-level broadcast protocol layer `L`.
 ///
 /// Implements [`BitNode`], so it attaches to the same simulator as raw
-/// controllers. Host-level activity is reported as [`HlpEvent`]s.
+/// controllers; experiment code assembles whole clusters through the
+/// `majorcan-testbed` facade. Host-level activity is reported as
+/// [`HlpEvent`]s.
 ///
 /// # Examples
 ///
 /// ```
-/// use majorcan_hlp::{EdCan, HlpEvent, HlpNode};
-/// use majorcan_sim::{NoFaults, NodeId, Simulator};
+/// use majorcan_hlp::HlpEvent;
+/// use majorcan_testbed::{ProtocolSpec, Testbed};
 ///
-/// let mut sim = Simulator::new(NoFaults);
-/// for i in 0..3 {
-///     sim.attach(HlpNode::new(EdCan::new(), i));
-/// }
-/// sim.node_mut(NodeId(0)).broadcast(b"stop");
-/// sim.run(1500);
-/// let delivered = sim
-///     .events()
+/// let mut tb = Testbed::builder(ProtocolSpec::EdCan).build();
+/// tb.broadcast(0, b"stop");
+/// tb.run(1500);
+/// let delivered = tb
+///     .hlp_events()
 ///     .iter()
 ///     .filter(|e| matches!(e.event, HlpEvent::Delivered { .. }))
 ///     .count();
@@ -161,6 +165,23 @@ impl<L: HlpLayer> HlpNode<L> {
             link_buf: Vec::new(),
             pending: Vec::new(),
         }
+    }
+
+    /// Rewinds the node — controller, protocol layer, sequence counter and
+    /// event buffers — to its freshly-constructed state, keeping heap
+    /// allocations for reuse across runs.
+    pub fn reset(&mut self) {
+        self.ctrl.reset();
+        self.layer.reset();
+        self.next_seq = 0;
+        self.link_buf.clear();
+        self.pending.clear();
+    }
+
+    /// Re-arms (or clears) the scripted fail-silent bit time for the next
+    /// run of a reused node.
+    pub fn set_fail_at(&mut self, fail_at: Option<u64>) {
+        self.ctrl.set_fail_at(fail_at);
     }
 
     /// The protocol layer (for inspection in tests).

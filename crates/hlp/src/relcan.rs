@@ -151,6 +151,12 @@ impl HlpLayer for RelCan {
             }
         }
     }
+
+    fn reset(&mut self) {
+        self.delivered.clear();
+        self.awaiting_confirm.clear();
+        self.duplicated.clear();
+    }
 }
 
 #[cfg(test)]

@@ -151,6 +151,12 @@ impl HlpLayer for TotCan {
             actions.events.push(crate::HlpEvent::Dropped { id });
         }
     }
+
+    fn reset(&mut self) {
+        self.delivered.clear();
+        self.pending.clear();
+        self.own_unaccepted.clear();
+    }
 }
 
 #[cfg(test)]

@@ -86,9 +86,43 @@ impl<N: BitNode, C: ChannelModel<N::Tag>> Simulator<N, C> {
         self
     }
 
+    /// Enables or disables trace recording in place. Enabling keeps any
+    /// previously allocated (cleared) trace storage; disabling drops it.
+    pub fn set_record_trace(&mut self, enabled: bool) {
+        match (enabled, self.trace.is_some()) {
+            (true, false) => {
+                self.trace = Some(BitTrace::new());
+            }
+            (false, true) => {
+                self.trace = None;
+            }
+            _ => {}
+        }
+    }
+
     /// The recorded trace, if [`Simulator::record_trace`] was enabled.
     pub fn trace(&self) -> Option<&BitTrace> {
         self.trace.as_ref()
+    }
+
+    /// Rewinds the engine to bit time zero for another run on the same
+    /// bus: clears the event log and any recorded trace, keeping their
+    /// allocations. The fault channel and attached nodes are untouched —
+    /// reset them separately (see
+    /// [`Simulator::channel_mut`] / [`Simulator::nodes_mut`]).
+    pub fn reset(&mut self) {
+        self.now = 0;
+        self.events.clear();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.clear();
+        }
+    }
+
+    /// [`Simulator::reset`], additionally installing `channel` as the new
+    /// fault model.
+    pub fn reset_with_channel(&mut self, channel: C) {
+        self.channel = channel;
+        self.reset();
     }
 
     /// Current bit time (the index of the next bit to simulate).

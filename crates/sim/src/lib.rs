@@ -18,7 +18,12 @@
 //!
 //! Protocol behaviour (frames, error flags, MajorCAN's agreement phase, …)
 //! lives in the `majorcan-can` and `majorcan-core` crates; rich fault models
-//! live in `majorcan-faults`.
+//! live in `majorcan-faults`. Experiment code does not drive this engine
+//! directly: whole protocol clusters are assembled and run through the
+//! `majorcan-testbed` facade, which wraps a `Simulator` per protocol and
+//! reuses its allocations across runs. The example below uses a custom
+//! [`BitNode`] — the engine's own extension point, which the testbed does
+//! not cover.
 //!
 //! # Examples
 //!

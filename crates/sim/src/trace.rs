@@ -33,7 +33,7 @@ pub struct BitRecord {
 /// Traces are what the figure-reproduction binaries render; they are also a
 /// debugging aid when a scenario misbehaves. Recording is opt-in because it
 /// costs memory proportional to `bits × nodes`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitTrace {
     records: Vec<BitRecord>,
     labels: Vec<Vec<String>>,
@@ -51,6 +51,13 @@ impl BitTrace {
         debug_assert_eq!(record.nodes.len(), labels.len());
         self.records.push(record);
         self.labels.push(labels);
+    }
+
+    /// Clears all recorded bits and labels, keeping the allocated storage
+    /// so a reused trace does not reallocate on its next recording.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.labels.clear();
     }
 
     /// Number of recorded bit times.

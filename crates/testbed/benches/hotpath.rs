@@ -1,0 +1,53 @@
+//! Criterion bench: the schedule hot loop, reused testbed vs
+//! rebuild-per-run (the shape the pre-testbed oracle had). Companion to
+//! the `bench_hotpath` binary, which writes the committed
+//! `BENCH_hotpath.json` artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use majorcan_testbed::hotpath::{run_rebuilt, schedule_pool, HOTPATH_PROTOCOLS};
+use majorcan_testbed::Testbed;
+
+const N_NODES: usize = 3;
+const SCHEDULES: usize = 32;
+
+fn bench_rebuild_per_run(c: &mut Criterion) {
+    let pool = schedule_pool(0xB0A7, SCHEDULES);
+    let mut group = c.benchmark_group("hotpath_rebuild_per_run");
+    group.throughput(Throughput::Elements(SCHEDULES as u64));
+    for protocol in HOTPATH_PROTOCOLS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, &protocol| {
+                b.iter(|| {
+                    pool.iter()
+                        .map(|s| run_rebuilt(protocol, N_NODES, s))
+                        .filter(|o| o.is_finding())
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reused_testbed(c: &mut Criterion) {
+    let pool = schedule_pool(0xB0A7, SCHEDULES);
+    let mut group = c.benchmark_group("hotpath_reused_testbed");
+    group.throughput(Throughput::Elements(SCHEDULES as u64));
+    for protocol in HOTPATH_PROTOCOLS {
+        let mut testbed = Testbed::builder(protocol).nodes(N_NODES).build();
+        group.bench_with_input(BenchmarkId::from_parameter(protocol), &protocol, |b, _| {
+            b.iter(|| {
+                pool.iter()
+                    .map(|s| testbed.run_schedule(s))
+                    .filter(|o| o.is_finding())
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rebuild_per_run, bench_reused_testbed);
+criterion_main!(benches);

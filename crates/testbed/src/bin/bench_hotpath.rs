@@ -1,0 +1,97 @@
+//! Regenerates `BENCH_hotpath.json`: runs/sec of the reused-testbed
+//! schedule hot loop against the rebuild-per-run baseline, per protocol.
+//!
+//! ```text
+//! cargo run --release -p majorcan-testbed --bin bench_hotpath -- \
+//!     [--quick] [--seed <u64>] [--out BENCH_hotpath.json]
+//! ```
+//!
+//! When the output file already exists, its schema is compared against the
+//! freshly rendered document first; any drift (keys added, removed or
+//! renamed) is an error, so `scripts/check.sh` catches accidental format
+//! changes before they reach the committed artifact. Measured numbers are
+//! machine-dependent and expected to differ run to run; the full (default)
+//! mode additionally enforces the ≥20 % improvement the testbed API is
+//! meant to buy.
+
+use majorcan_campaign::json;
+use majorcan_testbed::hotpath::{
+    measure, report_to_json, schedule_pool, schema_fingerprint, HOTPATH_PROTOCOLS,
+};
+
+const N_NODES: usize = 3;
+const FULL_SCHEDULES: usize = 400;
+const QUICK_SCHEDULES: usize = 40;
+const REQUIRED_IMPROVEMENT_PCT: f64 = 20.0;
+
+fn main() {
+    let mut quick = false;
+    let mut seed: u64 = 0xB0A7;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                seed = v
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| v.parse())
+                    .expect("--seed wants an integer");
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (mode, count) = if quick {
+        ("quick", QUICK_SCHEDULES)
+    } else {
+        ("full", FULL_SCHEDULES)
+    };
+    let pool = schedule_pool(seed, count);
+
+    let mut rows = Vec::new();
+    for protocol in HOTPATH_PROTOCOLS {
+        let row = measure(protocol, N_NODES, &pool);
+        println!(
+            "{:<12} rebuild {:>9.1} runs/s   reused {:>9.1} runs/s   {:+.1}%",
+            row.protocol.to_string(),
+            row.rebuild_runs_per_sec,
+            row.reused_runs_per_sec,
+            row.improvement_pct()
+        );
+        rows.push(row);
+    }
+    let doc = report_to_json(mode, seed, &rows);
+
+    if let Ok(existing) = std::fs::read_to_string(&out) {
+        let old = json::parse(&existing)
+            .unwrap_or_else(|e| panic!("{out} exists but does not parse as JSON: {e}"));
+        if schema_fingerprint(&old) != schema_fingerprint(&doc) {
+            eprintln!("error: schema drift against existing {out}");
+            eprintln!("  committed: {:?}", schema_fingerprint(&old));
+            eprintln!("  generated: {:?}", schema_fingerprint(&doc));
+            std::process::exit(1);
+        }
+    }
+
+    std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
+    println!("wrote {out} ({mode} mode, {count} schedules per protocol)");
+
+    let min = rows
+        .iter()
+        .map(|r| r.improvement_pct())
+        .fold(f64::INFINITY, f64::min);
+    if !quick && min < REQUIRED_IMPROVEMENT_PCT {
+        eprintln!(
+            "error: minimum improvement {min:.1}% is below the required \
+             {REQUIRED_IMPROVEMENT_PCT:.0}%"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,110 @@
+//! The closed set of fault channels a [`Testbed`](crate::Testbed) run can
+//! install.
+//!
+//! Every experiment path in the workspace uses one of a handful of channel
+//! shapes; enumerating them here lets the testbed hold a single concrete
+//! simulator type per protocol (no generics explosion, no boxing on the
+//! per-bit hot path) while still swapping the fault model per run.
+
+use majorcan_can::WirePos;
+use majorcan_faults::{
+    ActiveAfter, Disturbance, FieldFiltered, GlobalEventErrors, IndependentBitErrors,
+    ScriptedFaults,
+};
+use majorcan_sim::{ChannelModel, Level, NodeId};
+
+/// A fault channel for one testbed run.
+///
+/// The variants cover every channel composition the experiment binaries
+/// use: a clean bus, a deterministic disturbance script, and the three
+/// random models of the Monte-Carlo campaigns (always armed only after the
+/// 11-bit bus-integration phase, matching the probability model's lack of a
+/// start-up phase).
+#[derive(Debug, Clone)]
+pub enum BusChannel {
+    /// Fault-free bus.
+    NoFaults,
+    /// Deterministic disturbance script (scenarios, falsifier schedules).
+    Scripted(ScriptedFaults),
+    /// Independent per-node-per-bit errors over the whole frame.
+    IndepFull(ActiveAfter<IndependentBitErrors>),
+    /// Independent errors confined to the EOF (the paper's model domain).
+    IndepEof(ActiveAfter<FieldFiltered<IndependentBitErrors>>),
+    /// Globally correlated error events confined to the EOF.
+    GlobalEof(ActiveAfter<FieldFiltered<GlobalEventErrors>>),
+}
+
+impl BusChannel {
+    /// A scripted channel over `disturbances`.
+    pub fn scripted(disturbances: Vec<Disturbance>) -> BusChannel {
+        BusChannel::Scripted(ScriptedFaults::new(disturbances))
+    }
+
+    /// Independent bit errors at raw rate `ber_star`, armed after bus
+    /// integration, over the whole frame.
+    pub fn indep_full(ber_star: f64, seed: u64) -> BusChannel {
+        BusChannel::IndepFull(ActiveAfter::new(
+            11,
+            IndependentBitErrors::new(ber_star, seed),
+        ))
+    }
+
+    /// Independent bit errors confined to the EOF.
+    pub fn indep_eof(ber_star: f64, seed: u64) -> BusChannel {
+        BusChannel::IndepEof(ActiveAfter::new(
+            11,
+            FieldFiltered::eof_only(IndependentBitErrors::new(ber_star, seed)),
+        ))
+    }
+
+    /// Globally correlated EOF error events at rate `ber` with the uniform
+    /// node spread.
+    pub fn global_eof(ber: f64, n_nodes: usize, seed: u64) -> BusChannel {
+        BusChannel::GlobalEof(ActiveAfter::new(
+            11,
+            FieldFiltered::eof_only(GlobalEventErrors::with_uniform_spread(ber, n_nodes, seed)),
+        ))
+    }
+
+    /// The scripted disturbances that have not fired, in script order
+    /// (empty for non-scripted channels, which cannot "miss").
+    pub fn unfired(&self) -> Vec<Disturbance> {
+        match self {
+            BusChannel::Scripted(s) => s.unfired(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of scripted disturbances that have not fired.
+    pub fn unfired_len(&self) -> usize {
+        match self {
+            BusChannel::Scripted(s) => s.remaining(),
+            _ => 0,
+        }
+    }
+}
+
+impl ChannelModel<WirePos> for BusChannel {
+    fn disturb(&mut self, bit: u64, node: NodeId, tag: &WirePos, wire: Level) -> bool {
+        match self {
+            BusChannel::NoFaults => false,
+            BusChannel::Scripted(c) => c.disturb(bit, node, tag, wire),
+            BusChannel::IndepFull(c) => c.disturb(bit, node, tag, wire),
+            BusChannel::IndepEof(c) => c.disturb(bit, node, tag, wire),
+            BusChannel::GlobalEof(c) => c.disturb(bit, node, tag, wire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_channel_reports_unfired() {
+        let ch = BusChannel::scripted(vec![Disturbance::eof(1, 6)]);
+        assert_eq!(ch.unfired_len(), 1);
+        assert_eq!(ch.unfired(), vec![Disturbance::eof(1, 6)]);
+        assert_eq!(BusChannel::NoFaults.unfired_len(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Hot-loop throughput measurement: rebuild-per-run vs reused testbed.
+//!
+//! Before the testbed existed, every schedule evaluation assembled a fresh
+//! cluster, switched bit-level trace recording on, ran the script and then
+//! copied the events and trace out into a [`ScenarioRun`](crate::ScenarioRun)
+//! — per-run allocation that dominated long falsification campaigns. The
+//! [`Testbed::run_schedule`](crate::Testbed::run_schedule) hot loop keeps
+//! one cluster alive, reloads the script into the existing channel
+//! allocation and leaves tracing off.
+//!
+//! This module measures both shapes over the same deterministic schedule
+//! pool and renders the result as the `BENCH_hotpath.json` artifact (see
+//! [`report_to_json`]). The two shapes must classify every schedule
+//! identically; [`measure`] asserts this before it reports a rate.
+
+use crate::outcome::Outcome;
+use crate::testbed::{budget_for, Testbed, HLP_PROBE_PAYLOAD};
+use majorcan_campaign::json::Value;
+use majorcan_campaign::ProtocolSpec;
+use majorcan_can::Field;
+use majorcan_faults::{scenario_frame, Disturbance, Scenario};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Schema tag written into `BENCH_hotpath.json`; bump when the layout of
+/// the artifact changes. `scripts/check.sh` fails when a regenerated
+/// artifact's key structure drifts from the committed one.
+pub const HOTPATH_SCHEMA: &str = "majorcan-bench-hotpath-v1";
+
+/// The protocols the artifact reports on: one plain link layer, the
+/// paper's protocol, and one FTCS'98 higher-level protocol.
+pub const HOTPATH_PROTOCOLS: [ProtocolSpec; 3] = [
+    ProtocolSpec::StandardCan,
+    ProtocolSpec::MajorCan { m: 5 },
+    ProtocolSpec::TotCan,
+];
+
+/// A deterministic pool of disturbance schedules shaped like the ones the
+/// falsifier's generator emits: mostly small scripts against the data and
+/// EOF fields, with some empty (fault-free) runs mixed in.
+pub fn schedule_pool(seed: u64, count: usize) -> Vec<Vec<Disturbance>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = Vec::with_capacity(count);
+    for i in 0..count {
+        let schedule = match i % 8 {
+            0 => Vec::new(), // fault-free runs are part of any campaign
+            1 => Scenario::fig1b().disturbances,
+            2 => Scenario::fig3a().disturbances,
+            _ => {
+                let len = rng.gen_range(1..=3);
+                (0..len)
+                    .map(|_| {
+                        let node = rng.gen_range(0..3);
+                        match rng.gen_range(0..3) {
+                            0 => Disturbance::eof(node, rng.gen_range(1..=7)),
+                            1 => Disturbance::first(node, Field::Data, rng.gen_range(0..16)),
+                            _ => Disturbance::first(node, Field::ErrorFlag, rng.gen_range(0..6)),
+                        }
+                    })
+                    .collect()
+            }
+        };
+        pool.push(schedule);
+    }
+    pool
+}
+
+/// Evaluates one schedule the way the pre-testbed oracle did: assemble a
+/// fresh cluster, record the bit-level trace, run, classify. This is the
+/// rebuild-per-run baseline `run_schedule` is measured against.
+pub fn run_rebuilt(protocol: ProtocolSpec, n_nodes: usize, schedule: &[Disturbance]) -> Outcome {
+    let mut tb = Testbed::builder(protocol)
+        .nodes(n_nodes)
+        .trace(true)
+        .build();
+    tb.load_script(schedule);
+    if protocol.is_hlp() {
+        tb.broadcast(0, HLP_PROBE_PAYLOAD);
+    } else {
+        tb.enqueue(0, scenario_frame());
+    }
+    tb.run(budget_for(protocol));
+    tb.outcome()
+}
+
+/// One protocol's measurement.
+#[derive(Debug, Clone)]
+pub struct HotpathRow {
+    /// The protocol measured.
+    pub protocol: ProtocolSpec,
+    /// Cluster width.
+    pub n_nodes: usize,
+    /// Schedules evaluated per mode.
+    pub schedules: usize,
+    /// Rebuild-per-run baseline throughput.
+    pub rebuild_runs_per_sec: f64,
+    /// Reused-testbed hot-loop throughput.
+    pub reused_runs_per_sec: f64,
+}
+
+impl HotpathRow {
+    /// Percentage improvement of the reused hot loop over the baseline.
+    pub fn improvement_pct(&self) -> f64 {
+        (self.reused_runs_per_sec / self.rebuild_runs_per_sec - 1.0) * 100.0
+    }
+}
+
+/// Times both evaluation shapes for `protocol` over `pool` and returns
+/// their throughputs. Panics if any schedule classifies differently on
+/// the reused testbed than on a fresh one — the speedup must not change
+/// a single verdict.
+pub fn measure(protocol: ProtocolSpec, n_nodes: usize, pool: &[Vec<Disturbance>]) -> HotpathRow {
+    // Correctness first: identical outcomes, schedule by schedule.
+    let mut reused = Testbed::builder(protocol).nodes(n_nodes).build();
+    for (i, schedule) in pool.iter().enumerate() {
+        let warm = reused.run_schedule(schedule);
+        let cold = run_rebuilt(protocol, n_nodes, schedule);
+        assert_eq!(
+            warm, cold,
+            "{protocol}: schedule {i} classifies differently reused vs rebuilt"
+        );
+    }
+
+    let start = Instant::now();
+    for schedule in pool {
+        std::hint::black_box(run_rebuilt(protocol, n_nodes, schedule));
+    }
+    let rebuild_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for schedule in pool {
+        std::hint::black_box(reused.run_schedule(schedule));
+    }
+    let reused_secs = start.elapsed().as_secs_f64();
+
+    HotpathRow {
+        protocol,
+        n_nodes,
+        schedules: pool.len(),
+        rebuild_runs_per_sec: pool.len() as f64 / rebuild_secs.max(1e-9),
+        reused_runs_per_sec: pool.len() as f64 / reused_secs.max(1e-9),
+    }
+}
+
+/// Renders measurement rows as the `BENCH_hotpath.json` document.
+pub fn report_to_json(mode: &str, seed: u64, rows: &[HotpathRow]) -> Value {
+    let mut doc = Value::obj();
+    doc.set("schema", HOTPATH_SCHEMA.into());
+    doc.set("mode", mode.into());
+    doc.set("seed", seed.into());
+    let mut arr = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut r = Value::obj();
+        r.set("protocol", row.protocol.to_string().into());
+        r.set("n_nodes", row.n_nodes.into());
+        r.set("schedules", row.schedules.into());
+        r.set("rebuild_runs_per_sec", Value::F64(row.rebuild_runs_per_sec));
+        r.set("reused_runs_per_sec", Value::F64(row.reused_runs_per_sec));
+        r.set("improvement_pct", Value::F64(row.improvement_pct()));
+        arr.push(r);
+    }
+    doc.set("rows", Value::Arr(arr));
+    let min = rows
+        .iter()
+        .map(HotpathRow::improvement_pct)
+        .fold(f64::INFINITY, f64::min);
+    doc.set("min_improvement_pct", Value::F64(min));
+    doc
+}
+
+/// The set of key paths a `BENCH_hotpath.json` document contains, in a
+/// canonical order. Two documents with the same fingerprint have the same
+/// schema even when every measured number differs.
+pub fn schema_fingerprint(doc: &Value) -> Vec<String> {
+    fn walk(value: &Value, path: &str, out: &mut Vec<String>) {
+        match value {
+            Value::Obj(pairs) => {
+                for (k, v) in pairs {
+                    let child = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    walk(v, &child, out);
+                }
+            }
+            Value::Arr(items) => {
+                // Rows share one shape; fingerprint the first element.
+                if let Some(first) = items.first() {
+                    walk(first, &format!("{path}[]"), out);
+                } else {
+                    out.push(format!("{path}[]"));
+                }
+            }
+            _ => out.push(path.to_string()),
+        }
+    }
+    let mut out = Vec::new();
+    walk(doc, "", &mut out);
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_pool_is_deterministic() {
+        assert_eq!(schedule_pool(7, 40), schedule_pool(7, 40));
+        assert_ne!(schedule_pool(7, 40), schedule_pool(8, 40));
+        // The pool mixes empty and non-empty schedules.
+        let pool = schedule_pool(7, 40);
+        assert!(pool.iter().any(Vec::is_empty));
+        assert!(pool.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn rebuilt_baseline_matches_the_hot_loop_on_every_protocol() {
+        let pool = schedule_pool(0xBEEF, 12);
+        for protocol in HOTPATH_PROTOCOLS {
+            let mut reused = Testbed::builder(protocol).nodes(3).build();
+            for schedule in &pool {
+                assert_eq!(
+                    reused.run_schedule(schedule),
+                    run_rebuilt(protocol, 3, schedule),
+                    "{protocol}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_schema_is_stable_across_modes_and_measurements() {
+        let rows = [
+            HotpathRow {
+                protocol: ProtocolSpec::StandardCan,
+                n_nodes: 3,
+                schedules: 10,
+                rebuild_runs_per_sec: 100.0,
+                reused_runs_per_sec: 150.0,
+            },
+            HotpathRow {
+                protocol: ProtocolSpec::TotCan,
+                n_nodes: 3,
+                schedules: 10,
+                rebuild_runs_per_sec: 50.0,
+                reused_runs_per_sec: 80.0,
+            },
+        ];
+        let quick = report_to_json("quick", 1, &rows[..1]);
+        let full = report_to_json("full", 2, &rows);
+        assert_eq!(schema_fingerprint(&quick), schema_fingerprint(&full));
+        assert_eq!(
+            full.get("min_improvement_pct").and_then(Value::as_f64),
+            Some(50.0)
+        );
+        // Dropping a field is schema drift.
+        let mut truncated = Value::obj();
+        truncated.set("schema", HOTPATH_SCHEMA.into());
+        assert_ne!(schema_fingerprint(&quick), schema_fingerprint(&truncated));
+    }
+}

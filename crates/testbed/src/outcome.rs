@@ -1,0 +1,81 @@
+//! The one shared run classification used by every experiment path.
+//!
+//! Historically the falsifier's oracle and the scenario runner each graded
+//! runs their own way; [`Outcome`] (plus [`classify`]) is now the single
+//! verdict vocabulary — the falsifier re-exports it, scenario runs expose
+//! it through [`ScenarioRun::outcome`](crate::ScenarioRun::outcome), and
+//! campaign jobs count the same tokens.
+
+use majorcan_abcast::Verdict;
+
+/// The classification of one testbed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// All checked properties held; the schedule fully applied.
+    Consistent,
+    /// All checked properties held, but `unfired` disturbances never
+    /// applied — the schedule did not test what it claims to test.
+    Vacuous {
+        /// Number of scripted disturbances that never fired.
+        unfired: usize,
+    },
+    /// A broken Atomic Broadcast property (never
+    /// [`Verdict::Consistent`]).
+    Violation(Verdict),
+    /// The simulator or checker panicked; the payload message is kept.
+    CheckerPanic(String),
+}
+
+impl Outcome {
+    /// Stable token for counters and corpus files: `consistent`,
+    /// `vacuous`, the checker's verdict tokens (`double` / `omission` /
+    /// `validity`), or `panic`.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Outcome::Consistent => "consistent",
+            Outcome::Vacuous { .. } => "vacuous",
+            Outcome::Violation(v) => v.token(),
+            Outcome::CheckerPanic(_) => "panic",
+        }
+    }
+
+    /// `true` for the outcomes the falsifier hunts: property violations
+    /// and checker panics.
+    pub fn is_finding(&self) -> bool {
+        matches!(self, Outcome::Violation(_) | Outcome::CheckerPanic(_))
+    }
+}
+
+/// Folds a checker verdict and the count of unfired scripted disturbances
+/// into an [`Outcome`].
+pub fn classify(verdict: Verdict, unfired: usize) -> Outcome {
+    match (verdict, unfired) {
+        (Verdict::Consistent, 0) => Outcome::Consistent,
+        (Verdict::Consistent, n) => Outcome::Vacuous { unfired: n },
+        (v, _) => Outcome::Violation(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_tokens() {
+        assert_eq!(classify(Verdict::Consistent, 0), Outcome::Consistent);
+        assert_eq!(
+            classify(Verdict::Consistent, 2),
+            Outcome::Vacuous { unfired: 2 }
+        );
+        assert_eq!(
+            classify(Verdict::Omission, 2),
+            Outcome::Violation(Verdict::Omission)
+        );
+        assert_eq!(Outcome::Consistent.token(), "consistent");
+        assert_eq!(Outcome::Vacuous { unfired: 1 }.token(), "vacuous");
+        assert_eq!(Outcome::CheckerPanic("boom".into()).token(), "panic");
+        assert!(!Outcome::Consistent.is_finding());
+        assert!(Outcome::Violation(Verdict::DoubleReception).is_finding());
+        assert!(Outcome::CheckerPanic(String::new()).is_finding());
+    }
+}

@@ -1,0 +1,596 @@
+//! The [`Testbed`]: build a cluster once, run it thousands of times.
+
+use crate::channel::BusChannel;
+use crate::outcome::{classify, Outcome};
+use crate::scenario_run::ScenarioRun;
+use majorcan_abcast::trace_from_can_events;
+use majorcan_campaign::ProtocolSpec;
+use majorcan_can::{CanEvent, Controller, ControllerConfig, Frame, Variant};
+use majorcan_core::{MajorCan, MinorCan};
+use majorcan_faults::{scenario_frame, CrashRule, Disturbance, Scenario};
+use majorcan_hlp::{trace_from_hlp_events, BroadcastId, EdCan, HlpEvent, HlpNode, RelCan, TotCan};
+use majorcan_sim::{NodeId, Simulator, TimedEvent};
+use majorcan_workload::Workload;
+
+/// Bit budget for one link-layer schedule evaluation (matches the
+/// scripted-trial budget of the bench interpreter).
+pub const LINK_BUDGET: u64 = 5_000;
+
+/// Bit budget for one higher-level-protocol evaluation (CONFIRM/ACCEPT
+/// rounds and timeout recovery need more bus time than a bare frame).
+pub const HLP_BUDGET: u64 = 8_000;
+
+/// The canonical payload of a higher-level-protocol probe broadcast.
+pub const HLP_PROBE_PAYLOAD: &[u8] = &[0x5A];
+
+/// The default evaluation budget appropriate for `protocol`.
+pub fn budget_for(protocol: ProtocolSpec) -> u64 {
+    if protocol.is_hlp() {
+        HLP_BUDGET
+    } else {
+        LINK_BUDGET
+    }
+}
+
+/// Maps a link-layer variant to its [`ProtocolSpec`] (the names match by
+/// construction — see [`ProtocolSpec::from_name`]).
+pub fn spec_of<V: Variant>(variant: &V) -> ProtocolSpec {
+    let name = variant.name();
+    ProtocolSpec::from_name(&name)
+        .unwrap_or_else(|| panic!("variant {name:?} has no campaign protocol spec"))
+}
+
+/// The assembled cluster: one concrete simulator type per protocol, all
+/// sharing the [`BusChannel`] fault model so a run can swap channels
+/// without changing the cluster type.
+#[derive(Debug)]
+enum Cluster {
+    Can(Simulator<Controller<majorcan_can::StandardCan>, BusChannel>),
+    Minor(Simulator<Controller<MinorCan>, BusChannel>),
+    Major(Simulator<Controller<MajorCan>, BusChannel>),
+    Ed(Simulator<HlpNode<EdCan>, BusChannel>),
+    Rel(Simulator<HlpNode<RelCan>, BusChannel>),
+    Tot(Simulator<HlpNode<TotCan>, BusChannel>),
+}
+
+/// Dispatches over every cluster kind. The body must compile for both
+/// `Controller` and `HlpNode` nodes (their reuse APIs are intentionally
+/// parallel: `reset`, `set_fail_at`).
+macro_rules! each_sim {
+    ($cluster:expr, $sim:ident => $body:expr) => {
+        match $cluster {
+            Cluster::Can($sim) => $body,
+            Cluster::Minor($sim) => $body,
+            Cluster::Major($sim) => $body,
+            Cluster::Ed($sim) => $body,
+            Cluster::Rel($sim) => $body,
+            Cluster::Tot($sim) => $body,
+        }
+    };
+}
+
+/// Dispatches over the link-layer cluster kinds, panicking (with the
+/// operation name) on a higher-level-protocol testbed.
+macro_rules! link_sim {
+    ($cluster:expr, $proto:expr, $op:literal, $sim:ident => $body:expr) => {
+        match $cluster {
+            Cluster::Can($sim) => $body,
+            Cluster::Minor($sim) => $body,
+            Cluster::Major($sim) => $body,
+            _ => panic!(
+                concat!($op, " needs a link-layer cluster; this testbed runs {}"),
+                $proto
+            ),
+        }
+    };
+}
+
+/// Dispatches over the higher-level-protocol cluster kinds, panicking on a
+/// link-layer testbed.
+macro_rules! hlp_sim {
+    ($cluster:expr, $proto:expr, $op:literal, $sim:ident => $body:expr) => {
+        match $cluster {
+            Cluster::Ed($sim) => $body,
+            Cluster::Rel($sim) => $body,
+            Cluster::Tot($sim) => $body,
+            _ => panic!(
+                concat!(
+                    $op,
+                    " needs a higher-level-protocol cluster; this testbed runs {}"
+                ),
+                $proto
+            ),
+        }
+    };
+}
+
+/// Configures and assembles a [`Testbed`].
+#[derive(Debug, Clone)]
+pub struct TestbedBuilder {
+    protocol: ProtocolSpec,
+    n_nodes: usize,
+    budget: u64,
+    trace: bool,
+    shutoff_at_warning: bool,
+}
+
+impl TestbedBuilder {
+    /// Number of nodes on the bus (default 3: transmitter + the X and Y
+    /// set representatives).
+    pub fn nodes(mut self, n: usize) -> TestbedBuilder {
+        self.n_nodes = n;
+        self
+    }
+
+    /// Bit budget of one run (default [`budget_for`] the protocol).
+    pub fn budget(mut self, bits: u64) -> TestbedBuilder {
+        self.budget = bits;
+        self
+    }
+
+    /// Record a bit-level trace during runs (default off; scenario runs
+    /// turn it on themselves, the campaign hot loop keeps it off).
+    pub fn trace(mut self, on: bool) -> TestbedBuilder {
+        self.trace = on;
+        self
+    }
+
+    /// Warning-shutoff policy of the controllers (default `true`, the
+    /// paper's fail-silent policy).
+    pub fn shutoff_at_warning(mut self, on: bool) -> TestbedBuilder {
+        self.shutoff_at_warning = on;
+        self
+    }
+
+    /// Assembles the cluster on a fault-free bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid MajorCAN tolerance (`m` outside the protocol's
+    /// range). Oracle callers evaluate builds under `catch_unwind` and
+    /// classify the panic as a finding.
+    pub fn build(self) -> Testbed {
+        let config = ControllerConfig {
+            shutoff_at_warning: self.shutoff_at_warning,
+            fail_at: None,
+        };
+        let channel = BusChannel::NoFaults;
+        let cluster = match self.protocol {
+            ProtocolSpec::StandardCan => Cluster::Can(link_cluster(
+                majorcan_can::StandardCan,
+                self.n_nodes,
+                &config,
+                channel,
+            )),
+            ProtocolSpec::MinorCan => {
+                Cluster::Minor(link_cluster(MinorCan, self.n_nodes, &config, channel))
+            }
+            ProtocolSpec::MajorCan { m } => {
+                let variant = MajorCan::new(m)
+                    .unwrap_or_else(|e| panic!("invalid MajorCAN tolerance for testbed: {e}"));
+                Cluster::Major(link_cluster(variant, self.n_nodes, &config, channel))
+            }
+            ProtocolSpec::EdCan => Cluster::Ed(hlp_cluster(EdCan::new, self.n_nodes, channel)),
+            ProtocolSpec::RelCan => Cluster::Rel(hlp_cluster(RelCan::new, self.n_nodes, channel)),
+            ProtocolSpec::TotCan => Cluster::Tot(hlp_cluster(TotCan::new, self.n_nodes, channel)),
+        };
+        let mut testbed = Testbed {
+            protocol: self.protocol,
+            n_nodes: self.n_nodes,
+            budget: self.budget,
+            cluster,
+        };
+        testbed.set_record_trace(self.trace);
+        testbed
+    }
+}
+
+fn link_cluster<V: Variant>(
+    variant: V,
+    n_nodes: usize,
+    config: &ControllerConfig,
+    channel: BusChannel,
+) -> Simulator<Controller<V>, BusChannel> {
+    let mut sim = Simulator::new(channel);
+    for _ in 0..n_nodes {
+        sim.attach(Controller::with_config(variant.clone(), config.clone()));
+    }
+    sim
+}
+
+fn hlp_cluster<L: majorcan_hlp::HlpLayer, F: Fn() -> L>(
+    make: F,
+    n_nodes: usize,
+    channel: BusChannel,
+) -> Simulator<HlpNode<L>, BusChannel> {
+    let mut sim = Simulator::new(channel);
+    for i in 0..n_nodes {
+        sim.attach(HlpNode::new(make(), i));
+    }
+    sim
+}
+
+/// A reusable protocol cluster: controllers (or HLP nodes), fault channel,
+/// event buffers and trace storage assembled once and recycled across
+/// runs.
+///
+/// `Testbed` is the one way every experiment path builds and runs a bus:
+/// the paper scenarios, the falsifier's oracle, the Monte-Carlo campaign
+/// jobs, the periodic-load workload driver and the HLP probes all route
+/// through it. Reuse is the performance core — [`Testbed::reset_with`] /
+/// [`Testbed::load_script`] rewind the cluster without reallocating, so a
+/// campaign worker amortizes one allocation over thousands of runs.
+///
+/// # Examples
+///
+/// ```
+/// use majorcan_campaign::ProtocolSpec;
+/// use majorcan_faults::Scenario;
+/// use majorcan_testbed::Testbed;
+///
+/// let mut tb = Testbed::builder(ProtocolSpec::StandardCan).build();
+/// let run = tb.run_scenario(&Scenario::fig1b());
+/// assert!(!run.consistent_single_delivery(), "CAN double reception");
+/// // The same testbed replays another scenario without reallocating.
+/// let run = tb.run_scenario(&Scenario::fig1a());
+/// assert!(run.consistent_single_delivery());
+/// ```
+#[derive(Debug)]
+pub struct Testbed {
+    protocol: ProtocolSpec,
+    n_nodes: usize,
+    budget: u64,
+    cluster: Cluster,
+}
+
+impl Testbed {
+    /// Starts building a testbed for `protocol` with the defaults: 3
+    /// nodes, [`budget_for`]`(protocol)` bits per run, no trace, warning
+    /// shutoff on.
+    pub fn builder(protocol: ProtocolSpec) -> TestbedBuilder {
+        TestbedBuilder {
+            protocol,
+            n_nodes: 3,
+            budget: budget_for(protocol),
+            trace: false,
+            shutoff_at_warning: true,
+        }
+    }
+
+    /// The protocol this testbed runs.
+    pub fn protocol(&self) -> ProtocolSpec {
+        self.protocol
+    }
+
+    /// Number of nodes on the bus.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Bit budget of one run.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Changes the per-run bit budget.
+    pub fn set_budget(&mut self, bits: u64) {
+        self.budget = bits;
+    }
+
+    /// Current bit time of the cluster.
+    pub fn now(&self) -> u64 {
+        each_sim!(&self.cluster, sim => sim.now())
+    }
+
+    /// Enables or disables bit-level trace recording for subsequent runs.
+    pub fn set_record_trace(&mut self, on: bool) {
+        each_sim!(&mut self.cluster, sim => sim.set_record_trace(on));
+    }
+
+    /// Changes the controllers' warning-shutoff policy; takes effect at
+    /// the next reset. Link-layer clusters only.
+    pub fn set_shutoff_at_warning(&mut self, on: bool) {
+        link_sim!(&mut self.cluster, self.protocol, "set_shutoff_at_warning", sim => {
+            for node in sim.nodes_mut() {
+                node.set_shutoff_at_warning(on);
+            }
+        });
+    }
+
+    /// Rewinds the cluster for a fresh run: every node returns to its
+    /// just-constructed state, the clock/event log/trace rewind to zero
+    /// (keeping allocations), crash scripts are cleared and `channel`
+    /// becomes the fault model.
+    pub fn reset_with(&mut self, channel: BusChannel) {
+        each_sim!(&mut self.cluster, sim => {
+            sim.reset_with_channel(channel);
+            for node in sim.nodes_mut() {
+                node.set_fail_at(None);
+                node.reset();
+            }
+        });
+    }
+
+    /// Rewinds the cluster onto a fault-free bus.
+    pub fn reset(&mut self) {
+        self.reset_with(BusChannel::NoFaults);
+    }
+
+    /// Rewinds the cluster and installs `disturbances` as the scripted
+    /// fault channel, reusing the previous script's allocation when the
+    /// testbed already ran one.
+    pub fn load_script(&mut self, disturbances: &[Disturbance]) {
+        each_sim!(&mut self.cluster, sim => {
+            if let BusChannel::Scripted(script) = sim.channel_mut() {
+                script.reload(disturbances);
+                sim.reset();
+            } else {
+                sim.reset_with_channel(BusChannel::scripted(disturbances.to_vec()));
+            }
+            for node in sim.nodes_mut() {
+                node.set_fail_at(None);
+                node.reset();
+            }
+        });
+    }
+
+    /// Arms (or clears) a scripted fail-silent crash on `node` for the
+    /// current run. Call after a reset — resets clear crash scripts.
+    pub fn set_fail_at(&mut self, node: usize, at: Option<u64>) {
+        each_sim!(&mut self.cluster, sim => sim.node_mut(NodeId(node)).set_fail_at(at));
+    }
+
+    /// Queues `frame` for transmission on `node`. Link-layer clusters
+    /// only.
+    pub fn enqueue(&mut self, node: usize, frame: Frame) {
+        link_sim!(&mut self.cluster, self.protocol, "enqueue", sim => {
+            sim.node_mut(NodeId(node)).enqueue(frame)
+        });
+    }
+
+    /// Requests a host-level broadcast of `payload` on `node`.
+    /// Higher-level-protocol clusters only.
+    pub fn broadcast(&mut self, node: usize, payload: &[u8]) -> BroadcastId {
+        hlp_sim!(&mut self.cluster, self.protocol, "broadcast", sim => {
+            sim.node_mut(NodeId(node)).broadcast(payload)
+        })
+    }
+
+    /// Simulates `bits` bit times.
+    pub fn run(&mut self, bits: u64) {
+        each_sim!(&mut self.cluster, sim => sim.run(bits));
+    }
+
+    /// Steps the cluster until `stop` returns `true` over the event log so
+    /// far, or until `max_bits` elapse. Returns the number of bits
+    /// simulated. Link-layer clusters only.
+    pub fn run_until_link(
+        &mut self,
+        max_bits: u64,
+        mut stop: impl FnMut(&[TimedEvent<CanEvent>]) -> bool,
+    ) -> u64 {
+        link_sim!(&mut self.cluster, self.protocol, "run_until_link", sim => {
+            sim.run_until(max_bits, |s| stop(s.events()))
+        })
+    }
+
+    /// Steps the cluster until every controller is idle with an empty
+    /// queue (or crashed) and the bus has stayed that way for `settle`
+    /// consecutive bits, or until `max_bits` elapse. Returns the number of
+    /// bits simulated. Link-layer clusters only.
+    ///
+    /// Scenario measurements use this instead of fixed budgets so slow
+    /// error recoveries are never truncated (a truncated run would look
+    /// like a message omission and corrupt the statistics).
+    pub fn run_until_quiescent(&mut self, settle: u64, max_bits: u64) -> u64 {
+        link_sim!(&mut self.cluster, self.protocol, "run_until_quiescent", sim => {
+            let mut calm = 0u64;
+            for done in 0..max_bits {
+                sim.step();
+                let quiet = sim
+                    .nodes()
+                    .all(|n| (n.is_idle() && n.pending() == 0) || n.is_crashed());
+                calm = if quiet { calm + 1 } else { 0 };
+                if calm >= settle {
+                    return done + 1;
+                }
+            }
+            max_bits
+        })
+    }
+
+    /// Steps the cluster for `horizon` bits, queueing every due workload
+    /// release on its node. Returns the number of frames queued.
+    /// Link-layer clusters only.
+    pub fn drive_workload(&mut self, workload: &mut Workload, horizon: u64) -> usize {
+        link_sim!(&mut self.cluster, self.protocol, "drive_workload", sim => {
+            majorcan_workload::drive(sim, workload, horizon)
+        })
+    }
+
+    /// The scripted disturbances that have not fired (empty for
+    /// non-scripted channels).
+    pub fn unfired(&self) -> Vec<Disturbance> {
+        each_sim!(&self.cluster, sim => sim.channel().unfired())
+    }
+
+    /// Number of scripted disturbances that have not fired.
+    pub fn unfired_len(&self) -> usize {
+        each_sim!(&self.cluster, sim => sim.channel().unfired_len())
+    }
+
+    /// The link-layer event log of the current run. Link-layer clusters
+    /// only.
+    pub fn can_events(&self) -> &[TimedEvent<CanEvent>] {
+        link_sim!(&self.cluster, self.protocol, "can_events", sim => sim.events())
+    }
+
+    /// Drains and returns the link-layer event log. Link-layer clusters
+    /// only.
+    pub fn take_can_events(&mut self) -> Vec<TimedEvent<CanEvent>> {
+        link_sim!(&mut self.cluster, self.protocol, "take_can_events", sim => sim.take_events())
+    }
+
+    /// The host-level event log of the current run.
+    /// Higher-level-protocol clusters only.
+    pub fn hlp_events(&self) -> &[TimedEvent<HlpEvent>] {
+        hlp_sim!(&self.cluster, self.protocol, "hlp_events", sim => sim.events())
+    }
+
+    /// Grades the current run with the Atomic Broadcast checker and
+    /// classifies it into the shared [`Outcome`] vocabulary.
+    pub fn outcome(&self) -> Outcome {
+        let unfired = self.unfired_len();
+        let verdict = match &self.cluster {
+            Cluster::Can(sim) => trace_from_can_events(sim.events(), self.n_nodes)
+                .check()
+                .verdict(),
+            Cluster::Minor(sim) => trace_from_can_events(sim.events(), self.n_nodes)
+                .check()
+                .verdict(),
+            Cluster::Major(sim) => trace_from_can_events(sim.events(), self.n_nodes)
+                .check()
+                .verdict(),
+            Cluster::Ed(sim) => trace_from_hlp_events(sim.events(), self.n_nodes)
+                .check()
+                .verdict(),
+            Cluster::Rel(sim) => trace_from_hlp_events(sim.events(), self.n_nodes)
+                .check()
+                .verdict(),
+            Cluster::Tot(sim) => trace_from_hlp_events(sim.events(), self.n_nodes)
+                .check()
+                .verdict(),
+        };
+        classify(verdict, unfired)
+    }
+
+    /// The campaign hot loop: rewinds the cluster, loads `schedule`,
+    /// applies the canonical stimulus (node 0 transmits
+    /// [`scenario_frame`] on a link cluster, or broadcasts
+    /// [`HLP_PROBE_PAYLOAD`] on an HLP cluster), runs the configured
+    /// budget without trace recording and classifies the run.
+    pub fn run_schedule(&mut self, schedule: &[Disturbance]) -> Outcome {
+        self.set_record_trace(false);
+        self.load_script(schedule);
+        if self.protocol.is_hlp() {
+            self.broadcast(0, HLP_PROBE_PAYLOAD);
+        } else {
+            self.enqueue(0, scenario_frame());
+        }
+        self.run(self.budget);
+        self.outcome()
+    }
+
+    /// Executes an ad-hoc disturbance schedule (node 0 transmits
+    /// [`scenario_frame`], full trace recording, unfired-disturbance
+    /// reporting) and returns the owned [`ScenarioRun`]. Link-layer
+    /// clusters only.
+    pub fn run_script(&mut self, disturbances: &[Disturbance]) -> ScenarioRun {
+        self.run_script_with_crashes(disturbances, &[])
+    }
+
+    /// Executes `scenario`: loads its disturbance script (node 0 transmits
+    /// [`scenario_frame`]), runs the configured budget with trace
+    /// recording, and resolves crash rules (running a fault-free probe
+    /// pass when needed). Link-layer clusters only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's node count differs from the testbed's.
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> ScenarioRun {
+        assert_eq!(
+            scenario.n_nodes, self.n_nodes,
+            "scenario {} needs {} nodes but the testbed has {}",
+            scenario.name, scenario.n_nodes, self.n_nodes
+        );
+        let crash_at: Option<(usize, u64)> = match scenario.crash {
+            None => None,
+            Some(CrashRule::AtBit { node, at }) => Some((node, at)),
+            Some(CrashRule::AfterRetransmissionScheduled { node }) => {
+                // Probe pass without the crash to find the scheduling time.
+                let probe = self.run_script(&scenario.disturbances);
+                probe
+                    .events
+                    .iter()
+                    .find(|e| {
+                        e.node == NodeId(node)
+                            && matches!(e.event, CanEvent::RetransmissionScheduled { .. })
+                    })
+                    .map(|e| (node, e.at + 1))
+            }
+        };
+        let crashes: Vec<(usize, u64)> = crash_at.into_iter().collect();
+        self.run_script_with_crashes(&scenario.disturbances, &crashes)
+    }
+
+    fn run_script_with_crashes(
+        &mut self,
+        disturbances: &[Disturbance],
+        crashes: &[(usize, u64)],
+    ) -> ScenarioRun {
+        self.set_record_trace(true);
+        self.load_script(disturbances);
+        for &(node, at) in crashes {
+            self.set_fail_at(node, Some(at));
+        }
+        self.enqueue(0, scenario_frame());
+        self.run(self.budget);
+        link_sim!(&mut self.cluster, self.protocol, "run_script", sim => {
+            let unfired = sim.channel().unfired();
+            let trace = sim.trace().cloned().unwrap_or_default();
+            ScenarioRun {
+                events: sim.take_events(),
+                trace,
+                script_exhausted: unfired.is_empty(),
+                unfired,
+                n_nodes: self.n_nodes,
+            }
+        })
+    }
+}
+
+/// Executes `scenario` under protocol `variant` on a fresh testbed with
+/// `budget` bits (see [`Testbed::run_scenario`]).
+pub fn run_scenario<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -> ScenarioRun {
+    Testbed::builder(spec_of(variant))
+        .nodes(scenario.n_nodes)
+        .budget(budget)
+        .build()
+        .run_scenario(scenario)
+}
+
+/// Executes `scenario` like [`run_scenario`] and then asserts the
+/// disturbance script fully applied (see
+/// [`ScenarioRun::assert_fully_applied`]), so a schedule that silently
+/// missed cannot be mistaken for a passing one.
+///
+/// # Panics
+///
+/// Panics, listing the unfired disturbances, when any scripted disturbance
+/// never fired.
+pub fn run_scenario_strict<V: Variant>(
+    variant: &V,
+    scenario: &Scenario,
+    budget: u64,
+) -> ScenarioRun {
+    let run = run_scenario(variant, scenario, budget);
+    run.assert_fully_applied();
+    run
+}
+
+/// Executes an ad-hoc disturbance schedule under `variant` on a fresh
+/// testbed (see [`Testbed::run_script`]). Campaign hot loops should build
+/// one [`Testbed`] and call [`Testbed::run_script`] /
+/// [`Testbed::run_schedule`] instead.
+pub fn run_script<V: Variant>(
+    variant: &V,
+    disturbances: Vec<Disturbance>,
+    n_nodes: usize,
+    budget: u64,
+) -> ScenarioRun {
+    Testbed::builder(spec_of(variant))
+        .nodes(n_nodes)
+        .budget(budget)
+        .build()
+        .run_script(&disturbances)
+}

@@ -1,0 +1,165 @@
+//! Execution tests for the catalogued paper scenarios, run through the
+//! testbed facade (migrated from `majorcan-faults` when execution moved
+//! here).
+
+use majorcan_campaign::ProtocolSpec;
+use majorcan_can::{CanEvent, Field, StandardCan};
+use majorcan_faults::{CrashRule, Disturbance, Scenario};
+use majorcan_sim::NodeId;
+use majorcan_testbed::{run_scenario, run_scenario_strict, run_script, Outcome, Testbed};
+
+#[test]
+fn fig1b_run_shows_double_reception_on_standard_can() {
+    let run = run_scenario(&StandardCan, &Scenario::fig1b(), 800);
+    assert!(run.script_exhausted, "disturbance must have fired");
+    assert!(run.fully_applied());
+    assert_eq!(run.remaining(), 0);
+    assert_eq!(run.deliveries(2).len(), 2, "Y delivers twice");
+    assert_eq!(run.deliveries(1).len(), 1);
+    assert!(!run.consistent_single_delivery());
+    assert!(!run.trace.is_empty());
+}
+
+#[test]
+fn fig1c_run_crashes_tx_and_omits_x() {
+    let run = run_scenario(&StandardCan, &Scenario::fig1c(), 800);
+    assert!(run.script_exhausted);
+    assert_eq!(run.deliveries(2).len(), 1);
+    assert_eq!(run.deliveries(1).len(), 0, "X omitted");
+    assert!(run
+        .events
+        .iter()
+        .any(|e| e.node == NodeId(0) && matches!(e.event, CanEvent::Crashed)));
+}
+
+#[test]
+fn fig1a_run_is_consistent() {
+    let run = run_scenario(&StandardCan, &Scenario::fig1a(), 800);
+    assert!(run.script_exhausted);
+    assert!(run.consistent_single_delivery());
+    assert_eq!(run.retransmissions(0), 0);
+}
+
+#[test]
+fn fig3a_run_violates_agreement_with_correct_tx() {
+    let run = run_scenario(&StandardCan, &Scenario::fig3a(), 800);
+    assert!(run.script_exhausted);
+    assert_eq!(run.tx_successes(0), 1);
+    assert_eq!(run.deliveries(2).len(), 1);
+    assert_eq!(run.deliveries(1).len(), 0);
+    assert!(!run.consistent_single_delivery());
+}
+
+#[test]
+fn wider_networks_supported() {
+    let run = run_scenario(&StandardCan, &Scenario::fig1a().with_nodes(6), 900);
+    assert!(run.consistent_single_delivery());
+    assert_eq!(run.n_nodes, 6);
+}
+
+#[test]
+fn at_bit_crash_rule_fires_at_the_given_time() {
+    let mut scenario = Scenario::fig1b();
+    scenario.crash = Some(CrashRule::AtBit { node: 2, at: 30 });
+    let run = run_scenario(&StandardCan, &scenario, 800);
+    let crash = run
+        .events
+        .iter()
+        .find(|e| matches!(e.event, CanEvent::Crashed))
+        .expect("crash fired");
+    assert_eq!(crash.node, NodeId(2));
+    assert_eq!(crash.at, 30);
+    // Node 2 crashed mid-frame: it never delivers anything.
+    assert!(run.deliveries(2).is_empty());
+}
+
+#[test]
+fn run_script_matches_run_scenario_on_the_same_disturbances() {
+    let scenario = Scenario::fig1b();
+    let via_scenario = run_scenario(&StandardCan, &scenario, 800);
+    let via_script = run_script(&StandardCan, scenario.disturbances.clone(), 3, 800);
+    assert_eq!(via_script.events, via_scenario.events);
+    assert!(via_script.fully_applied());
+}
+
+#[test]
+fn unfired_disturbances_are_reported_not_swallowed() {
+    // A MajorCAN-only position run under standard CAN never fires:
+    // the run must say so instead of passing vacuously.
+    let ghost = Disturbance::first(1, Field::AgreementHold, 13);
+    let run = run_script(&StandardCan, vec![ghost.clone()], 3, 800);
+    assert!(!run.script_exhausted);
+    assert!(!run.fully_applied());
+    assert_eq!(run.remaining(), 1);
+    assert_eq!(run.unfired, vec![ghost]);
+    // The broadcast itself still completed cleanly.
+    assert!(run.consistent_single_delivery());
+    assert_eq!(run.outcome(), Outcome::Vacuous { unfired: 1 });
+}
+
+#[test]
+fn strict_runner_accepts_fully_applied_scripts() {
+    let run = run_scenario_strict(&StandardCan, &Scenario::fig1b(), 800);
+    assert!(run.fully_applied());
+}
+
+#[test]
+#[should_panic(expected = "did not fully apply")]
+fn strict_runner_rejects_scripts_that_missed() {
+    let mut scenario = Scenario::fig1b();
+    // EOF bit 20 does not exist in a 7-bit EOF.
+    scenario.disturbances = vec![Disturbance::eof(1, 20)];
+    run_scenario_strict(&StandardCan, &scenario, 800);
+}
+
+#[test]
+fn after_resched_rule_is_a_no_op_when_nothing_is_rescheduled() {
+    let mut scenario = Scenario::fig1a(); // no retransmission occurs
+    scenario.crash = Some(CrashRule::AfterRetransmissionScheduled { node: 0 });
+    let run = run_scenario(&StandardCan, &scenario, 800);
+    assert!(
+        !run.events
+            .iter()
+            .any(|e| matches!(e.event, CanEvent::Crashed)),
+        "no retransmission, no crash"
+    );
+    assert!(run.consistent_single_delivery());
+}
+
+#[test]
+fn reused_testbed_replays_a_scenario_identically_to_a_fresh_one() {
+    let mut reused = Testbed::builder(ProtocolSpec::StandardCan)
+        .budget(800)
+        .build();
+    // Warm the testbed on unrelated scenarios, then replay fig1b.
+    reused.run_scenario(&Scenario::fig1a());
+    reused.run_scenario(&Scenario::fig3a());
+    let warm = reused.run_scenario(&Scenario::fig1b());
+    let fresh = run_scenario(&StandardCan, &Scenario::fig1b(), 800);
+    assert_eq!(warm.events, fresh.events);
+    assert_eq!(warm.trace.len(), fresh.trace.len());
+    assert_eq!(warm.unfired, fresh.unfired);
+}
+
+#[test]
+fn run_schedule_classifies_like_the_scenario_path() {
+    let mut tb = Testbed::builder(ProtocolSpec::StandardCan).build();
+    assert_eq!(
+        tb.run_schedule(&Scenario::fig1b().disturbances),
+        tb.run_script(&Scenario::fig1b().disturbances).outcome()
+    );
+    assert_eq!(tb.run_schedule(&[]), Outcome::Consistent);
+}
+
+#[test]
+#[should_panic(expected = "needs a link-layer cluster")]
+fn link_operations_panic_on_hlp_testbeds() {
+    let mut tb = Testbed::builder(ProtocolSpec::EdCan).build();
+    tb.enqueue(0, majorcan_faults::scenario_frame());
+}
+
+#[test]
+#[should_panic(expected = "invalid MajorCAN tolerance")]
+fn invalid_majorcan_tolerance_panics_at_build() {
+    Testbed::builder(ProtocolSpec::MajorCan { m: 2 }).build();
+}

@@ -16,10 +16,11 @@
 //! cargo run --example brake_by_wire
 //! ```
 
-use majorcan::can::{CanEvent, Controller, ControllerConfig, Frame, FrameId, StandardCan, Variant};
-use majorcan::faults::{Disturbance, ScriptedFaults};
+use majorcan::can::{CanEvent, Frame, FrameId, StandardCan, Variant};
+use majorcan::faults::Disturbance;
 use majorcan::protocols::MajorCan;
-use majorcan::sim::{NodeId, Simulator};
+use majorcan::sim::NodeId;
+use majorcan::testbed::{spec_of, Testbed};
 
 const PEDAL: usize = 0;
 const WHEELS: [&str; 4] = ["front-left", "front-right", "rear-left", "rear-right"];
@@ -30,24 +31,17 @@ fn drive<V: Variant>(variant: &V) -> Vec<bool> {
     // Fig. 3a: the front-left wheel's view is hit at the last-but-one EOF
     // bit; a second disturbance hides its error flag from the pedal node.
     let last = variant.eof_len() as u16;
-    let script = ScriptedFaults::new(vec![
-        Disturbance::eof(1, last - 1),
-        Disturbance::eof(PEDAL, last),
-    ]);
-    let mut sim = Simulator::new(script);
-    for _ in 0..1 + WHEELS.len() {
-        sim.attach(Controller::with_config(
-            variant.clone(),
-            ControllerConfig::default(),
-        ));
-    }
+    let mut tb = Testbed::builder(spec_of(variant))
+        .nodes(1 + WHEELS.len())
+        .build();
+    tb.load_script(&[Disturbance::eof(1, last - 1), Disturbance::eof(PEDAL, last)]);
     let brake = Frame::new(FrameId::new(0x010).unwrap(), b"BRAKE!").expect("valid brake command");
-    sim.node_mut(NodeId(PEDAL)).enqueue(brake.clone());
-    sim.run(1_500);
+    tb.enqueue(PEDAL, brake.clone());
+    tb.run(1_500);
 
     (1..=WHEELS.len())
         .map(|wheel| {
-            sim.events().iter().any(|e| {
+            tb.can_events().iter().any(|e| {
                 e.node == NodeId(wheel)
                     && matches!(&e.event, CanEvent::Delivered { frame, .. } if *frame == brake)
             })

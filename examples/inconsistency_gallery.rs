@@ -8,8 +8,9 @@
 
 use majorcan::abcast::{render_delivery_matrix, trace_from_can_events};
 use majorcan::can::{StandardCan, Variant};
-use majorcan::faults::{run_scenario, Scenario};
+use majorcan::faults::Scenario;
 use majorcan::protocols::{MajorCan, MinorCan};
+use majorcan::testbed::run_scenario;
 
 fn verdict<V: Variant>(variant: &V, scenario: &Scenario) -> String {
     let run = run_scenario(variant, scenario, 1_200);

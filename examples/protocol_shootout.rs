@@ -12,28 +12,24 @@
 //! cargo run --release --example protocol_shootout
 //! ```
 
-use majorcan::can::{CanEvent, Controller, Variant};
-use majorcan::hlp::{EdCan, HlpEvent, HlpLayer, HlpNode, RelCan, TotCan};
-use majorcan::protocols::{MajorCan, MinorCan};
-use majorcan::sim::{NoFaults, NodeId, Simulator};
-use majorcan::workload::{drive, plan_periodic_load, BusStats, Workload};
+use majorcan::can::CanEvent;
+use majorcan::hlp::HlpEvent;
+use majorcan::testbed::{ProtocolSpec, Testbed};
+use majorcan::workload::{plan_periodic_load, BusStats, Workload};
 
 const NODES: usize = 4;
 const HORIZON: u64 = 60_000;
 
-fn shootout_link<V: Variant>(variant: &V) -> (usize, f64) {
-    let mut sim = Simulator::new(NoFaults);
-    for _ in 0..NODES {
-        sim.attach(Controller::new(variant.clone()));
-    }
+fn shootout_link(protocol: ProtocolSpec) -> (usize, f64) {
+    let mut tb = Testbed::builder(protocol).nodes(NODES).build();
     let sources = plan_periodic_load(NODES, 0.5, 110);
     let mut releases = Vec::new();
     for s in &sources {
         releases.extend(s.releases(HORIZON - 2_000));
     }
     let mut workload = Workload::new(releases);
-    let sent = drive(&mut sim, &mut workload, HORIZON);
-    let stats = BusStats::from_events(sim.events());
+    let sent = tb.drive_workload(&mut workload, HORIZON);
+    let stats = BusStats::from_events(tb.can_events());
     assert_eq!(
         sent, stats.successes,
         "fault-free bus completes the schedule"
@@ -41,23 +37,20 @@ fn shootout_link<V: Variant>(variant: &V) -> (usize, f64) {
     (stats.successes, stats.bits_per_message())
 }
 
-fn shootout_hlp<L: HlpLayer, F: Fn() -> L>(make: F) -> (usize, usize) {
-    let mut sim = Simulator::new(NoFaults);
-    for i in 0..NODES {
-        sim.attach(HlpNode::new(make(), i));
-    }
+fn shootout_hlp(protocol: ProtocolSpec) -> (usize, usize) {
+    let mut tb = Testbed::builder(protocol).nodes(NODES).build();
     // One broadcast per node per round, several rounds.
     let rounds = 30;
     for round in 0..rounds {
         for n in 0..NODES {
-            sim.node_mut(NodeId(n)).broadcast(&[round as u8, n as u8]);
+            tb.broadcast(n, &[round as u8, n as u8]);
         }
-        sim.run(3_000);
+        tb.run(3_000);
     }
-    sim.run(6_000);
+    tb.run(6_000);
     let messages = rounds * NODES;
-    let frames = sim
-        .events()
+    let frames = tb
+        .hlp_events()
         .iter()
         .filter(|e| matches!(&e.event, HlpEvent::Link(CanEvent::TxSucceeded { .. })))
         .count();
@@ -70,12 +63,18 @@ fn main() {
         "{:<12} | {:>10} | {:>14}",
         "protocol", "delivered", "bus bits/msg"
     );
-    for (name, result) in [
-        ("CAN", shootout_link(&majorcan::can::StandardCan)),
-        ("MinorCAN", shootout_link(&MinorCan)),
-        ("MajorCAN_5", shootout_link(&MajorCan::proposed())),
+    for protocol in [
+        ProtocolSpec::StandardCan,
+        ProtocolSpec::MinorCan,
+        ProtocolSpec::MajorCan { m: 5 },
     ] {
-        println!("{:<12} | {:>10} | {:>14.1}", name, result.0, result.1);
+        let result = shootout_link(protocol);
+        println!(
+            "{:<12} | {:>10} | {:>14.1}",
+            protocol.to_string(),
+            result.0,
+            result.1
+        );
     }
 
     println!("\nHigher-level protocols over standard CAN (failure-free):");
@@ -83,14 +82,15 @@ fn main() {
         "{:<12} | {:>10} | {:>14} | {:>16}",
         "protocol", "messages", "frames on bus", "frames/message"
     );
-    for (name, (messages, frames)) in [
-        ("EDCAN", shootout_hlp(EdCan::new)),
-        ("RELCAN", shootout_hlp(RelCan::new)),
-        ("TOTCAN", shootout_hlp(TotCan::new)),
+    for protocol in [
+        ProtocolSpec::EdCan,
+        ProtocolSpec::RelCan,
+        ProtocolSpec::TotCan,
     ] {
+        let (messages, frames) = shootout_hlp(protocol);
         println!(
             "{:<12} | {:>10} | {:>14} | {:>16.2}",
-            name,
+            protocol.to_string(),
             messages,
             frames,
             frames as f64 / messages as f64

@@ -6,27 +6,25 @@
 //! ```
 
 use majorcan::abcast::trace_from_can_events;
-use majorcan::can::{CanEvent, Controller, Frame, FrameId};
-use majorcan::protocols::MajorCan;
-use majorcan::sim::{NoFaults, NodeId, Simulator};
+use majorcan::can::{CanEvent, Frame, FrameId};
+use majorcan::sim::NodeId;
+use majorcan::testbed::{ProtocolSpec, Testbed};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A fault-free bus with four MajorCAN_5 controllers.
-    let mut sim = Simulator::new(NoFaults);
-    let tx = sim.attach(Controller::new(MajorCan::proposed()));
-    for _ in 0..3 {
-        sim.attach(Controller::new(MajorCan::proposed()));
-    }
+    let mut tb = Testbed::builder(ProtocolSpec::MajorCan { m: 5 })
+        .nodes(4)
+        .build();
 
     // Queue one frame on the transmitter and run the bus.
     let frame = Frame::new(FrameId::new(0x0B5)?, b"brake!")?;
-    sim.node_mut(tx).enqueue(frame.clone());
-    sim.run(300);
+    tb.enqueue(0, frame.clone());
+    tb.run(300);
 
     // Every receiver delivered exactly once.
     for n in 1..4 {
-        let deliveries = sim
-            .events()
+        let deliveries = tb
+            .can_events()
             .iter()
             .filter(|e| e.node == NodeId(n))
             .filter(|e| matches!(&e.event, CanEvent::Delivered { frame: f, .. } if *f == frame))
@@ -36,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // And the full Atomic Broadcast property suite holds.
-    let report = trace_from_can_events(sim.events(), 4).check();
+    let report = trace_from_can_events(tb.can_events(), 4).check();
     println!("\n{report}");
     assert!(report.atomic_broadcast());
     Ok(())

@@ -53,4 +53,10 @@ if ! diff -r -q "$tmp/corpus1" "$tmp/corpus2" >/dev/null; then
 fi
 echo "    report and corpus identical across worker counts ($(ls "$tmp/corpus1" | wc -l) repros)"
 
+echo "==> hot-path bench smoke run (quick mode, regenerates BENCH_hotpath.json)"
+# Fails on schema drift against the committed artifact (the bin refuses to
+# overwrite a BENCH_hotpath.json whose key structure changed), then rewrites
+# it with this machine's quick-mode numbers.
+cargo run -q --release -p majorcan-testbed --bin bench_hotpath -- --quick
+
 echo "OK"

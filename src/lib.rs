@@ -8,6 +8,8 @@
 //! * [`protocols`] — the paper's contribution: MinorCAN and MajorCAN.
 //! * [`hlp`] — higher-level baselines: EDCAN, RELCAN, TOTCAN.
 //! * [`faults`] — fault injection and the scripted paper scenarios.
+//! * [`testbed`] — the one way to assemble and run a protocol cluster
+//!   (scenarios, oracle schedules, workloads) with allocation reuse.
 //! * [`abcast`] — Atomic Broadcast property checking.
 //! * [`analysis`] — the paper's analytic probability model (Table 1).
 //! * [`workload`] — traffic generation.
@@ -25,4 +27,5 @@ pub use majorcan_falsify as falsify;
 pub use majorcan_faults as faults;
 pub use majorcan_hlp as hlp;
 pub use majorcan_sim as sim;
+pub use majorcan_testbed as testbed;
 pub use majorcan_workload as workload;

@@ -4,8 +4,9 @@
 
 use majorcan::abcast::{trace_from_can_events, Report};
 use majorcan::can::{StandardCan, Variant};
-use majorcan::faults::{run_scenario, Scenario};
+use majorcan::faults::Scenario;
 use majorcan::protocols::{MajorCan, MinorCan};
+use majorcan::testbed::run_scenario;
 
 fn grade<V: Variant>(variant: &V, scenario: &Scenario) -> Report {
     let run = run_scenario(variant, scenario, 1_500);
