@@ -121,6 +121,25 @@ enum CState {
     Crashed,
 }
 
+/// Distance in bits from an error detected while observing `pos` to EOF
+/// bit 1, for the positions the paper's frame-tail rule covers. `None`
+/// for every position standard delimiter recovery applies to (anything
+/// up to and including the CRC sequence; EOF bearers route through
+/// [`Variant::eof_reaction`] instead).
+fn eof1_offset(kind: ErrorKind, pos: WirePos) -> Option<u64> {
+    if kind == ErrorKind::Crc {
+        // The CRC verdict is signalled while observing the ACK delimiter;
+        // its flag starts at EOF bit 1.
+        return Some(1);
+    }
+    match pos.field {
+        Field::CrcDelim => Some(3),
+        Field::AckSlot => Some(2),
+        Field::AckDelim => Some(1),
+        _ => None,
+    }
+}
+
 /// A CAN controller speaking protocol variant `V`.
 ///
 /// Controllers implement [`BitNode`](majorcan_sim::BitNode), so they attach
@@ -490,28 +509,46 @@ impl<V: Variant> Controller<V> {
                 }
             }
         }
-        // MajorCAN: a flag born at the frame end — a CRC verdict (signalled
-        // at EOF bit 1) or a disturbed view of the ACK delimiter — occupies
-        // EOF bits 1..6 and the node must then hold (without voting) until
-        // the agreement end. Standard delimiter recovery would instead run
-        // straight through the other nodes' sampling windows, where any
-        // second flag reads as an acceptance notification and two disturbed
-        // bit-views suffice to break agreement.
-        let frame_end = kind == ErrorKind::Crc || pos.field == Field::AckDelim;
-        let then = if frame_end && self.variant.agreement_end().is_some() {
-            if self.eof_start.is_none() {
-                // The node knows where EOF begins: at the bit after the ACK
-                // delimiter it is observing right now.
-                self.eof_start = Some(now + 1);
-            }
-            AfterFlag::MajorHold { voting: false }
-        } else {
-            AfterFlag::Delimiter
-        };
+        let then = self.frame_tail_bearer(now, kind, pos);
         if self.fc.state() == FaultState::ErrorPassive {
             self.start_passive_flag(events);
         } else {
             self.start_flag(FlagKind::ActiveError, then, events);
+        }
+    }
+
+    /// MajorCAN's frame-tail rule, applied to every non-EOF error bearer:
+    /// a flag born in the last bits of the frame — at the CRC delimiter,
+    /// the ACK slot, the ACK delimiter, or the CRC verdict (signalled at
+    /// EOF bit 1) — occupies bits that reach into EOF and the node must
+    /// then hold recessive (without voting) until the agreement end, on
+    /// the same `eof_start`-anchored clock as EOF-region bearers.
+    /// Standard delimiter recovery would instead run straight through the
+    /// other nodes' sampling windows, where any second flag reads as an
+    /// acceptance notification and two disturbed bit-views suffice to
+    /// break agreement. Variants without an agreement region (CAN,
+    /// MinorCAN) keep standard delimiter recovery everywhere.
+    fn frame_tail_bearer(&mut self, now: u64, kind: ErrorKind, pos: WirePos) -> AfterFlag {
+        match eof1_offset(kind, pos) {
+            Some(offset) if self.variant.agreement_end().is_some() => {
+                self.anchor_agreement_clock(now + offset);
+                AfterFlag::MajorHold { voting: false }
+            }
+            _ => AfterFlag::Delimiter,
+        }
+    }
+
+    /// Anchors the agreement clock at `eof1_at`, the bit time of EOF bit 1.
+    /// Every path that learns where EOF begins — the clean receive
+    /// pipeline and each frame-tail bearer — must derive the same bit; an
+    /// existing anchor is never silently moved.
+    fn anchor_agreement_clock(&mut self, eof1_at: u64) {
+        match self.eof_start {
+            None => self.eof_start = Some(eof1_at),
+            Some(existing) => debug_assert_eq!(
+                existing, eof1_at,
+                "agreement clock re-anchored to a different bit"
+            ),
         }
     }
 
@@ -690,9 +727,11 @@ impl<V: Variant> Controller<V> {
 
         // Start the agreement clock the moment EOF begins.
         let pipe = self.pipe.as_ref().expect("pipeline still active");
-        if self.eof_start.is_none() && pipe.pos().field == Field::Eof && pipe.eof_done() == 0 {
-            self.eof_start = Some(now + 1);
+        let eof_begins = pipe.pos().field == Field::Eof && pipe.eof_done() == 0;
+        if eof_begins {
+            self.anchor_agreement_clock(now + 1);
         }
+        let pipe = self.pipe.as_ref().expect("pipeline still active");
 
         // CRC verdict: receivers with a bad CRC start their error flag at
         // the first EOF bit (the bit following the ACK delimiter).
@@ -731,8 +770,15 @@ impl<V: Variant> Controller<V> {
         events: &mut Vec<CanEvent>,
     ) {
         // Bit error while sending a dominant error-flag bit (a disturbed
-        // view). Overload flags do not affect the error counters.
-        if seen.is_recessive() && kind != FlagKind::Overload && !self.suppressed(now) {
+        // view). Overload flags do not affect the error counters, and a
+        // frame-tail bearer's flag is already inside the agreement episode
+        // even for its bits before EOF bit 1 (where `eof_rel` is not yet
+        // defined), so second-error suppression covers the whole flag.
+        if seen.is_recessive()
+            && kind != FlagKind::Overload
+            && !matches!(then, AfterFlag::MajorHold { .. })
+            && !self.suppressed(now)
+        {
             match self.episode_role {
                 Role::Transmitter => self.fc.on_transmit_error(&mut self.fc_scratch),
                 Role::Receiver => self.fc.on_receive_error_aggravated(&mut self.fc_scratch),
@@ -1159,5 +1205,306 @@ impl<V: Variant> BitNode for Controller<V> {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod frame_tail_tests {
+    //! Boundary tests for the frame-tail bearer rule: which `AfterFlag` an
+    //! error entering `standard_error` / `eof_error` selects at each field
+    //! around the frame end, and where the agreement clock lands.
+
+    use super::*;
+    use crate::{FrameId, StandardCan};
+
+    /// MajorCAN_3 geometry, declared locally: the real `MajorCan` lives in
+    /// `majorcan-core`, which depends on this crate, so the boundary tests
+    /// pin the controller's semantics against a minimal agreement variant
+    /// carrying the same m = 3 numbers.
+    #[derive(Debug, Clone, Copy)]
+    struct Agreement3;
+
+    impl Variant for Agreement3 {
+        fn name(&self) -> String {
+            "Agreement3".to_owned()
+        }
+        fn eof_len(&self) -> usize {
+            6 // 2m
+        }
+        fn delimiter_len(&self) -> usize {
+            7 // 2m + 1
+        }
+        fn eof_reaction(&self, _role: Role, eof_bit: usize) -> EofReaction {
+            if eof_bit <= 3 {
+                EofReaction::FlagAndVote
+            } else {
+                EofReaction::AcceptAndExtend
+            }
+        }
+        fn commit_point(&self, _role: Role) -> usize {
+            6
+        }
+        fn sampling_window(&self) -> Option<(usize, usize)> {
+            Some((10, 14)) // (m+7, 3m+5)
+        }
+        fn vote_threshold(&self) -> usize {
+            3
+        }
+        fn agreement_end(&self) -> Option<usize> {
+            Some(14) // 3m+5
+        }
+    }
+
+    /// MinorCAN geometry: CAN frame layout, Primary_error last-bit rule,
+    /// no agreement region.
+    #[derive(Debug, Clone, Copy)]
+    struct Minorish;
+
+    impl Variant for Minorish {
+        fn name(&self) -> String {
+            "Minorish".to_owned()
+        }
+        fn eof_len(&self) -> usize {
+            7
+        }
+        fn delimiter_len(&self) -> usize {
+            8
+        }
+        fn eof_reaction(&self, _role: Role, eof_bit: usize) -> EofReaction {
+            if eof_bit == 7 {
+                EofReaction::DeferPrimaryError
+            } else {
+                EofReaction::RejectAndFlag
+            }
+        }
+        fn commit_point(&self, _role: Role) -> usize {
+            7
+        }
+    }
+
+    fn test_frame() -> Frame {
+        Frame::new(FrameId::new(0x0AA).unwrap(), &[0xCD]).unwrap()
+    }
+
+    /// A 3-node cluster with node 0 holding a frame to transmit.
+    fn cluster<V: Variant + Copy>(v: V) -> Vec<Controller<V>> {
+        let mut nodes: Vec<Controller<V>> = (0..3).map(|_| Controller::new(v)).collect();
+        nodes[0].enqueue(test_frame());
+        nodes
+    }
+
+    /// Steps the cluster bit by bit on a wired-AND bus, flipping node `i`'s
+    /// view whenever `disturb(now, i, tag)` says so, until `until` holds
+    /// after an observe phase. Returns the stop time and the merged event
+    /// log. Mirrors the engine's phase order: drive all, resolve, tag, then
+    /// observe per node.
+    fn run_until<V: Variant>(
+        nodes: &mut [Controller<V>],
+        disturb: impl Fn(u64, usize, WirePos) -> bool,
+        until: impl Fn(&[Controller<V>]) -> bool,
+    ) -> (u64, Vec<CanEvent>) {
+        let mut events = Vec::new();
+        for now in 0..600 {
+            let driven: Vec<Level> = nodes.iter_mut().map(|n| n.drive(now)).collect();
+            let wire = Level::resolve(driven.iter().copied());
+            let tags: Vec<WirePos> = nodes.iter().map(|n| n.tag()).collect();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let seen = if disturb(now, i, tags[i]) {
+                    !wire
+                } else {
+                    wire
+                };
+                node.observe(now, seen, &mut events);
+            }
+            if until(nodes) {
+                return (now, events);
+            }
+        }
+        panic!("predicate never satisfied within 600 bits");
+    }
+
+    fn in_flag<V: Variant>(nodes: &[Controller<V>], i: usize) -> bool {
+        matches!(nodes[i].state, CState::Flag { .. })
+    }
+
+    /// The wire time of EOF bit 1 in an undisturbed run — "the paper's
+    /// bit", where every tail bearer must anchor the agreement clock.
+    fn clean_eof1<V: Variant + Copy>(v: V) -> u64 {
+        let mut nodes = cluster(v);
+        run_until(&mut nodes, |_, _, _| false, |ns| ns[1].eof_start.is_some());
+        nodes[1].eof_start.unwrap()
+    }
+
+    #[test]
+    fn last_crc_bit_error_takes_standard_recovery_even_with_agreement() {
+        let mut nodes = cluster(Agreement3);
+        run_until(
+            &mut nodes,
+            |_, i, tag| i == 0 && tag.field == Field::Crc && tag.index == 14 && !tag.stuff,
+            |ns| in_flag(ns, 0),
+        );
+        match nodes[0].state {
+            CState::Flag {
+                kind: FlagKind::ActiveError,
+                then: AfterFlag::Delimiter,
+                ..
+            } => {}
+            ref s => panic!("expected standard recovery, got {s:?}"),
+        }
+        assert_eq!(
+            nodes[0].eof_start, None,
+            "a CRC-field bearer is outside the frame tail: no agreement clock"
+        );
+    }
+
+    #[test]
+    fn ack_slot_error_enters_the_hold_two_bits_before_eof() {
+        let eof1 = clean_eof1(Agreement3);
+        let mut nodes = cluster(Agreement3);
+        let (t, _) = run_until(
+            &mut nodes,
+            |_, i, tag| i == 0 && tag.field == Field::AckSlot,
+            |ns| in_flag(ns, 0),
+        );
+        match nodes[0].state {
+            CState::Flag {
+                then: AfterFlag::MajorHold { voting: false },
+                ..
+            } => {}
+            ref s => panic!("expected frame-tail hold, got {s:?}"),
+        }
+        assert_eq!(t + 2, eof1, "the ACK slot is two bits before EOF bit 1");
+        assert_eq!(nodes[0].eof_start, Some(eof1));
+    }
+
+    #[test]
+    fn crc_delimiter_error_enters_the_hold_three_bits_before_eof() {
+        let eof1 = clean_eof1(Agreement3);
+        let mut nodes = cluster(Agreement3);
+        let (t, _) = run_until(
+            &mut nodes,
+            |_, i, tag| i == 1 && tag.field == Field::CrcDelim,
+            |ns| in_flag(ns, 1),
+        );
+        match nodes[1].state {
+            CState::Flag {
+                then: AfterFlag::MajorHold { voting: false },
+                ..
+            } => {}
+            ref s => panic!("expected frame-tail hold, got {s:?}"),
+        }
+        assert_eq!(
+            t + 3,
+            eof1,
+            "the CRC delimiter is three bits before EOF bit 1"
+        );
+        assert_eq!(nodes[1].eof_start, Some(eof1));
+    }
+
+    #[test]
+    fn ack_delimiter_error_enters_the_hold_one_bit_before_eof() {
+        let eof1 = clean_eof1(Agreement3);
+        let mut nodes = cluster(Agreement3);
+        let (t, _) = run_until(
+            &mut nodes,
+            |_, i, tag| i == 1 && tag.field == Field::AckDelim,
+            |ns| in_flag(ns, 1),
+        );
+        match nodes[1].state {
+            CState::Flag {
+                then: AfterFlag::MajorHold { voting: false },
+                ..
+            } => {}
+            ref s => panic!("expected frame-tail hold, got {s:?}"),
+        }
+        assert_eq!(t + 1, eof1, "the ACK delimiter is the bit before EOF bit 1");
+        assert_eq!(nodes[1].eof_start, Some(eof1));
+    }
+
+    #[test]
+    fn crc_verdict_flags_at_eof_bit_1_and_holds() {
+        let eof1 = clean_eof1(Agreement3);
+        let mut nodes = cluster(Agreement3);
+        let (t, events) = run_until(
+            &mut nodes,
+            |_, i, tag| i == 1 && tag.field == Field::Crc && tag.index == 5 && !tag.stuff,
+            |ns| in_flag(ns, 1),
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                CanEvent::ErrorDetected {
+                    kind: ErrorKind::Crc,
+                    ..
+                }
+            )),
+            "the flag must come from the CRC verdict, not a stuff/form error: {events:?}"
+        );
+        match nodes[1].state {
+            CState::Flag {
+                then: AfterFlag::MajorHold { voting: false },
+                ..
+            } => {}
+            ref s => panic!("expected frame-tail hold, got {s:?}"),
+        }
+        // The verdict is signalled while observing the ACK delimiter, so
+        // the flag's first driven bit is EOF bit 1 itself.
+        assert_eq!(t + 1, eof1, "CRC flag starts at EOF bit 1");
+        assert_eq!(nodes[1].eof_start, Some(eof1));
+    }
+
+    #[test]
+    fn eof_bit_1_error_flags_and_votes() {
+        let eof1 = clean_eof1(Agreement3);
+        let mut nodes = cluster(Agreement3);
+        let (t, _) = run_until(
+            &mut nodes,
+            |_, i, tag| i == 1 && tag.field == Field::Eof && tag.index == 0,
+            |ns| in_flag(ns, 1),
+        );
+        match nodes[1].state {
+            CState::Flag {
+                then: AfterFlag::MajorHold { voting: true },
+                ..
+            } => {}
+            ref s => panic!("expected first-sub-field flag-and-vote, got {s:?}"),
+        }
+        assert_eq!(t, eof1, "the error was detected at EOF bit 1 itself");
+        assert_eq!(
+            nodes[1].eof_start,
+            Some(eof1),
+            "the clock was anchored by the clean pipeline entry into EOF"
+        );
+    }
+
+    #[test]
+    fn tail_errors_take_standard_recovery_without_an_agreement_region() {
+        fn assert_delimiter_recovery<V: Variant + Copy>(v: V) {
+            for (victim, field) in [
+                (0usize, Field::AckSlot),
+                (1usize, Field::AckDelim),
+                (1usize, Field::CrcDelim),
+            ] {
+                let mut nodes = cluster(v);
+                run_until(
+                    &mut nodes,
+                    |_, i, tag| i == victim && tag.field == field,
+                    |ns| in_flag(ns, victim),
+                );
+                match nodes[victim].state {
+                    CState::Flag {
+                        then: AfterFlag::Delimiter,
+                        ..
+                    } => {}
+                    ref s => panic!(
+                        "{}: expected standard recovery at {field:?}, got {s:?}",
+                        v.name()
+                    ),
+                }
+                assert_eq!(nodes[victim].eof_start, None, "{}: {field:?}", v.name());
+            }
+        }
+        assert_delimiter_recovery(StandardCan);
+        assert_delimiter_recovery(Minorish);
     }
 }

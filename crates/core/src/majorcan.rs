@@ -28,6 +28,16 @@
 //!   to `m−1` further sampling corruptions.
 //! * **Second errors** detected during the EOF/agreement region are *not*
 //!   signalled with new flags — they would spoil the agreement.
+//! * **Frame-tail bearers share the CRC rule.** The paper groups the CRC
+//!   delimiter, ACK slot and ACK delimiter with the EOF as the frame-ending
+//!   recessive run, so a node erroring at any of them behaves like a CRC
+//!   rejecter: it flags, anchors its agreement clock at the frame's EOF
+//!   bit 1 (offset +3 / +2 / +1 bits respectively), and holds recessive
+//!   *without voting* until the agreement end instead of taking standard
+//!   delimiter recovery — otherwise a mid-recovery disturbance could forge
+//!   a second flag that tips other nodes' sampling windows (the F3 family;
+//!   one decision point, `Controller::frame_tail_bearer`, in the link
+//!   layer).
 //! * Errors after the EOF are handled exactly as in standard CAN.
 //!
 //! Both roles — transmitter and receivers — follow the same rules, which is

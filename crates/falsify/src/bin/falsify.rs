@@ -8,16 +8,21 @@
 //! ```text
 //! falsify [schedules_per_target] [--seed <u64>] [--jobs <n>] [--out <f.jsonl>]
 //!         [--quiet] [--corpus <dir>] [--targets <csv>] [--max-errors <n>]
-//!         [--nodes <n>]
+//!         [--nodes <n>] [--probe <entry.json>]
 //! ```
 //!
 //! Results are bit-identical for any `--jobs`. The process exits with
 //! status 3 if any MajorCAN target yields a finding — the falsifier
-//! doubles as a regression gate for the protocol under test.
+//! doubles as a regression gate for the protocol under test. `--probe`
+//! replays one archived corpus entry through the same oracle before the
+//! verdict: a probe that falsifies a MajorCAN target trips the same
+//! exit-3 gate as a search finding.
 
 use majorcan_bench::cli::{open_sink, CliArgs, ExtraFlag};
-use majorcan_campaign::{Manifest, ProtocolSpec};
-use majorcan_falsify::{build_jobs, run_search, write_corpus, SearchConfig, SearchReport};
+use majorcan_campaign::{json, Manifest, ProtocolSpec};
+use majorcan_falsify::{
+    build_jobs, run_search, write_corpus, CorpusEntry, SearchConfig, SearchReport,
+};
 use std::path::Path;
 
 const DEFAULT_SEED: u64 = 0xFA15;
@@ -28,7 +33,35 @@ const EXTRAS: &[ExtraFlag] = &[
     ExtraFlag::value("--targets", "<csv: default CAN,MinorCAN,MajorCAN_5,TOTCAN>"),
     ExtraFlag::value("--max-errors", "<n: disturbances per schedule, default 4>"),
     ExtraFlag::value("--nodes", "<n: bus size, default 3>"),
+    ExtraFlag::value("--probe", "<entry.json: replay one archived repro>"),
 ];
+
+/// Replays one archived corpus entry through the oracle and reports
+/// whether it counts as a finding against a MajorCAN target.
+fn run_probe(path: &str) -> bool {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: reading probe {path}: {e}");
+        std::process::exit(1);
+    });
+    let value = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: parsing probe {path}: {e}");
+        std::process::exit(1);
+    });
+    let entry = CorpusEntry::from_json(&value).unwrap_or_else(|| {
+        eprintln!("error: {path} is not a corpus entry");
+        std::process::exit(1);
+    });
+    let outcome = entry.replay();
+    println!(
+        "probe {}: {} on {} (expected {}) {}",
+        path,
+        outcome.token(),
+        entry.protocol,
+        entry.expected,
+        entry.schedule
+    );
+    outcome.is_finding() && matches!(entry.protocol, ProtocolSpec::MajorCan { .. })
+}
 
 fn parse_targets(text: &str) -> Vec<ProtocolSpec> {
     text.split(',')
@@ -106,6 +139,8 @@ fn main() {
 
     print_summary(&cfg, &report);
 
+    let probe_finding = cli.extra("--probe").is_some_and(run_probe);
+
     if let Some(dir) = cli.extra("--corpus") {
         let written = write_corpus(Path::new(dir), &report.entries).unwrap_or_else(|e| {
             eprintln!("error: writing corpus to {dir}: {e}");
@@ -125,5 +160,9 @@ fn main() {
             eprintln!("FALSIFIED: {n} finding(s) against {target} — see the corpus entries above");
             std::process::exit(3);
         }
+    }
+    if probe_finding {
+        eprintln!("FALSIFIED: the probed repro falsifies its MajorCAN target — see above");
+        std::process::exit(3);
     }
 }

@@ -73,21 +73,23 @@ impl Geometry {
 
 /// Draws one biased frame-tail disturbance.
 ///
-/// Weights (out of 100): 40 EOF (itself biased toward the last and
-/// last-but-one bits), 15 error-flag/delimiter boundaries, 15 CRC tail
-/// (occasionally the stuff bit), 12 agreement window (EOF fallback where
-/// none exists), 12 intermission, 6 ACK slot.
+/// Weights (out of 100): 34 EOF (itself biased toward the last and
+/// last-but-one bits), 15 error-flag/delimiter boundaries, 15 frame-tail
+/// bearers (CRC delimiter / ACK slot / ACK delimiter — the positions the
+/// paper's frame-end rule covers and where the F3 family lived), 12 CRC
+/// tail (occasionally the stuff bit), 12 agreement window (EOF fallback
+/// where none exists), 12 intermission.
 pub fn tail_disturbance(rng: &mut StdRng, geo: &Geometry) -> Disturbance {
     let node = rng.gen_range(0..geo.n_nodes);
     let roll = rng.gen_range(0..100);
-    let mut d = if roll < 40 {
+    let mut d = if roll < 34 {
         let bit = match rng.gen_range(0..10) {
             0..=3 => geo.eof_len - 1, // last but one — the paper's sore spot
             4..=6 => geo.eof_len,     // last bit — the accept/reject boundary
             _ => rng.gen_range(1..=geo.eof_len),
         };
         Disturbance::eof(node, bit as u16)
-    } else if roll < 55 {
+    } else if roll < 49 {
         match rng.gen_range(0..4) {
             0 => Disturbance::first(node, Field::ErrorFlag, rng.gen_range(0..6)),
             1 => Disturbance::first(node, Field::DelimWait, 0),
@@ -98,20 +100,22 @@ pub fn tail_disturbance(rng: &mut StdRng, geo: &Geometry) -> Disturbance {
             ),
             _ => Disturbance::first(node, Field::OverloadFlag, rng.gen_range(0..6)),
         }
-    } else if roll < 70 {
-        match rng.gen_range(0..4) {
-            0 | 1 => {
-                let index = rng.gen_range(10..15);
-                if rng.gen_bool(0.2) {
-                    Disturbance::stuff_bit(node, Field::Crc, index)
-                } else {
-                    Disturbance::first(node, Field::Crc, index)
-                }
-            }
-            2 => Disturbance::first(node, Field::CrcDelim, 0),
+    } else if roll < 64 {
+        // The frame-tail bearer offsets: every position whose error flag
+        // reaches into the EOF region.
+        match rng.gen_range(0..3) {
+            0 => Disturbance::first(node, Field::CrcDelim, 0),
+            1 => Disturbance::first(node, Field::AckSlot, 0),
             _ => Disturbance::first(node, Field::AckDelim, 0),
         }
-    } else if roll < 82 {
+    } else if roll < 76 {
+        let index = rng.gen_range(10..15);
+        if rng.gen_bool(0.2) {
+            Disturbance::stuff_bit(node, Field::Crc, index)
+        } else {
+            Disturbance::first(node, Field::Crc, index)
+        }
+    } else if roll < 88 {
         match geo.agreement_end {
             Some(end) => Disturbance::first(
                 node,
@@ -120,10 +124,8 @@ pub fn tail_disturbance(rng: &mut StdRng, geo: &Geometry) -> Disturbance {
             ),
             None => Disturbance::eof(node, rng.gen_range(1..=geo.eof_len) as u16),
         }
-    } else if roll < 94 {
-        Disturbance::first(node, Field::Intermission, rng.gen_range(0..3))
     } else {
-        Disturbance::first(node, Field::AckSlot, 0)
+        Disturbance::first(node, Field::Intermission, rng.gen_range(0..3))
     };
     if rng.gen_range(0..100) < 10 {
         d.occurrence = 2;
@@ -154,6 +156,14 @@ fn seed_schedules(geo: &Geometry) -> Vec<Vec<Disturbance>> {
             Disturbance::eof(0, 5.min(last)),
             Disturbance::first(1, Field::AgreementHold, lo + 2),
             Disturbance::first(1, Field::AgreementHold, (end as u16).min(lo + 4)),
+        ]);
+        // F3-family: frame-tail bearers plus a recovery-phase (DWAIT)
+        // disturbance — the shape of the two archived MajorCAN_3 minima
+        // that motivated the unified frame-tail rule (EXPERIMENTS.md §E16).
+        seeds.push(vec![
+            Disturbance::first(0, Field::AckSlot, 0),
+            Disturbance::first(0, Field::DelimWait, 0),
+            Disturbance::first(2, Field::AckDelim, 0),
         ]);
     }
     seeds
@@ -301,5 +311,54 @@ mod tests {
             eof_tail_hits * 4 > total,
             "last/last-but-one EOF bits underrepresented: {eof_tail_hits}/{total}"
         );
+    }
+
+    #[test]
+    fn generator_covers_every_frame_tail_bearer_offset() {
+        // The frame-tail bearer slice must keep hitting all three offsets
+        // the unified frame-end rule covers — the hotspots that found the
+        // F3 family and now regression-guard its fix.
+        for spec in [ProtocolSpec::StandardCan, ProtocolSpec::MajorCan { m: 3 }] {
+            let geo = Geometry::for_protocol(spec, 3);
+            let mut rng = StdRng::seed_from_u64(0xF3);
+            let mut hits = [0usize; 3];
+            let total = 2_000;
+            for _ in 0..total {
+                let d = tail_disturbance(&mut rng, &geo);
+                match d.field {
+                    Field::CrcDelim => hits[0] += 1,
+                    Field::AckSlot => hits[1] += 1,
+                    Field::AckDelim => hits[2] += 1,
+                    _ => {}
+                }
+            }
+            for (i, field) in [Field::CrcDelim, Field::AckSlot, Field::AckDelim]
+                .iter()
+                .enumerate()
+            {
+                assert!(
+                    hits[i] * 50 > total,
+                    "{spec}: {field:?} underrepresented: {}/{total}",
+                    hits[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_seeds_include_the_f3_family_shape() {
+        let geo = Geometry::for_protocol(ProtocolSpec::MajorCan { m: 3 }, 3);
+        let seeds = seed_schedules(&geo);
+        assert!(
+            seeds.iter().any(|s| {
+                s.iter().any(|d| d.field == Field::DelimWait)
+                    && s.iter()
+                        .any(|d| matches!(d.field, Field::AckSlot | Field::AckDelim))
+            }),
+            "no F3-family seed among {seeds:?}"
+        );
+        // Variants without an agreement region have no DWAIT-coupled seed.
+        let can = Geometry::for_protocol(ProtocolSpec::StandardCan, 3);
+        assert_eq!(seed_schedules(&can).len(), 3);
     }
 }

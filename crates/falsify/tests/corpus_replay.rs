@@ -35,11 +35,21 @@ fn corpus_covers_the_paper_protagonists() {
         count(ProtocolSpec::MinorCan) >= 1,
         "corpus must hold at least one MinorCAN counterexample"
     );
+    // MajorCAN entries are allowed only as consistency fixtures: the two
+    // pre-fix F3-family minima are kept (expecting `consistent`) to pin
+    // the frame-tail fix, but an entry expecting a violation verdict on a
+    // MajorCAN target means the protocol is broken.
+    let majorcan: Vec<&CorpusEntry> = entries
+        .iter()
+        .filter(|e| matches!(e.protocol, ProtocolSpec::MajorCan { .. }))
+        .collect();
     assert!(
-        entries
-            .iter()
-            .all(|e| !matches!(e.protocol, ProtocolSpec::MajorCan { .. })),
+        majorcan.iter().all(|e| e.expected == "consistent"),
         "a MajorCAN counterexample in the corpus means the protocol is broken"
+    );
+    assert!(
+        majorcan.len() >= 2,
+        "the two archived F3-family minima must stay in the corpus as fixtures"
     );
 }
 

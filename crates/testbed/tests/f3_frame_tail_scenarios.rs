@@ -1,0 +1,37 @@
+//! The F3 frame-tail family as scenario entry points: both archived
+//! MajorCAN_3 minima, run through the same `run_scenario` facade as the
+//! paper figures. Pre-fix these scripts were the falsifier's only
+//! MajorCAN findings (double reception and inconsistent omission, 3
+//! disturbances = m, inside the paper's budget); the frame-tail fix
+//! extends the agreement hold to ACK-slot / CRC-delimiter / ACK-delimiter
+//! bearers, so both must now end in global rejection plus a clean
+//! retransmission.
+
+use majorcan_core::MajorCan;
+use majorcan_faults::Scenario;
+use majorcan_testbed::{run_scenario_strict, Outcome};
+
+#[test]
+fn frame_tail_family_is_consistent_with_retransmission_on_majorcan_3() {
+    for scenario in Scenario::frame_tail_family() {
+        let run = run_scenario_strict(&MajorCan::new(3).expect("valid m"), &scenario, 5_000);
+        assert_eq!(run.outcome(), Outcome::Consistent, "{}", scenario.name);
+        // Global rejection of the disturbed attempt, then exactly one
+        // successful retransmission delivered on every receiver.
+        assert_eq!(run.tx_successes(0), 1, "{}", scenario.name);
+        assert!(run.retransmissions(0) >= 1, "{}", scenario.name);
+        assert_eq!(run.deliveries(1).len(), 1, "{}", scenario.name);
+        assert_eq!(run.deliveries(2).len(), 1, "{}", scenario.name);
+        assert!(run.consistent_single_delivery(), "{}", scenario.name);
+    }
+}
+
+#[test]
+fn frame_tail_family_is_absorbed_by_the_proposed_tolerance() {
+    // m = 5 absorbed these shapes even before the fix (the 5-bit windows
+    // become 9-bit); keep that pinned through the scenario path too.
+    for scenario in Scenario::frame_tail_family() {
+        let run = run_scenario_strict(&MajorCan::proposed(), &scenario, 5_000);
+        assert_eq!(run.outcome(), Outcome::Consistent, "{}", scenario.name);
+    }
+}

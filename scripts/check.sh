@@ -53,6 +53,23 @@ if ! diff -r -q "$tmp/corpus1" "$tmp/corpus2" >/dev/null; then
 fi
 echo "    report and corpus identical across worker counts ($(ls "$tmp/corpus1" | wc -l) repros)"
 
+echo "==> frame-tail hotspot slice (MajorCAN_3, ACK/CRC-delimiter biased, 1 vs 2 workers)"
+# Tail-biased generator hotspots (ACK slot, ACK delimiter, CRC delimiter)
+# against the protocol the F3 family used to break, plus a --probe replay
+# of an archived F3 minimum through the same gate. Any finding (searched
+# or probed) exits 3 and fails the gate.
+cargo run -q -p majorcan-falsify --bin falsify -- \
+    120 --seed 0xF3 --targets MajorCAN_3 --jobs 1 --quiet \
+    --probe corpus/majorcan_3-consistent-458ebee2.json >"$tmp/t1.txt"
+cargo run -q -p majorcan-falsify --bin falsify -- \
+    120 --seed 0xF3 --targets MajorCAN_3 --jobs 2 --quiet \
+    --probe corpus/majorcan_3-consistent-458ebee2.json >"$tmp/t2.txt"
+if ! cmp -s "$tmp/t1.txt" "$tmp/t2.txt"; then
+    echo "FAIL: frame-tail slice differs between 1 and 2 workers" >&2
+    exit 1
+fi
+echo "    tail slice clean and identical across worker counts"
+
 echo "==> hot-path bench smoke run (quick mode, regenerates BENCH_hotpath.json)"
 # Fails on schema drift against the committed artifact (the bin refuses to
 # overwrite a BENCH_hotpath.json whose key structure changed), then rewrites
