@@ -182,132 +182,182 @@ impl fmt::Display for Report {
     }
 }
 
-/// Checks AB1–AB5 over `trace`. See the module docs for the property
-/// definitions; "correct" means never crashed within the trace.
-pub fn check_trace(trace: &AbTrace) -> Report {
-    let correct: BTreeSet<usize> = trace.correct_nodes().into_iter().collect();
-
-    let mut broadcasts: BTreeMap<MsgId, usize> = BTreeMap::new();
+/// Post-hoc accumulator behind [`check_trace`]: consumes [`AbEvent`]s one
+/// at a time and produces the detailed [`Report`] at the end.
+///
+/// This is the reference semantics of the checker. It retains the full
+/// per-node delivery orders (O(trace) memory) so it can enumerate every
+/// violating message pair; the windowed
+/// [`WindowedChecker`](crate::WindowedChecker) consumes the same event
+/// vocabulary in O(live messages) memory and is property-tested to agree
+/// with this accumulator's verdicts.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAccumulator {
+    n_nodes: usize,
+    crashed: BTreeSet<usize>,
+    broadcasts: BTreeMap<MsgId, usize>,
     // Per node, per msg: delivery count; plus each node's first-delivery
     // order for the total-order check.
-    let mut delivery_counts: BTreeMap<(usize, MsgId), usize> = BTreeMap::new();
-    let mut delivery_order: BTreeMap<usize, Vec<MsgId>> = BTreeMap::new();
+    delivery_counts: BTreeMap<(usize, MsgId), usize>,
+    delivery_order: BTreeMap<usize, Vec<MsgId>>,
+}
 
-    for stamped in trace.events() {
-        match &stamped.event {
+impl TraceAccumulator {
+    /// An empty accumulator over `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> TraceAccumulator {
+        TraceAccumulator {
+            n_nodes,
+            ..TraceAccumulator::default()
+        }
+    }
+
+    /// Consumes one event.
+    pub fn push(&mut self, event: &AbEvent) {
+        match event {
             AbEvent::Broadcast { node, msg } => {
-                broadcasts.entry(msg.clone()).or_insert(*node);
+                self.broadcasts.entry(msg.clone()).or_insert(*node);
             }
             AbEvent::Deliver { node, msg } => {
-                let count = delivery_counts.entry((*node, msg.clone())).or_insert(0);
+                let count = self
+                    .delivery_counts
+                    .entry((*node, msg.clone()))
+                    .or_insert(0);
                 *count += 1;
                 if *count == 1 {
-                    delivery_order.entry(*node).or_default().push(msg.clone());
+                    self.delivery_order
+                        .entry(*node)
+                        .or_default()
+                        .push(msg.clone());
                 }
             }
-            AbEvent::Crash { .. } => {}
+            AbEvent::Crash { node } => {
+                self.crashed.insert(*node);
+            }
         }
     }
 
-    // AB1 Validity: broadcast by correct node ⇒ delivered by some correct
-    // node.
-    let mut validity = Vec::new();
-    for (msg, origin) in &broadcasts {
-        if !correct.contains(origin) {
-            continue;
-        }
-        let delivered_somewhere = correct
-            .iter()
-            .any(|n| delivery_counts.contains_key(&(*n, msg.clone())));
-        if !delivered_somewhere {
-            validity.push(format!(
-                "{msg} broadcast by correct n{origin} but never delivered to any correct node"
-            ));
-        }
-    }
-
-    // AB2 Agreement: delivered by one correct node ⇒ delivered by all.
-    let mut agreement = Vec::new();
-    let mut imo_messages = Vec::new();
-    let delivered_msgs: BTreeSet<MsgId> = delivery_counts
-        .keys()
-        .filter(|(n, _)| correct.contains(n))
-        .map(|(_, m)| m.clone())
-        .collect();
-    for msg in &delivered_msgs {
-        let missing: Vec<usize> = correct
-            .iter()
-            .copied()
-            .filter(|n| !delivery_counts.contains_key(&(*n, msg.clone())))
+    /// Runs the AB1–AB5 property checks over everything pushed so far.
+    pub fn finish(&self) -> Report {
+        let correct: BTreeSet<usize> = (0..self.n_nodes)
+            .filter(|n| !self.crashed.contains(n))
             .collect();
-        if !missing.is_empty() {
-            imo_messages.push(msg.clone());
-            agreement.push(format!(
-                "{msg} delivered to some correct nodes but not to {}",
-                missing
-                    .iter()
-                    .map(|n| format!("n{n}"))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ));
-        }
-    }
+        let broadcasts = &self.broadcasts;
+        let delivery_counts = &self.delivery_counts;
+        let delivery_order = &self.delivery_order;
 
-    // AB3 At-most-once.
-    let mut at_most_once = Vec::new();
-    let mut double_deliveries = Vec::new();
-    for ((node, msg), count) in &delivery_counts {
-        if correct.contains(node) && *count > 1 {
-            double_deliveries.push((*node, msg.clone()));
-            at_most_once.push(format!("n{node} delivered {msg} {count} times"));
+        // AB1 Validity: broadcast by correct node ⇒ delivered by some
+        // correct node.
+        let mut validity = Vec::new();
+        for (msg, origin) in broadcasts {
+            if !correct.contains(origin) {
+                continue;
+            }
+            let delivered_somewhere = correct
+                .iter()
+                .any(|n| delivery_counts.contains_key(&(*n, msg.clone())));
+            if !delivered_somewhere {
+                validity.push(format!(
+                    "{msg} broadcast by correct n{origin} but never delivered to any correct node"
+                ));
+            }
         }
-    }
 
-    // AB4 Non-triviality.
-    let mut non_triviality = Vec::new();
-    for (node, msg) in delivery_counts.keys() {
-        if correct.contains(node) && !broadcasts.contains_key(msg) {
-            non_triviality.push(format!("n{node} delivered {msg}, which nobody broadcast"));
+        // AB2 Agreement: delivered by one correct node ⇒ delivered by all.
+        let mut agreement = Vec::new();
+        let mut imo_messages = Vec::new();
+        let delivered_msgs: BTreeSet<MsgId> = delivery_counts
+            .keys()
+            .filter(|(n, _)| correct.contains(n))
+            .map(|(_, m)| m.clone())
+            .collect();
+        for msg in &delivered_msgs {
+            let missing: Vec<usize> = correct
+                .iter()
+                .copied()
+                .filter(|n| !delivery_counts.contains_key(&(*n, msg.clone())))
+                .collect();
+            if !missing.is_empty() {
+                imo_messages.push(msg.clone());
+                agreement.push(format!(
+                    "{msg} delivered to some correct nodes but not to {}",
+                    missing
+                        .iter()
+                        .map(|n| format!("n{n}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
         }
-    }
-    non_triviality.dedup();
 
-    // AB5 Total order: pairwise consistency of first-delivery orders.
-    let mut total_order = Vec::new();
-    let correct_vec: Vec<usize> = correct.iter().copied().collect();
-    for (i, &a) in correct_vec.iter().enumerate() {
-        for &b in &correct_vec[i + 1..] {
-            let empty = Vec::new();
-            let oa = delivery_order.get(&a).unwrap_or(&empty);
-            let ob = delivery_order.get(&b).unwrap_or(&empty);
-            let pos_a: BTreeMap<&MsgId, usize> =
-                oa.iter().enumerate().map(|(i, m)| (m, i)).collect();
-            let pos_b: BTreeMap<&MsgId, usize> =
-                ob.iter().enumerate().map(|(i, m)| (m, i)).collect();
-            let common: Vec<&MsgId> = oa.iter().filter(|m| pos_b.contains_key(m)).collect();
-            for (x, m1) in common.iter().enumerate() {
-                for m2 in &common[x + 1..] {
-                    let fwd_a = pos_a[*m1] < pos_a[*m2];
-                    let fwd_b = pos_b[*m1] < pos_b[*m2];
-                    if fwd_a != fwd_b {
-                        total_order.push(format!(
-                            "n{a} delivers {m1} before {m2}, n{b} the other way around"
-                        ));
+        // AB3 At-most-once.
+        let mut at_most_once = Vec::new();
+        let mut double_deliveries = Vec::new();
+        for ((node, msg), count) in delivery_counts {
+            if correct.contains(node) && *count > 1 {
+                double_deliveries.push((*node, msg.clone()));
+                at_most_once.push(format!("n{node} delivered {msg} {count} times"));
+            }
+        }
+
+        // AB4 Non-triviality.
+        let mut non_triviality = Vec::new();
+        for (node, msg) in delivery_counts.keys() {
+            if correct.contains(node) && !broadcasts.contains_key(msg) {
+                non_triviality.push(format!("n{node} delivered {msg}, which nobody broadcast"));
+            }
+        }
+        non_triviality.dedup();
+
+        // AB5 Total order: pairwise consistency of first-delivery orders.
+        let mut total_order = Vec::new();
+        let correct_vec: Vec<usize> = correct.iter().copied().collect();
+        for (i, &a) in correct_vec.iter().enumerate() {
+            for &b in &correct_vec[i + 1..] {
+                let empty = Vec::new();
+                let oa = delivery_order.get(&a).unwrap_or(&empty);
+                let ob = delivery_order.get(&b).unwrap_or(&empty);
+                let pos_a: BTreeMap<&MsgId, usize> =
+                    oa.iter().enumerate().map(|(i, m)| (m, i)).collect();
+                let pos_b: BTreeMap<&MsgId, usize> =
+                    ob.iter().enumerate().map(|(i, m)| (m, i)).collect();
+                let common: Vec<&MsgId> = oa.iter().filter(|m| pos_b.contains_key(m)).collect();
+                for (x, m1) in common.iter().enumerate() {
+                    for m2 in &common[x + 1..] {
+                        let fwd_a = pos_a[*m1] < pos_a[*m2];
+                        let fwd_b = pos_b[*m1] < pos_b[*m2];
+                        if fwd_a != fwd_b {
+                            total_order.push(format!(
+                                "n{a} delivers {m1} before {m2}, n{b} the other way around"
+                            ));
+                        }
                     }
                 }
             }
         }
-    }
 
-    Report {
-        validity: PropertyResult::violated(validity),
-        agreement: PropertyResult::violated(agreement),
-        at_most_once: PropertyResult::violated(at_most_once),
-        non_triviality: PropertyResult::violated(non_triviality),
-        total_order: PropertyResult::violated(total_order),
-        imo_messages,
-        double_deliveries,
+        Report {
+            validity: PropertyResult::violated(validity),
+            agreement: PropertyResult::violated(agreement),
+            at_most_once: PropertyResult::violated(at_most_once),
+            non_triviality: PropertyResult::violated(non_triviality),
+            total_order: PropertyResult::violated(total_order),
+            imo_messages,
+            double_deliveries,
+        }
     }
+}
+
+/// Checks AB1–AB5 over `trace`. See the module docs for the property
+/// definitions; "correct" means never crashed within the trace.
+///
+/// This is the post-hoc wrapper around [`TraceAccumulator`]: the whole
+/// trace is replayed into the accumulator and checked once at the end.
+pub fn check_trace(trace: &AbTrace) -> Report {
+    let mut acc = TraceAccumulator::new(trace.n_nodes());
+    for stamped in trace.events() {
+        acc.push(&stamped.event);
+    }
+    acc.finish()
 }
 
 impl PropertyResult {

@@ -8,10 +8,15 @@
 //!
 //! * [`AbTrace`] — a protocol-agnostic log of `Broadcast` / `Deliver` /
 //!   `Crash` events;
-//! * [`check_trace`] / [`Report`] — the AB1–AB5 checker with IMO and
-//!   double-delivery diagnostics;
+//! * [`check_trace`] / [`Report`] — the post-hoc AB1–AB5 checker with IMO
+//!   and double-delivery diagnostics (a thin wrapper over
+//!   [`TraceAccumulator`]);
+//! * [`WindowedChecker`] — the incremental windowed checker: same event
+//!   vocabulary, O(live messages) memory, verdicts flagged online — built
+//!   for soak runs streaming millions of frames;
 //! * [`trace_from_can_events`] — the adapter from raw CAN controller logs
-//!   (link-layer semantics, transmitter self-delivery included).
+//!   (link-layer semantics, transmitter self-delivery included);
+//!   [`WindowedChecker::push_can`] is its streaming counterpart.
 //!
 //! # Examples
 //!
@@ -34,10 +39,12 @@
 
 mod adapter;
 mod checker;
+mod incremental;
 mod render;
 mod trace;
 
 pub use adapter::{msg_id_of, trace_from_can_events};
-pub use checker::{check_trace, PropertyResult, Report, Verdict};
+pub use checker::{check_trace, PropertyResult, Report, TraceAccumulator, Verdict};
+pub use incremental::{OnlineReport, WindowedChecker, MAX_NODES};
 pub use render::render_delivery_matrix;
 pub use trace::{AbEvent, AbTrace, MsgId, Stamped};

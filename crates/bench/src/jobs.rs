@@ -112,6 +112,11 @@ impl JobRunner {
             WorkloadSpec::PeriodicLoad { load, horizon } => {
                 self.periodic_load_trial(job, load, horizon, &mut out);
             }
+            WorkloadSpec::SustainedTraffic { .. } => panic!(
+                "job {}: sustained-traffic jobs are interpreted by the \
+                 majorcan-traffic soak executor, not the experiment interpreter",
+                job.id
+            ),
         }
         out
     }
@@ -215,6 +220,11 @@ impl JobRunner {
             FaultSpec::AdversarialSearch { .. } => panic!(
                 "job {}: adversarial-search jobs are interpreted by the \
                  majorcan-falsify executor, not the experiment interpreter",
+                job.id
+            ),
+            FaultSpec::ErrorBursts { .. } => panic!(
+                "job {}: error-burst jobs are interpreted by the \
+                 majorcan-traffic soak executor, not the experiment interpreter",
                 job.id
             ),
         };

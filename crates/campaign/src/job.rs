@@ -162,6 +162,19 @@ pub enum FaultSpec {
         /// Maximum disturbances per synthesized schedule.
         max_errors: usize,
     },
+    /// Periodic full-frame error bursts: `len` disturbed bits every
+    /// `period` bits, flipping views at `ber_star` inside a burst — the
+    /// clustered EMI shape that walks TEC/REC in sustained traffic.
+    /// Interpreted by the `majorcan-traffic` soak executor, not by the
+    /// standard experiment interpreter.
+    ErrorBursts {
+        /// Burst repetition period in bits.
+        period: u64,
+        /// Burst length in bits.
+        len: u64,
+        /// Per-view flip probability inside a burst.
+        ber_star: f64,
+    },
 }
 
 /// The traffic pattern a job drives.
@@ -176,6 +189,20 @@ pub enum WorkloadSpec {
         load: f64,
         /// Simulated bit times per trial.
         horizon: u64,
+    },
+    /// Streaming mixed periodic/sporadic traffic releasing `frames`
+    /// frames at joint target `load`, with `sporadic_permille` ‰ of the
+    /// load carried by Poisson senders and the rest by jittered periodic
+    /// senders. One sustained run per job, checked online. Interpreted by
+    /// the `majorcan-traffic` soak executor, not by the standard
+    /// experiment interpreter.
+    SustainedTraffic {
+        /// Joint bus load in `(0, 1]`.
+        load: f64,
+        /// Frames to release before draining.
+        frames: u64,
+        /// Per-mille of senders that are sporadic (0–1000).
+        sporadic_permille: u16,
     },
 }
 

@@ -161,6 +161,13 @@ impl FaultConfinement {
         if !self.warned && (self.tec >= WARNING_LIMIT || self.rec >= WARNING_LIMIT) {
             self.warned = true;
             events.push(ConfinementEvent::Warning);
+        } else if self.warned && self.tec < WARNING_LIMIT && self.rec < WARNING_LIMIT {
+            // Both counters decayed below the warning level: re-arm, so a
+            // later climb warns again. Long soak runs cycle through many
+            // warning episodes; a one-shot latch would silently swallow
+            // every episode after the first (and, under the paper's
+            // shutoff policy, would leave a reconnected node unprotected).
+            self.warned = false;
         }
         let next = if self.tec >= BUS_OFF_LIMIT {
             FaultState::BusOff
@@ -303,6 +310,136 @@ mod tests {
         assert_eq!(rec, vec![ConfinementEvent::ReturnedActive]);
         assert_eq!(fc.state(), FaultState::ErrorActive);
         assert_eq!(fc.tec(), 0);
+    }
+
+    #[test]
+    fn warning_rearms_after_counters_decay() {
+        let mut fc = FaultConfinement::new(false);
+        let mut all = Vec::new();
+        for _ in 0..12 {
+            fc.on_transmit_error(&mut all); // TEC 96: first warning
+        }
+        for _ in 0..96 {
+            fc.on_transmit_success(&mut all); // decay to 0
+        }
+        assert!(!fc.warning_reached(), "warning re-armed below the limit");
+        for _ in 0..12 {
+            fc.on_transmit_error(&mut all); // climb back: second warning
+        }
+        let warnings = all
+            .iter()
+            .filter(|e| matches!(e, ConfinementEvent::Warning))
+            .count();
+        assert_eq!(warnings, 2, "each warning episode fires");
+    }
+
+    #[test]
+    fn warning_does_not_rearm_while_other_counter_high() {
+        let mut fc = FaultConfinement::new(false);
+        let mut all = Vec::new();
+        for _ in 0..12 {
+            fc.on_transmit_error(&mut all);
+        }
+        for _ in 0..13 {
+            fc.on_receive_error_aggravated(&mut all); // REC 104
+        }
+        for _ in 0..96 {
+            fc.on_transmit_success(&mut all); // TEC decays, REC stays high
+        }
+        assert!(fc.warning_reached(), "REC still at warning level");
+        let warnings = all
+            .iter()
+            .filter(|e| matches!(e, ConfinementEvent::Warning))
+            .count();
+        assert_eq!(warnings, 1);
+    }
+
+    #[test]
+    fn passive_entry_exit_cycles_are_stable_over_thousands_of_frames() {
+        // A long alternation of error clusters and clean stretches: the
+        // node must oscillate between passive and active without drift —
+        // the same counter positions recur every cycle.
+        let mut fc = FaultConfinement::new(false);
+        let mut all = Vec::new();
+        let mut cycle_state = Vec::new();
+        for _ in 0..500 {
+            for _ in 0..17 {
+                fc.on_transmit_error(&mut all); // 17 × 8 = 136 ≥ 128
+            }
+            assert_eq!(fc.state(), FaultState::ErrorPassive);
+            for _ in 0..136 {
+                fc.on_transmit_success(&mut all);
+            }
+            assert_eq!(fc.state(), FaultState::ErrorActive);
+            assert_eq!(fc.tec(), 0, "full decay every cycle");
+            cycle_state.push((fc.tec(), fc.rec(), fc.warning_reached()));
+        }
+        assert!(
+            cycle_state.windows(2).all(|w| w[0] == w[1]),
+            "no drift across cycles"
+        );
+        let entered = all
+            .iter()
+            .filter(|e| matches!(e, ConfinementEvent::EnteredPassive))
+            .count();
+        let returned = all
+            .iter()
+            .filter(|e| matches!(e, ConfinementEvent::ReturnedActive))
+            .count();
+        let warnings = all
+            .iter()
+            .filter(|e| matches!(e, ConfinementEvent::Warning))
+            .count();
+        assert_eq!(entered, 500, "every entry observed");
+        assert_eq!(returned, 500, "every exit observed");
+        assert_eq!(warnings, 500, "every warning episode observed");
+    }
+
+    #[test]
+    fn receiver_cycles_use_the_119_reentry_band() {
+        // REC climbs past 127, then successful receptions: first success
+        // snaps to 119, the rest decrement — repeated over many cycles the
+        // counters stay inside the spec band and keep signalling.
+        let mut fc = FaultConfinement::new(false);
+        let mut all = Vec::new();
+        for _ in 0..1000 {
+            while fc.rec() <= 127 {
+                fc.on_receive_error_aggravated(&mut all);
+            }
+            assert_eq!(fc.state(), FaultState::ErrorPassive);
+            fc.on_receive_success(&mut all);
+            assert_eq!(fc.rec(), 119, "snap into the 119–127 band");
+            for _ in 0..119 {
+                fc.on_receive_success(&mut all);
+            }
+            assert_eq!(fc.rec(), 0);
+            assert_eq!(fc.state(), FaultState::ErrorActive);
+            assert!(!fc.warning_reached());
+        }
+        let entered = all
+            .iter()
+            .filter(|e| matches!(e, ConfinementEvent::EnteredPassive))
+            .count();
+        assert_eq!(entered, 1000);
+    }
+
+    #[test]
+    fn bus_off_recovery_cycles_do_not_leak_state() {
+        let mut fc = FaultConfinement::new(false);
+        let mut all = Vec::new();
+        for _ in 0..200 {
+            for _ in 0..32 {
+                fc.on_transmit_error(&mut all);
+            }
+            assert_eq!(fc.state(), FaultState::BusOff);
+            fc.recover_from_bus_off(&mut all);
+            assert_eq!(fc, FaultConfinement::new(false), "recovery is a reset");
+        }
+        let bus_offs = all
+            .iter()
+            .filter(|e| matches!(e, ConfinementEvent::WentBusOff))
+            .count();
+        assert_eq!(bus_offs, 200, "every bus-off observed");
     }
 
     #[test]

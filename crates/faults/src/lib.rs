@@ -44,6 +44,6 @@ mod script;
 
 pub use crash::{crash_probability_within, exponential_failure_bits};
 pub use filter::{ActiveAfter, FieldFiltered};
-pub use random::{Compose, GlobalEventErrors, IndependentBitErrors};
+pub use random::{BurstErrors, Compose, GlobalEventErrors, IndependentBitErrors};
 pub use scenarios::{scenario_frame, CrashRule, Scenario};
 pub use script::{Disturbance, ScriptedFaults};

@@ -135,6 +135,68 @@ impl<Tag> ChannelModel<Tag> for GlobalEventErrors {
     }
 }
 
+/// Periodic error bursts: every `period` bits the bus enters a burst of
+/// `len` bits during which views flip independently at rate `ber_star`;
+/// outside bursts the bus is clean.
+///
+/// This is the in-stream impairment model of the soak experiments: real
+/// EMI hits a bus in clustered episodes (switching transients, ignition
+/// pulses), and it is exactly the clustered shape that walks TEC/REC
+/// toward error-passive while traffic keeps flowing.
+#[derive(Debug, Clone)]
+pub struct BurstErrors {
+    period: u64,
+    len: u64,
+    inner: IndependentBitErrors,
+}
+
+impl BurstErrors {
+    /// Creates a burst channel with bursts of `len` bits every `period`
+    /// bits, flipping views inside a burst at rate `ber_star`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > period`, `period == 0`, or `ber_star` is not a
+    /// probability.
+    pub fn new(period: u64, len: u64, ber_star: f64, seed: u64) -> BurstErrors {
+        assert!(period > 0, "burst period must be positive");
+        assert!(len <= period, "burst length cannot exceed the period");
+        BurstErrors {
+            period,
+            len,
+            inner: IndependentBitErrors::new(ber_star, seed),
+        }
+    }
+
+    /// The burst repetition period in bits.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The burst length in bits.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when no bits are ever disturbed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 || self.inner.ber_star() == 0.0
+    }
+
+    /// `true` while `bit` falls inside a burst.
+    pub fn in_burst(&self, bit: u64) -> bool {
+        bit % self.period < self.len
+    }
+}
+
+impl<Tag> ChannelModel<Tag> for BurstErrors {
+    fn disturb(&mut self, bit: u64, node: NodeId, tag: &Tag, wire: Level) -> bool {
+        // The rng is only consulted inside bursts, so the stream stays
+        // deterministic regardless of how much clean time passes between.
+        self.in_burst(bit) && self.inner.disturb(bit, node, tag, wire)
+    }
+}
+
 /// Composes two channel models: a view is flipped iff **exactly one** of the
 /// two would flip it (two simultaneous physical disturbances of the same
 /// sample cancel).
@@ -234,6 +296,38 @@ mod tests {
                 b.disturb(bit, NodeId(0), &(), Level::Recessive)
             );
         }
+    }
+
+    #[test]
+    fn bursts_confined_to_burst_windows() {
+        let mut ch = BurstErrors::new(100, 10, 1.0, 5);
+        for bit in 0..1000 {
+            let hit = ch.disturb(bit, NodeId(0), &(), Level::Recessive);
+            assert_eq!(hit, bit % 100 < 10, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn bursts_deterministic_and_rate_scaled() {
+        let mut a = BurstErrors::new(50, 5, 0.3, 9);
+        let mut b = BurstErrors::new(50, 5, 0.3, 9);
+        let mut hits = 0u64;
+        for bit in 0..100_000 {
+            let x = a.disturb(bit, NodeId(0), &(), Level::Recessive);
+            assert_eq!(x, b.disturb(bit, NodeId(0), &(), Level::Recessive));
+            hits += x as u64;
+        }
+        // Expected rate = (len/period) · ber = 0.1 · 0.3 = 0.03.
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.03).abs() < 0.005, "rate={rate}");
+        assert!(!a.is_empty());
+        assert!(BurstErrors::new(50, 0, 0.3, 9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the period")]
+    fn bursts_reject_len_over_period() {
+        BurstErrors::new(10, 11, 0.1, 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use majorcan_can::WirePos;
 use majorcan_faults::{
-    ActiveAfter, Disturbance, FieldFiltered, GlobalEventErrors, IndependentBitErrors,
+    ActiveAfter, BurstErrors, Disturbance, FieldFiltered, GlobalEventErrors, IndependentBitErrors,
     ScriptedFaults,
 };
 use majorcan_sim::{ChannelModel, Level, NodeId};
@@ -32,6 +32,9 @@ pub enum BusChannel {
     IndepEof(ActiveAfter<FieldFiltered<IndependentBitErrors>>),
     /// Globally correlated error events confined to the EOF.
     GlobalEof(ActiveAfter<FieldFiltered<GlobalEventErrors>>),
+    /// Periodic error bursts over the whole frame (the soak-traffic
+    /// impairment model).
+    Bursts(ActiveAfter<BurstErrors>),
 }
 
 impl BusChannel {
@@ -66,6 +69,15 @@ impl BusChannel {
         ))
     }
 
+    /// Periodic error bursts of `len` bits every `period` bits at
+    /// per-view rate `ber_star`, armed after bus integration.
+    pub fn bursts(period: u64, len: u64, ber_star: f64, seed: u64) -> BusChannel {
+        BusChannel::Bursts(ActiveAfter::new(
+            11,
+            BurstErrors::new(period, len, ber_star, seed),
+        ))
+    }
+
     /// The scripted disturbances that have not fired, in script order
     /// (empty for non-scripted channels, which cannot "miss").
     pub fn unfired(&self) -> Vec<Disturbance> {
@@ -92,6 +104,7 @@ impl ChannelModel<WirePos> for BusChannel {
             BusChannel::IndepFull(c) => c.disturb(bit, node, tag, wire),
             BusChannel::IndepEof(c) => c.disturb(bit, node, tag, wire),
             BusChannel::GlobalEof(c) => c.disturb(bit, node, tag, wire),
+            BusChannel::Bursts(c) => c.disturb(bit, node, tag, wire),
         }
     }
 }

@@ -10,7 +10,7 @@ use majorcan_core::{MajorCan, MinorCan};
 use majorcan_faults::{scenario_frame, CrashRule, Disturbance, Scenario};
 use majorcan_hlp::{trace_from_hlp_events, BroadcastId, EdCan, HlpEvent, HlpNode, RelCan, TotCan};
 use majorcan_sim::{NodeId, Simulator, TimedEvent};
-use majorcan_workload::Workload;
+use majorcan_workload::{ReleaseSource, Workload};
 
 /// Bit budget for one link-layer schedule evaluation (matches the
 /// scripted-trial budget of the bench interpreter).
@@ -405,6 +405,30 @@ impl Testbed {
     pub fn drive_workload(&mut self, workload: &mut Workload, horizon: u64) -> usize {
         link_sim!(&mut self.cluster, self.protocol, "drive_workload", sim => {
             majorcan_workload::drive(sim, workload, horizon)
+        })
+    }
+
+    /// Steps the cluster for `horizon` bits, queueing every due release of
+    /// `source` on its node. The streaming counterpart of
+    /// [`drive_workload`](Self::drive_workload) — soak runs feed a lazy
+    /// generator here instead of materializing a schedule. Link-layer
+    /// clusters only.
+    pub fn drive_source<S: ReleaseSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        horizon: u64,
+    ) -> usize {
+        link_sim!(&mut self.cluster, self.protocol, "drive_source", sim => {
+            majorcan_workload::drive_source(sim, source, horizon)
+        })
+    }
+
+    /// `true` when every node is idle with an empty queue (or crashed) —
+    /// the bus has drained. Link-layer clusters only.
+    pub fn is_drained(&self) -> bool {
+        link_sim!(&self.cluster, self.protocol, "is_drained", sim => {
+            sim.nodes()
+                .all(|n| (n.is_idle() && n.pending() == 0) || n.is_crashed())
         })
     }
 

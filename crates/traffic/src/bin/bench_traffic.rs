@@ -1,0 +1,155 @@
+//! Regenerates `BENCH_traffic.json`: sustained soak throughput
+//! (frames/sec, simulated bits/sec) per protocol, and the overhead of
+//! running the incremental windowed checker online.
+//!
+//! ```text
+//! cargo run --release -p majorcan-traffic --bin bench_traffic -- \
+//!     [--quick] [--seed <u64>] [--out BENCH_traffic.json]
+//! ```
+//!
+//! When the output file already exists its schema is compared against the
+//! freshly rendered document; any drift (keys added, removed or renamed)
+//! is an error, so `scripts/check.sh` catches accidental format changes
+//! before they reach the committed artifact. The measured numbers are
+//! machine-dependent; the structural fields (`frames`, `peak_live`) are
+//! deterministic.
+
+use majorcan_campaign::{json, ProtocolSpec};
+use majorcan_testbed::hotpath::schema_fingerprint;
+use majorcan_traffic::{run_soak, SoakSpec};
+use std::time::Instant;
+
+const N_NODES: usize = 5;
+const LOAD: f64 = 0.6;
+const FULL_FRAMES: u64 = 30_000;
+const QUICK_FRAMES: u64 = 2_000;
+
+struct Row {
+    protocol: ProtocolSpec,
+    frames: u64,
+    frames_per_sec: f64,
+    bits_per_sec: f64,
+    checker_overhead_pct: f64,
+    peak_live: usize,
+}
+
+fn measure(protocol: ProtocolSpec, frames: u64, seed: u64) -> Row {
+    let mut spec = SoakSpec::new(protocol, N_NODES, LOAD, frames, seed);
+    // Checked run: the number the soak campaign actually pays.
+    let start = Instant::now();
+    let checked = run_soak(&spec, None).expect("no exporter, no I/O");
+    let checked_secs = start.elapsed().as_secs_f64();
+    assert!(checked.drained, "bench cell must drain");
+    assert!(
+        checked.report.expect("checker online").atomic_broadcast(),
+        "bench cell is a clean bus"
+    );
+    // Unchecked run: same simulation, checker off — the baseline.
+    spec.online_check = false;
+    let start = Instant::now();
+    let unchecked = run_soak(&spec, None).expect("no exporter, no I/O");
+    let unchecked_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        unchecked.bits, checked.bits,
+        "checker must not steer the sim"
+    );
+    Row {
+        protocol,
+        frames,
+        frames_per_sec: checked.released as f64 / checked_secs,
+        bits_per_sec: checked.bits as f64 / checked_secs,
+        checker_overhead_pct: (checked_secs / unchecked_secs - 1.0) * 100.0,
+        peak_live: checked.peak_live,
+    }
+}
+
+fn report_to_json(mode: &str, seed: u64, rows: &[Row]) -> json::Value {
+    let mut doc = json::Value::obj();
+    doc.set("schema", json::Value::from("majorcan-bench-traffic-v1"))
+        .set("mode", json::Value::from(mode))
+        .set("seed", json::Value::U64(seed))
+        .set("n_nodes", json::Value::from(N_NODES))
+        .set("load", json::Value::from(LOAD));
+    let rows_json: Vec<json::Value> = rows
+        .iter()
+        .map(|r| {
+            let mut row = json::Value::obj();
+            row.set("protocol", json::Value::from(r.protocol.to_string()))
+                .set("frames", json::Value::U64(r.frames))
+                .set("frames_per_sec", json::Value::from(r.frames_per_sec))
+                .set("bits_per_sec", json::Value::from(r.bits_per_sec))
+                .set(
+                    "checker_overhead_pct",
+                    json::Value::from(r.checker_overhead_pct),
+                )
+                .set("peak_live", json::Value::from(r.peak_live));
+            row
+        })
+        .collect();
+    doc.set("rows", json::Value::Arr(rows_json));
+    doc
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed: u64 = 0xBE7C;
+    let mut out = String::from("BENCH_traffic.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                seed = v
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| v.parse())
+                    .expect("--seed wants an integer");
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (mode, frames) = if quick {
+        ("quick", QUICK_FRAMES)
+    } else {
+        ("full", FULL_FRAMES)
+    };
+    let protocols = [
+        ProtocolSpec::StandardCan,
+        ProtocolSpec::MinorCan,
+        ProtocolSpec::MajorCan { m: 5 },
+    ];
+    let mut rows = Vec::new();
+    for protocol in protocols {
+        let row = measure(protocol, frames, seed);
+        println!(
+            "{:<12} {:>9.0} frames/s {:>12.2e} bits/s   checker {:+.1}%   peak_live {}",
+            row.protocol.to_string(),
+            row.frames_per_sec,
+            row.bits_per_sec,
+            row.checker_overhead_pct,
+            row.peak_live
+        );
+        rows.push(row);
+    }
+    let doc = report_to_json(mode, seed, &rows);
+
+    if let Ok(existing) = std::fs::read_to_string(&out) {
+        let old = json::parse(&existing)
+            .unwrap_or_else(|e| panic!("{out} exists but does not parse as JSON: {e}"));
+        if schema_fingerprint(&old) != schema_fingerprint(&doc) {
+            eprintln!("error: schema drift against existing {out}");
+            eprintln!("  committed: {:?}", schema_fingerprint(&old));
+            eprintln!("  generated: {:?}", schema_fingerprint(&doc));
+            std::process::exit(1);
+        }
+    }
+
+    std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
+    println!("wrote {out} ({mode} mode, {frames} frames per protocol)");
+}

@@ -1,0 +1,242 @@
+//! The E17 soak campaign: sustained mixed traffic over CAN, MinorCAN and
+//! MajorCAN_5 at rising bus loads, checked online by the incremental
+//! windowed checker, optionally under error bursts and with bus-log
+//! export.
+//!
+//! ```text
+//! cargo run --release -p majorcan-traffic --bin traffic -- \
+//!     [<frames> [n_nodes]] [--seed <u64>] [--jobs <n>] [--out e17.jsonl] \
+//!     [--loads 30,60,90] [--sporadic <permille>] [--window <bits>] \
+//!     [--bursts] [--burst-period <bits>] [--burst-len <bits>] [--burst-ber <p>] \
+//!     [--export <dir>] [--csv] [--allow-violations] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` — every cell's online verdict is `consistent`;
+//! `2` — bad arguments; `3` — some cell violated an Atomic Broadcast
+//! property (suppressed by `--allow-violations`, for impairment studies
+//! where violations are the measurement).
+
+use majorcan_bench::cli::{self, CliArgs, ExtraFlag};
+use majorcan_campaign::{
+    run_campaign_in_memory_scoped, run_campaign_scoped, FaultSpec, Job, JobResult, Manifest,
+    ProtocolSpec, WorkloadSpec,
+};
+use majorcan_traffic::{run_soak, ExportFormat, SoakSpec, TraceExporter, DEFAULT_WINDOW};
+use std::path::PathBuf;
+
+struct Cell {
+    job_id: u64,
+    protocol: ProtocolSpec,
+    load_pct: u64,
+}
+
+struct ExportPlan {
+    dir: PathBuf,
+    format: ExportFormat,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let extras = [
+        ExtraFlag::value("--loads", "<pct,pct,...>"),
+        ExtraFlag::value("--sporadic", "<permille>"),
+        ExtraFlag::value("--window", "<bits>"),
+        ExtraFlag::switch("--bursts", ""),
+        ExtraFlag::value("--burst-period", "<bits>"),
+        ExtraFlag::value("--burst-len", "<bits>"),
+        ExtraFlag::value("--burst-ber", "<prob>"),
+        ExtraFlag::value("--export", "<dir>"),
+        ExtraFlag::switch("--csv", ""),
+        ExtraFlag::switch("--allow-violations", ""),
+    ];
+    let mut cli = CliArgs::parse_with_extras(0x7AF1C, &extras);
+    let frames: u64 = cli.positional(1_500);
+    let n_nodes: usize = cli.positional(8);
+
+    let loads: Vec<u64> = match cli.extra("--loads") {
+        None => vec![30, 60, 90],
+        Some(text) => text
+            .split(',')
+            .map(|p| match p.trim().parse::<u64>() {
+                Ok(pct) if (1..=100).contains(&pct) => pct,
+                _ => die(&format!("--loads wants percentages in 1..=100, got {p:?}")),
+            })
+            .collect(),
+    };
+    let sporadic = cli.extra_u64("--sporadic", 250);
+    if sporadic > 1000 {
+        die("--sporadic is a per-mille (0..=1000)");
+    }
+    let window = cli.extra_u64("--window", DEFAULT_WINDOW);
+    let bursty = cli.extra_flag("--bursts")
+        || cli.extra("--burst-period").is_some()
+        || cli.extra("--burst-len").is_some()
+        || cli.extra("--burst-ber").is_some();
+    let fault = if bursty {
+        FaultSpec::ErrorBursts {
+            period: cli.extra_u64("--burst-period", 2_000),
+            len: cli.extra_u64("--burst-len", 30),
+            ber_star: match cli.extra("--burst-ber") {
+                None => 0.5,
+                Some(text) => text
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .unwrap_or_else(|| die("--burst-ber wants a probability in [0,1]")),
+            },
+        }
+    } else {
+        FaultSpec::None
+    };
+    let export = cli.extra("--export").map(|dir| ExportPlan {
+        dir: PathBuf::from(dir),
+        format: if cli.extra_flag("--csv") {
+            ExportFormat::Csv
+        } else {
+            ExportFormat::Jsonl
+        },
+    });
+    if let Some(plan) = &export {
+        std::fs::create_dir_all(&plan.dir)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", plan.dir.display())));
+    }
+
+    let protocols = [
+        ProtocolSpec::StandardCan,
+        ProtocolSpec::MinorCan,
+        ProtocolSpec::MajorCan { m: 5 },
+    ];
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut jobs: Vec<Job> = Vec::new();
+    for &load_pct in &loads {
+        for &protocol in &protocols {
+            let id = jobs.len() as u64;
+            jobs.push(Job::new(
+                id,
+                cli.seed,
+                protocol,
+                fault.clone(),
+                WorkloadSpec::SustainedTraffic {
+                    load: load_pct as f64 / 100.0,
+                    frames,
+                    sporadic_permille: sporadic as u16,
+                },
+                n_nodes,
+                frames,
+            ));
+            cells.push(Cell {
+                job_id: id,
+                protocol,
+                load_pct,
+            });
+        }
+    }
+
+    let run_one = |job: &Job| -> JobResult {
+        let mut spec = SoakSpec::for_job(job);
+        spec.window = window;
+        let mut exporter = export.as_ref().map(|plan| {
+            let ext = match plan.format {
+                ExportFormat::Jsonl => "jsonl",
+                ExportFormat::Csv => "csv",
+            };
+            let path = plan.dir.join(format!("cell-{:02}.{ext}", job.id));
+            TraceExporter::create(&path, plan.format).expect("create trace export")
+        });
+        let outcome = run_soak(&spec, exporter.as_mut()).expect("trace export I/O");
+        if let Some(x) = exporter {
+            x.finish().expect("flush trace export");
+        }
+        outcome.to_result(job)
+    };
+
+    let opts = cli.campaign_options();
+    let report = match &cli.out {
+        Some(path) => {
+            let manifest = Manifest::for_jobs("traffic-soak", cli.seed, &jobs);
+            let mut sink = cli::open_sink(path, &manifest);
+            run_campaign_scoped(&jobs, &opts, &mut sink, || (), |_, job| run_one(job))
+                .expect("campaign I/O")
+        }
+        None => run_campaign_in_memory_scoped(&jobs, &opts, || (), |_, job| run_one(job)),
+    };
+    if !report.failures.is_empty() {
+        eprintln!(
+            "warning: {} job(s) failed; see the failures artifact",
+            report.failures.len()
+        );
+    }
+
+    println!(
+        "{:<12} {:>5} {:>9} {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>9}  verdict",
+        "protocol",
+        "load",
+        "released",
+        "delivered",
+        "retx",
+        "errors",
+        "arb",
+        "lat_p50",
+        "lat_p99",
+        "passive‰"
+    );
+    let mut violations: Vec<String> = Vec::new();
+    for cell in &cells {
+        let Some(r) = report.results.iter().find(|r| r.job_id == cell.job_id) else {
+            continue;
+        };
+        let c = &r.counters;
+        let verdict = ["consistent", "double", "omission", "validity"]
+            .iter()
+            .find(|t| c.get(&format!("verdict/{t}")) > 0)
+            .copied()
+            .unwrap_or("?");
+        let regime_bits = c.get("active_bits") + c.get("passive_bits") + c.get("busoff_bits");
+        let passive_permille = ((c.get("passive_bits") + c.get("busoff_bits")) * 1000)
+            .checked_div(regime_bits)
+            .unwrap_or(0);
+        println!(
+            "{:<12} {:>4}% {:>9} {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>9}  {}",
+            cell.protocol.to_string(),
+            cell.load_pct,
+            c.get("released"),
+            c.get("deliveries"),
+            c.get("retx"),
+            c.get("errors"),
+            c.get("arb_lost"),
+            c.get("lat_p50"),
+            c.get("lat_p99"),
+            passive_permille,
+            verdict,
+        );
+        if verdict != "consistent" {
+            violations.push(format!(
+                "{} at {}% load: {} (imo={} double={} validity={} order={})",
+                cell.protocol,
+                cell.load_pct,
+                verdict,
+                c.get("imo"),
+                c.get("double"),
+                c.get("validity"),
+                c.get("order"),
+            ));
+        }
+    }
+
+    if !violations.is_empty() {
+        eprintln!(
+            "online checker flagged {} violating cell(s):",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        if !cli.extra_flag("--allow-violations") {
+            std::process::exit(3);
+        }
+    }
+}

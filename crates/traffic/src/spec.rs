@@ -1,0 +1,172 @@
+//! Message-set descriptions: which node sends what, when, and how often.
+//!
+//! A [`TrafficSpec`] is the static description of a sustained workload —
+//! one [`SenderSpec`] per source with its identifier (arbitration
+//! priority), release pattern and payload-size distribution. The
+//! [`TrafficStream`](crate::TrafficStream) turns a spec plus a seed into
+//! the actual lazily-generated release sequence.
+
+use majorcan_can::FrameId;
+
+/// The paper's reference frame size (Table 1): 110 on-wire bits.
+pub const DEFAULT_FRAME_BITS: u64 = 110;
+
+/// When a sender releases frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SenderPattern {
+    /// Releases on a nominal grid `phase + k·period`, each displaced by a
+    /// uniform jitter in `[0, jitter]` bits. The grid itself never
+    /// drifts, so long runs keep their nominal rate exactly.
+    Periodic {
+        /// Nominal release period in bit times.
+        period: u64,
+        /// First nominal release time.
+        phase: u64,
+        /// Maximum per-release displacement (must be ≤ `period` so the
+        /// release sequence stays monotone).
+        jitter: u64,
+    },
+    /// Poisson releases: exponential inter-release gaps with the given
+    /// mean, the classic sporadic/event-triggered sender.
+    Sporadic {
+        /// Mean inter-release gap in bit times (must be positive).
+        mean_gap: f64,
+    },
+}
+
+impl SenderPattern {
+    /// Mean releases per bit time.
+    pub fn rate(&self) -> f64 {
+        match self {
+            SenderPattern::Periodic { period, .. } => 1.0 / *period as f64,
+            SenderPattern::Sporadic { mean_gap } => 1.0 / mean_gap,
+        }
+    }
+}
+
+/// One frame source on the bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenderSpec {
+    /// Emitting node index.
+    pub node: usize,
+    /// Frame identifier (doubles as arbitration priority: lower wins).
+    pub id: FrameId,
+    /// Release pattern.
+    pub pattern: SenderPattern,
+    /// Maximum extra payload bytes beyond the 4-byte `(origin, seq)` tag;
+    /// each release draws its length uniformly from `0..=extra_max`
+    /// (capped at 4 by the 8-byte CAN payload).
+    pub extra_max: usize,
+}
+
+/// A complete message set: every sender on an `n_nodes` bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// Bus size (node indices in `0..n_nodes`).
+    pub n_nodes: usize,
+    /// The senders. A node may carry several senders; the soak default is
+    /// one per node.
+    pub senders: Vec<SenderSpec>,
+}
+
+impl TrafficSpec {
+    /// The canonical soak message set: one sender per node at a joint
+    /// target `load`, the last `⌈n·sporadic_permille/1000⌉` nodes sporadic
+    /// (lowest arbitration priority — sporadic traffic yields to the
+    /// periodic base load) and the rest periodic with `period/8` jitter.
+    /// Identifiers, phases and rates match
+    /// [`plan_periodic_load`](majorcan_workload::plan_periodic_load), so
+    /// `sporadic_permille = 0` reproduces the E9 configuration with
+    /// jitter added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is outside `(0, 1]`, no nodes are given, or
+    /// `sporadic_permille > 1000`.
+    pub fn mixed_load(
+        n_nodes: usize,
+        load: f64,
+        frame_bits: u64,
+        sporadic_permille: u16,
+    ) -> TrafficSpec {
+        assert!(n_nodes > 0, "need at least one node");
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0,1]");
+        assert!(sporadic_permille <= 1000, "sporadic share is a per-mille");
+        let period = (n_nodes as f64 * frame_bits as f64 / load).ceil() as u64;
+        let sporadic = (n_nodes * sporadic_permille as usize).div_ceil(1000);
+        let first_sporadic = n_nodes - sporadic;
+        let senders = (0..n_nodes)
+            .map(|node| SenderSpec {
+                node,
+                id: FrameId::new(0x100 + node as u16).expect("id in range"),
+                pattern: if node >= first_sporadic {
+                    SenderPattern::Sporadic {
+                        mean_gap: period as f64,
+                    }
+                } else {
+                    SenderPattern::Periodic {
+                        period,
+                        phase: 20 + (node as u64 * period) / n_nodes as u64,
+                        jitter: period / 8,
+                    }
+                },
+                extra_max: 4,
+            })
+            .collect();
+        TrafficSpec { n_nodes, senders }
+    }
+
+    /// The joint nominal bus load this spec produces with `frame_bits`
+    /// frames (mean rate × frame size, summed over senders).
+    pub fn nominal_load(&self, frame_bits: u64) -> f64 {
+        self.senders
+            .iter()
+            .map(|s| s.pattern.rate() * frame_bits as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_load_hits_the_target_rate() {
+        let spec = TrafficSpec::mixed_load(8, 0.6, DEFAULT_FRAME_BITS, 250);
+        assert_eq!(spec.senders.len(), 8);
+        let achieved = spec.nominal_load(DEFAULT_FRAME_BITS);
+        assert!((achieved - 0.6).abs() < 0.01, "load={achieved}");
+        let sporadic = spec
+            .senders
+            .iter()
+            .filter(|s| matches!(s.pattern, SenderPattern::Sporadic { .. }))
+            .count();
+        assert_eq!(sporadic, 2, "250‰ of 8 senders");
+        // Sporadic senders sit at the low-priority end of the id space.
+        assert!(spec
+            .senders
+            .iter()
+            .filter(|s| matches!(s.pattern, SenderPattern::Sporadic { .. }))
+            .all(|s| s.node >= 6));
+    }
+
+    #[test]
+    fn all_periodic_matches_the_reference_plan() {
+        let spec = TrafficSpec::mixed_load(4, 0.9, 110, 0);
+        let planned = majorcan_workload::plan_periodic_load(4, 0.9, 110);
+        for (s, p) in spec.senders.iter().zip(&planned) {
+            let SenderPattern::Periodic { period, phase, .. } = s.pattern else {
+                panic!("expected periodic");
+            };
+            assert_eq!(period, p.period);
+            assert_eq!(phase, p.phase);
+            assert_eq!(s.id, p.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in (0,1]")]
+    fn rejects_overload() {
+        TrafficSpec::mixed_load(4, 1.2, 110, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The windowed incremental checker must render **bit-identical
+//! verdicts** to the post-hoc `majorcan_abcast::check_trace` whenever its
+//! window precondition holds: no gap between consecutive events of one
+//! message exceeds the window (otherwise the message could retire and
+//! recur as two lifetimes).
+//!
+//! Three sources of traces, from adversarial to realistic:
+//!
+//! * randomly generated abstract `AbTrace`s (crashes, spurious and double
+//!   deliveries, recurring message ids — the checker-semantics fuzz);
+//! * every checked-in falsifier counterexample replayed on its target
+//!   protocol (real retransmissions and error frames straddling small
+//!   windows);
+//! * sustained traffic streams over a real cluster.
+
+use majorcan_abcast::{
+    check_trace, trace_from_can_events, AbEvent, AbTrace, MsgId, WindowedChecker,
+};
+use majorcan_campaign::ProtocolSpec;
+use majorcan_can::CanEvent;
+use majorcan_falsify::{load_corpus, repo_corpus_dir};
+use majorcan_sim::TimedEvent;
+use majorcan_testbed::Testbed;
+use majorcan_traffic::{TrafficSpec, TrafficStream, DEFAULT_FRAME_BITS};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The longest gap between consecutive events of any single message —
+/// the quantity the window must dominate for windowed verdicts to be
+/// exact. Computed post-hoc over the whole trace, so it also sees
+/// recurrences the online checker itself cannot observe after retiring.
+fn true_max_gap(trace: &AbTrace) -> u64 {
+    let mut last: BTreeMap<MsgId, u64> = BTreeMap::new();
+    let mut max = 0;
+    for stamped in trace.events() {
+        let msg = match &stamped.event {
+            AbEvent::Broadcast { msg, .. } | AbEvent::Deliver { msg, .. } => msg.clone(),
+            AbEvent::Crash { .. } => continue,
+        };
+        if let Some(prev) = last.insert(msg, stamped.at) {
+            max = max.max(stamped.at - prev);
+        }
+    }
+    max
+}
+
+/// Streams `trace` through a fresh windowed checker.
+fn stream_trace(trace: &AbTrace, window: u64) -> WindowedChecker {
+    let mut checker = WindowedChecker::new(trace.n_nodes(), window);
+    for stamped in trace.events() {
+        checker.push_stamped(stamped);
+    }
+    checker
+}
+
+/// Asserts verdict equivalence for every window that satisfies the
+/// precondition, and returns how many windows were exercised.
+fn assert_equivalent_for(trace: &AbTrace, windows: &[u64], context: &str) -> usize {
+    let report = check_trace(trace);
+    let gap = true_max_gap(trace);
+    let mut exercised = 0;
+    for &window in windows {
+        if window < gap.max(1) {
+            continue; // retirement/recurrence allowed: exactness not promised
+        }
+        let online = stream_trace(trace, window).finish();
+        assert!(
+            online.matches(&report),
+            "{context}: window {window} (gap {gap}) diverged\n  online: {online:?}\n  post-hoc verdict: {:?}",
+            report.verdict()
+        );
+        exercised += 1;
+    }
+    exercised
+}
+
+// ---------------------------------------------------------------------
+// Randomly generated abstract traces.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_traces_agree_with_posthoc(
+        raw in proptest::collection::vec((0u64..60, 0usize..8, 0usize..4, 0usize..6), 0..80),
+        n_extra in 0usize..3,
+        tight in 1u64..300,
+    ) {
+        let n_nodes = 2 + n_extra;
+        let mut trace = AbTrace::new(n_nodes);
+        let mut at = 0;
+        for (dt, kind, node, msg) in raw {
+            at += dt;
+            let node = node % n_nodes;
+            let msg = MsgId::new(0x100 + msg as u16, vec![msg as u8]);
+            // Biased towards deliveries: agreement/order violations
+            // need several deliveries per broadcast.
+            match kind {
+                0 | 1 => {
+                    trace.broadcast(at, node, msg);
+                }
+                7 => {
+                    trace.crash(at, node);
+                }
+                _ => {
+                    trace.deliver(at, node, msg);
+                }
+            }
+        }
+        let span = at + 1;
+        // The all-covering window must always match; the tight window
+        // must match whenever it dominates the true max gap.
+        let exercised = assert_equivalent_for(&trace, &[span, tight], "random trace");
+        prop_assert!(exercised >= 1, "span window always qualifies");
+    }
+}
+
+/// The window boundary itself: events exactly `window` apart must stay
+/// in one lifetime (retirement needs silence *strictly greater* than
+/// the window), so equality at the boundary is still exact.
+#[test]
+fn window_boundary_gap_equal_to_window_is_exact() {
+    let msg = MsgId::new(0x123, vec![1]);
+    let window = 100;
+    let mut trace = AbTrace::new(2);
+    trace.broadcast(0, 0, msg.clone());
+    trace.deliver(window, 0, msg.clone());
+    // Many sweeps later, the second node delivers: gap exactly `window`.
+    trace.deliver(2 * window, 1, msg.clone());
+    assert_eq!(true_max_gap(&trace), window);
+    let report = check_trace(&trace);
+    assert!(report.atomic_broadcast());
+    let online = stream_trace(&trace, window).finish();
+    assert!(
+        online.matches(&report),
+        "boundary gap must not split the message"
+    );
+}
+
+/// One past the boundary, with the message *recurring*, is exactly the
+/// case the precondition excludes — document that the online checker
+/// sees two lifetimes there (this is why soak payloads are unique).
+#[test]
+fn gap_beyond_window_splits_a_recurring_message() {
+    let msg = MsgId::new(0x123, vec![1]);
+    let window = 100;
+    let mut trace = AbTrace::new(2);
+    trace.broadcast(0, 0, msg.clone());
+    trace.deliver(1, 0, msg.clone());
+    trace.deliver(2, 1, msg.clone());
+    // Unrelated traffic triggers the sweep that retires the quiet message
+    // (sweeps are lazy: they only run while events flow).
+    let other = MsgId::new(0x124, vec![2]);
+    trace.broadcast(window * 3, 1, other.clone());
+    trace.deliver(window * 3 + 1, 0, other.clone());
+    trace.deliver(window * 3 + 2, 1, other);
+    // Recurrence far beyond the window: post-hoc sees double deliveries,
+    // the windowed checker sees a fresh (spurious) lifetime.
+    trace.deliver(window * 5, 0, msg.clone());
+    trace.deliver(window * 5 + 1, 1, msg.clone());
+    let report = check_trace(&trace);
+    assert!(!report.double_deliveries.is_empty(), "post-hoc: AB3 broken");
+    let online = stream_trace(&trace, window).finish();
+    assert!(
+        !online.matches(&report),
+        "beyond-window recurrence is outside the exactness contract"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Falsifier corpus: real protocol runs with forced retransmissions.
+// ---------------------------------------------------------------------
+
+#[test]
+fn corpus_replays_agree_with_posthoc_across_windows() {
+    let entries = load_corpus(&repo_corpus_dir()).expect("checked-in corpus loads");
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    let mut link_entries = 0;
+    let mut with_retransmissions = 0;
+    for entry in &entries {
+        if entry.protocol.is_hlp() {
+            continue; // push_can speaks the link-layer event vocabulary
+        }
+        link_entries += 1;
+        let mut tb = Testbed::builder(entry.protocol)
+            .nodes(entry.n_nodes)
+            .budget(entry.budget)
+            .build();
+        let run = tb.run_script(entry.schedule.disturbances());
+        if run
+            .events
+            .iter()
+            .any(|e| matches!(e.event, CanEvent::RetransmissionScheduled { .. }))
+        {
+            with_retransmissions += 1;
+        }
+        let trace = trace_from_can_events(&run.events, entry.n_nodes);
+        let report = check_trace(&trace);
+        let gap = true_max_gap(&trace);
+        // Small windows straddle the error-frame/retransmission span;
+        // every window over the true gap must still be exact.
+        for window in [64, 256, 1_024, 2 * entry.budget] {
+            if window < gap.max(1) {
+                continue;
+            }
+            let mut checker = WindowedChecker::new(entry.n_nodes, window);
+            for e in &run.events {
+                checker.push_can(e);
+            }
+            let online = checker.finish();
+            assert!(
+                online.matches(&report),
+                "{}: window {window} (gap {gap}) diverged from {:?}\n  online: {online:?}",
+                entry.file_name(),
+                report.verdict()
+            );
+        }
+    }
+    assert!(link_entries >= 5, "corpus covers the link-layer protocols");
+    assert!(
+        with_retransmissions >= 1,
+        "at least one corpus replay must straddle a retransmission"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Sustained traffic over a real cluster.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sustained_traffic_stream_agrees_with_posthoc() {
+    let n_nodes = 5;
+    let spec = TrafficSpec::mixed_load(n_nodes, 0.7, DEFAULT_FRAME_BITS, 400);
+    let mut stream = TrafficStream::new(spec, 0xE17, 250);
+    let mut tb = Testbed::builder(ProtocolSpec::MajorCan { m: 5 })
+        .nodes(n_nodes)
+        .build();
+    let mut events: Vec<TimedEvent<CanEvent>> = Vec::new();
+    let mut checker = WindowedChecker::new(n_nodes, 4_000);
+    while !(stream.is_exhausted() && tb.is_drained()) {
+        tb.drive_source(&mut stream, 1_024);
+        for e in tb.take_can_events() {
+            checker.push_can(&e);
+            events.push(e);
+        }
+        assert!(tb.now() < 1_000_000, "runaway");
+    }
+    let trace = trace_from_can_events(&events, n_nodes);
+    let report = check_trace(&trace);
+    assert!(report.atomic_broadcast(), "clean sustained run is atomic");
+    assert!(
+        true_max_gap(&trace) <= 4_000,
+        "unique payloads keep lifetimes inside the window"
+    );
+    let online = checker.finish();
+    assert!(online.matches(&report));
+    assert_eq!(online.messages, 250);
+}

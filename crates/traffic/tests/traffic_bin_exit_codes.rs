@@ -1,0 +1,74 @@
+//! The `traffic` bin's exit-code contract, tested by spawning the real
+//! binary: exit 0 when every cell's online verdict is `consistent`,
+//! exit 3 when the incremental checker flags a violation (unless
+//! `--allow-violations`), exit 2 on bad arguments.
+
+use std::process::Command;
+
+fn traffic_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_traffic"))
+}
+
+fn run(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = traffic_bin().args(args).output().expect("spawning traffic");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn clean_soak_exits_zero() {
+    let (code, stdout, stderr) = run(&["120", "4", "--quiet", "--jobs", "1"]);
+    assert_eq!(code, Some(0), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(
+        stdout.matches("consistent").count() == 9,
+        "all 3 protocols × 3 loads consistent:\n{stdout}"
+    );
+    assert!(!stderr.contains("violating"), "{stderr}");
+}
+
+#[test]
+fn online_violation_exits_three() {
+    // Heavy error bursts (30 disturbed bits every 1500, half the views
+    // flipped) break Agreement on every protocol well within a
+    // 300-frame soak — the online checker must gate on it.
+    let args = [
+        "300",
+        "4",
+        "--quiet",
+        "--jobs",
+        "1",
+        "--bursts",
+        "--burst-period",
+        "1500",
+        "--burst-len",
+        "30",
+        "--seed",
+        "7",
+    ];
+    let (code, stdout, stderr) = run(&args);
+    assert_eq!(code, Some(3), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(
+        stderr.contains("violating cell"),
+        "diagnostics name the cells:\n{stderr}"
+    );
+
+    // The same run with --allow-violations reports but does not gate.
+    let mut allowed: Vec<&str> = args.to_vec();
+    allowed.push("--allow-violations");
+    let (code, stdout, stderr) = run(&allowed);
+    assert_eq!(code, Some(0), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stderr.contains("violating cell"), "{stderr}");
+}
+
+#[test]
+fn bad_arguments_exit_two() {
+    let (code, _, stderr) = run(&["--no-such-flag"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = run(&["--loads", "0,150"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = run(&["--burst-ber", "1.5", "--bursts"]);
+    assert_eq!(code, Some(2), "{stderr}");
+}

@@ -10,8 +10,9 @@
 //!   bit time;
 //! * [`plan_periodic_load`] — source periods hitting a target bus load,
 //!   matching the paper's reference configuration;
-//! * [`drive`] — a driver stepping any simulator of [`FrameSink`] nodes
-//!   while feeding released frames to their queues;
+//! * [`drive`] / [`drive_source`] — drivers stepping any simulator of
+//!   [`FrameSink`] nodes while feeding released frames to their queues
+//!   ([`ReleaseSource`] lets soak generators stream releases lazily);
 //! * [`BusStats`] — throughput/occupation statistics from event logs.
 
 #![forbid(unsafe_code)]
@@ -139,6 +140,20 @@ impl PoissonSource {
     }
 }
 
+/// A stream of frame releases consumed in time order.
+///
+/// [`Workload`] implements this over a pre-computed, sorted vector; the
+/// soak traffic generator implements it by *generating* releases lazily so
+/// million-frame runs never materialize their schedule.
+pub trait ReleaseSource {
+    /// Release time of the next pending release, if any. Must be
+    /// non-decreasing across calls.
+    fn next_at(&self) -> Option<u64>;
+
+    /// Pops the release [`next_at`](Self::next_at) announced.
+    fn pop(&mut self) -> Option<Release>;
+}
+
 /// A complete traffic schedule: the time-sorted union of all sources.
 #[derive(Debug, Clone, Default)]
 pub struct Workload {
@@ -187,6 +202,20 @@ impl Workload {
     }
 }
 
+impl ReleaseSource for Workload {
+    fn next_at(&self) -> Option<u64> {
+        self.releases.get(self.cursor).map(|r| r.at)
+    }
+
+    fn pop(&mut self) -> Option<Release> {
+        let release = self.releases.get(self.cursor).cloned();
+        if release.is_some() {
+            self.cursor += 1;
+        }
+        release
+    }
+}
+
 impl FromIterator<Release> for Workload {
     fn from_iter<T: IntoIterator<Item = Release>>(iter: T) -> Self {
         Workload::new(iter.into_iter().collect())
@@ -225,12 +254,23 @@ where
     N: BitNode + FrameSink,
     C: ChannelModel<N::Tag>,
 {
+    drive_source(sim, workload, horizon)
+}
+
+/// Steps `sim` for `horizon` bits, queueing every due release of any
+/// [`ReleaseSource`] on its node. Returns the number of frames queued.
+pub fn drive_source<N, C, S>(sim: &mut Simulator<N, C>, source: &mut S, horizon: u64) -> usize
+where
+    N: BitNode + FrameSink,
+    C: ChannelModel<N::Tag>,
+    S: ReleaseSource + ?Sized,
+{
     let mut queued = 0;
     let end = sim.now() + horizon;
     while sim.now() < end {
         let now = sim.now();
-        let due: Vec<Release> = workload.due(now).to_vec();
-        for release in due {
+        while source.next_at().is_some_and(|at| at <= now) {
+            let release = source.pop().expect("next_at announced a release");
             sim.node_mut(NodeId(release.node))
                 .enqueue_frame(release.frame);
             queued += 1;
@@ -293,6 +333,28 @@ mod tests {
         assert_eq!(w.due(0).len(), 0, "not popped twice");
         assert_eq!(w.due(25).len(), 2);
         assert_eq!(w.due(100).len(), 1);
+    }
+
+    #[test]
+    fn workload_is_a_release_source() {
+        let src = PeriodicSource {
+            node: 0,
+            id: FrameId::new(0x10).unwrap(),
+            period: 10,
+            phase: 3,
+            extra_len: 0,
+        };
+        let mut w: Workload = src.releases(30).into_iter().collect();
+        assert_eq!(w.next_at(), Some(3));
+        let first = w.pop().expect("three releases");
+        assert_eq!(first.at, 3);
+        assert_eq!(w.next_at(), Some(13));
+        // `due` and `pop` share the cursor: no release is seen twice.
+        assert_eq!(w.due(13).len(), 1);
+        assert_eq!(w.next_at(), Some(23));
+        assert_eq!(w.pop().map(|r| r.at), Some(23));
+        assert_eq!(w.next_at(), None);
+        assert!(w.pop().is_none());
     }
 
     #[test]

@@ -70,6 +70,42 @@ if ! cmp -s "$tmp/t1.txt" "$tmp/t2.txt"; then
 fi
 echo "    tail slice clean and identical across worker counts"
 
+echo "==> traffic soak smoke run (short clean soak, 1 vs 2 workers, exports compared)"
+# The E17 soak in miniature: the campaign JSONL (sorted by job id; the
+# sink streams in completion order) and every exported bus log must be
+# byte-identical for any worker count, and a clean bus must exit 0.
+cargo run -q --release -p majorcan-traffic --bin traffic -- \
+    250 6 --seed 0xE17 --jobs 1 --quiet --out "$tmp/s1.jsonl" --export "$tmp/exp1" >/dev/null
+cargo run -q --release -p majorcan-traffic --bin traffic -- \
+    250 6 --seed 0xE17 --jobs 2 --quiet --out "$tmp/s2.jsonl" --export "$tmp/exp2" >/dev/null
+sort "$tmp/s1.jsonl" >"$tmp/s1.sorted"
+sort "$tmp/s2.jsonl" >"$tmp/s2.sorted"
+if ! cmp -s "$tmp/s1.sorted" "$tmp/s2.sorted"; then
+    echo "FAIL: soak artifact differs between 1 and 2 workers" >&2
+    exit 1
+fi
+if ! diff -r -q "$tmp/exp1" "$tmp/exp2" >/dev/null; then
+    echo "FAIL: exported bus logs differ between 1 and 2 workers" >&2
+    exit 1
+fi
+echo "    soak artifact and bus logs identical across worker counts ($(wc -l <"$tmp/s1.jsonl") cells)"
+
+# The exit-code contract: heavy bursts must trip the online checker
+# (exit 3), and --allow-violations must downgrade the same run to 0.
+if cargo run -q --release -p majorcan-traffic --bin traffic -- \
+    250 4 --seed 7 --jobs 1 --quiet --bursts --burst-period 1500 --burst-len 30 \
+    >/dev/null 2>&1; then
+    echo "FAIL: bursty soak should exit nonzero on online checker violations" >&2
+    exit 1
+fi
+cargo run -q --release -p majorcan-traffic --bin traffic -- \
+    250 4 --seed 7 --jobs 1 --quiet --bursts --burst-period 1500 --burst-len 30 \
+    --allow-violations >/dev/null 2>&1
+echo "    online checker gates bursty cells; --allow-violations downgrades"
+
+echo "==> traffic bench smoke run (quick mode, regenerates BENCH_traffic.json)"
+cargo run -q --release -p majorcan-traffic --bin bench_traffic -- --quick
+
 echo "==> hot-path bench smoke run (quick mode, regenerates BENCH_hotpath.json)"
 # Fails on schema drift against the committed artifact (the bin refuses to
 # overwrite a BENCH_hotpath.json whose key structure changed), then rewrites
