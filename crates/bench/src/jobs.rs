@@ -227,6 +227,16 @@ impl JobRunner {
                  majorcan-traffic soak executor, not the experiment interpreter",
                 job.id
             ),
+            FaultSpec::AttackSearch { .. } => panic!(
+                "job {}: attack-search jobs are interpreted by the \
+                 majorcan-falsify attack executor, not the experiment interpreter",
+                job.id
+            ),
+            FaultSpec::BusOffAttack { .. } => panic!(
+                "job {}: bus-off-attack jobs are interpreted by the \
+                 majorcan-traffic soak executor, not the experiment interpreter",
+                job.id
+            ),
         };
         out.frames += 1;
         out.bits += bits;

@@ -175,6 +175,26 @@ pub enum FaultSpec {
         /// Per-view flip probability inside a burst.
         ber_star: f64,
     },
+    /// Cost-aware attack search: each trial synthesizes a budgeted
+    /// dominant-injection attack schedule from the trial seed, classifies
+    /// the outcome (including victim bus-off), and shrinks findings to
+    /// their cheapest form. Interpreted by the `majorcan-falsify` crate's
+    /// attack-search executor, not by the standard experiment interpreter.
+    AttackSearch {
+        /// Maximum nominal schedule cost in budget units.
+        max_cost: u64,
+    },
+    /// A sustained bus-off attack on one victim transmitter: the attacker
+    /// hammers the victim's view of its CRC delimiter on every
+    /// (re)transmission until `budget` injections are spent. Interpreted by
+    /// the `majorcan-traffic` soak executor, not by the standard experiment
+    /// interpreter.
+    BusOffAttack {
+        /// The victim transmitter.
+        victim: usize,
+        /// Total injection budget in cost units.
+        budget: u64,
+    },
 }
 
 /// The traffic pattern a job drives.

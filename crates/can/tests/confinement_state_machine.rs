@@ -1,0 +1,267 @@
+//! Exhaustive state-machine check of the fault-confinement counters.
+//!
+//! The attacker model (crates/faults) turns the error counters into an
+//! attack surface: a dominant-flooding adversary walks a victim
+//! error-active → error-passive → bus-off, and every limit crossing
+//! changes the protocol's failure semantics. This harness re-implements
+//! the CAN specification's counter rules as an independent reference
+//! model and drives both model and implementation over
+//!
+//! * **every reachable configuration** inside the operational envelope
+//!   (all `(TEC, REC, state, warned)` states reachable from reset with
+//!   counters up to 320, i.e. past every limit: warning 96, passive 128,
+//!   bus-off 256, the 119 re-entry band, the sticky bus-off latch and
+//!   the 128 × 11-recessive recovery reset), via breadth-first
+//!   exploration of all six inputs from each state, and
+//! * a long saturation walk beyond the envelope cap.
+//!
+//! Any divergence — counter value, derived state, warning latch or
+//! emitted event — fails with the offending input path.
+
+use majorcan_can::{
+    ConfinementEvent, FaultConfinement, FaultState, BUS_OFF_LIMIT, PASSIVE_LIMIT, WARNING_LIMIT,
+};
+use std::collections::{HashSet, VecDeque};
+
+/// The six counter-relevant bus happenings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Input {
+    TxError,
+    RxError,
+    RxErrorAggravated,
+    TxSuccess,
+    RxSuccess,
+    Recover,
+}
+
+const INPUTS: [Input; 6] = [
+    Input::TxError,
+    Input::RxError,
+    Input::RxErrorAggravated,
+    Input::TxSuccess,
+    Input::RxSuccess,
+    Input::Recover,
+];
+
+/// Independent reference model of the specification's counter rules.
+/// Deliberately re-derived from the spec text, not from `counters.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Model {
+    tec: u16,
+    rec: u16,
+    state: FaultState,
+    warned: bool,
+}
+
+impl Model {
+    fn reset() -> Model {
+        Model {
+            tec: 0,
+            rec: 0,
+            state: FaultState::ErrorActive,
+            warned: false,
+        }
+    }
+
+    fn step(&mut self, input: Input) -> Vec<ConfinementEvent> {
+        let mut events = Vec::new();
+        match input {
+            Input::TxError => self.tec = self.tec.saturating_add(8),
+            Input::RxError => self.rec = self.rec.saturating_add(1),
+            Input::RxErrorAggravated => self.rec = self.rec.saturating_add(8),
+            Input::TxSuccess => self.tec = self.tec.saturating_sub(1),
+            Input::RxSuccess => {
+                // Spec: a REC above 127 is set into the 119–127 band on a
+                // successful reception instead of being decremented.
+                self.rec = if self.rec > 127 {
+                    119
+                } else {
+                    self.rec.saturating_sub(1)
+                };
+            }
+            Input::Recover => {
+                // The 128 × 11-recessive recovery sequence: full reset.
+                self.tec = 0;
+                self.rec = 0;
+                self.warned = false;
+                if self.state != FaultState::ErrorActive {
+                    self.state = FaultState::ErrorActive;
+                    events.push(ConfinementEvent::ReturnedActive);
+                }
+                return events;
+            }
+        }
+        // Warning latch: fires on the upward crossing of 96 on either
+        // counter, re-arms only when both have decayed below it.
+        let at_warning = self.tec >= WARNING_LIMIT || self.rec >= WARNING_LIMIT;
+        if !self.warned && at_warning {
+            self.warned = true;
+            events.push(ConfinementEvent::Warning);
+        } else if self.warned && !at_warning {
+            self.warned = false;
+        }
+        // State derivation; bus-off is sticky until `Recover`.
+        let next = if self.tec >= BUS_OFF_LIMIT {
+            FaultState::BusOff
+        } else if self.tec >= PASSIVE_LIMIT || self.rec >= PASSIVE_LIMIT {
+            FaultState::ErrorPassive
+        } else {
+            FaultState::ErrorActive
+        };
+        if next != self.state && self.state != FaultState::BusOff {
+            match next {
+                FaultState::ErrorActive => events.push(ConfinementEvent::ReturnedActive),
+                FaultState::ErrorPassive => events.push(ConfinementEvent::EnteredPassive),
+                FaultState::BusOff => events.push(ConfinementEvent::WentBusOff),
+            }
+            self.state = next;
+        }
+        events
+    }
+}
+
+fn apply(fc: &mut FaultConfinement, input: Input) -> Vec<ConfinementEvent> {
+    let mut events = Vec::new();
+    match input {
+        Input::TxError => fc.on_transmit_error(&mut events),
+        Input::RxError => fc.on_receive_error(&mut events),
+        Input::RxErrorAggravated => fc.on_receive_error_aggravated(&mut events),
+        Input::TxSuccess => fc.on_transmit_success(&mut events),
+        Input::RxSuccess => fc.on_receive_success(&mut events),
+        Input::Recover => fc.recover_from_bus_off(&mut events),
+    }
+    events
+}
+
+fn snapshot(fc: &FaultConfinement) -> Model {
+    Model {
+        tec: fc.tec(),
+        rec: fc.rec(),
+        state: fc.state(),
+        warned: fc.warning_reached(),
+    }
+}
+
+/// Breadth-first exploration of the whole reachable envelope: every
+/// distinct `(TEC, REC, state, warned)` with both counters ≤ CAP is
+/// visited once and all six inputs are verified from it. The frontier
+/// carries the implementation state alongside the model, so each
+/// verified transition extends a path of already-verified transitions
+/// back to reset. Transitions leaving the cap are still verified, just
+/// not expanded further.
+#[test]
+fn every_reachable_configuration_agrees_with_the_reference_model() {
+    const CAP: u16 = 320;
+    let mut seen: HashSet<Model> = HashSet::new();
+    let mut frontier: VecDeque<(Model, FaultConfinement)> = VecDeque::new();
+    let start = Model::reset();
+    seen.insert(start);
+    frontier.push_back((start, FaultConfinement::new(false)));
+    let mut transitions = 0u64;
+
+    while let Some((state, fc)) = frontier.pop_front() {
+        for input in INPUTS {
+            let mut fc = fc.clone();
+            let mut model = state;
+            let model_events = model.step(input);
+            let impl_events = apply(&mut fc, input);
+            assert_eq!(
+                impl_events, model_events,
+                "event divergence from {state:?} on {input:?}"
+            );
+            assert_eq!(
+                snapshot(&fc),
+                model,
+                "state divergence from {state:?} on {input:?}"
+            );
+            transitions += 1;
+            if model.tec <= CAP && model.rec <= CAP && seen.insert(model) {
+                frontier.push_back((model, fc));
+            }
+        }
+    }
+    // The envelope is substantial: both counters sweep past every limit
+    // in all three states with both latch polarities.
+    assert!(
+        seen.len() > 50_000,
+        "explored only {} states — envelope too small",
+        seen.len()
+    );
+    assert!(transitions >= seen.len() as u64 * 6 - 6);
+}
+
+/// The canonical attack trajectory, step by step: dominant flooding
+/// bumps TEC +8 per hammered (re)transmission — warning at 96, passive
+/// at 128, bus-off at exactly 256, recovery resets everything.
+#[test]
+fn dominant_flooding_trajectory_crosses_every_limit_in_order() {
+    let mut fc = FaultConfinement::new(false);
+    let mut model = Model::reset();
+    let mut all = Vec::new();
+    for rep in 1..=40u16 {
+        let impl_events = apply(&mut fc, Input::TxError);
+        let model_events = model.step(Input::TxError);
+        assert_eq!(impl_events, model_events, "rep {rep}");
+        all.extend(impl_events);
+        match rep {
+            11 => assert_eq!(fc.state(), FaultState::ErrorActive),
+            12 => assert!(fc.warning_reached(), "warning at 12 × 8 = 96"),
+            16 => assert_eq!(
+                fc.state(),
+                FaultState::ErrorPassive,
+                "passive at 16 × 8 = 128"
+            ),
+            31 => assert_eq!(fc.state(), FaultState::ErrorPassive, "248 still passive"),
+            32 => assert_eq!(fc.state(), FaultState::BusOff, "bus-off at 32 × 8 = 256"),
+            _ => {}
+        }
+    }
+    assert_eq!(
+        all,
+        vec![
+            ConfinementEvent::Warning,
+            ConfinementEvent::EnteredPassive,
+            ConfinementEvent::WentBusOff,
+        ],
+        "exactly one crossing per limit, in order"
+    );
+    // The 128 × 11-recessive recovery is a full reset in both worlds.
+    let impl_events = apply(&mut fc, Input::Recover);
+    assert_eq!(impl_events, model.step(Input::Recover));
+    assert_eq!(impl_events, vec![ConfinementEvent::ReturnedActive]);
+    assert_eq!(snapshot(&fc), Model::reset());
+}
+
+/// A long pseudo-random walk that leaves the BFS envelope: counters
+/// driven deep into saturation and back, many bus-off/recovery cycles.
+#[test]
+fn saturation_walk_agrees_with_the_reference_model() {
+    let mut fc = FaultConfinement::new(false);
+    let mut model = Model::reset();
+    // Deterministic xorshift so the walk is reproducible without rand.
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut recoveries = 0u32;
+    for step in 0..200_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // Errors twice as likely as successes; recovery rare, so the walk
+        // spends real time saturated in bus-off.
+        let input = match x % 13 {
+            0..=2 => Input::TxError,
+            3..=4 => Input::RxError,
+            5..=6 => Input::RxErrorAggravated,
+            7..=9 => Input::TxSuccess,
+            10..=11 => Input::RxSuccess,
+            _ => {
+                recoveries += 1;
+                Input::Recover
+            }
+        };
+        let impl_events = apply(&mut fc, input);
+        let model_events = model.step(input);
+        assert_eq!(impl_events, model_events, "step {step}: {input:?}");
+        assert_eq!(snapshot(&fc), model, "step {step}: {input:?}");
+    }
+    assert!(recoveries > 10_000, "the walk exercised recovery");
+}

@@ -1,0 +1,147 @@
+//! Regenerates `BENCH_attack.json`: attack-search throughput
+//! (attack schedules evaluated per second) per link-layer protocol
+//! target, plus the deterministic break counts the search produced.
+//!
+//! ```text
+//! cargo run --release -p majorcan-falsify --bin bench_attack -- \
+//!     [--quick] [--seed <u64>] [--out BENCH_attack.json]
+//! ```
+//!
+//! When the output file already exists its schema is compared against the
+//! freshly rendered document; any drift (keys added, removed or renamed)
+//! is an error, so `scripts/check.sh` catches accidental format changes
+//! before they reach the committed artifact. The throughput numbers are
+//! machine-dependent; `attacks`, `breaks`, `certificates` and
+//! `min_break_cost` are deterministic for a given seed.
+
+use majorcan_campaign::{json, CampaignOptions, ProtocolSpec};
+use majorcan_falsify::{run_attack_search, AttackSearchConfig};
+use majorcan_testbed::hotpath::schema_fingerprint;
+use std::time::Instant;
+
+const N_NODES: usize = 3;
+const FULL_ATTACKS: u64 = 600;
+const QUICK_ATTACKS: u64 = 60;
+
+struct Row {
+    protocol: ProtocolSpec,
+    attacks: u64,
+    attacks_per_sec: f64,
+    breaks: usize,
+    certificates: usize,
+    min_break_cost: Option<u64>,
+}
+
+fn measure(protocol: ProtocolSpec, attacks: u64, seed: u64) -> Row {
+    let mut cfg = AttackSearchConfig::new(seed, attacks);
+    cfg.targets = vec![protocol];
+    cfg.n_nodes = N_NODES;
+    let start = Instant::now();
+    let report =
+        run_attack_search(&cfg, &CampaignOptions::quiet(0), None).expect("no sink, no I/O");
+    let secs = start.elapsed().as_secs_f64();
+    Row {
+        protocol,
+        attacks: report.explored_for(protocol),
+        attacks_per_sec: report.explored_for(protocol) as f64 / secs,
+        breaks: report.findings_for(protocol),
+        certificates: report.entries.len(),
+        min_break_cost: report.entries.iter().map(|e| e.provenance.cost).min(),
+    }
+}
+
+fn report_to_json(mode: &str, seed: u64, rows: &[Row]) -> json::Value {
+    let mut doc = json::Value::obj();
+    doc.set("schema", json::Value::from("majorcan-bench-attack-v1"))
+        .set("mode", json::Value::from(mode))
+        .set("seed", json::Value::U64(seed))
+        .set("n_nodes", json::Value::from(N_NODES));
+    let rows_json: Vec<json::Value> = rows
+        .iter()
+        .map(|r| {
+            let mut row = json::Value::obj();
+            row.set("protocol", json::Value::from(r.protocol.to_string()))
+                .set("attacks", json::Value::U64(r.attacks))
+                .set("attacks_per_sec", json::Value::from(r.attacks_per_sec))
+                .set("breaks", json::Value::from(r.breaks))
+                .set("certificates", json::Value::from(r.certificates))
+                .set(
+                    "min_break_cost",
+                    match r.min_break_cost {
+                        Some(cost) => json::Value::U64(cost),
+                        None => json::Value::Null,
+                    },
+                );
+            row
+        })
+        .collect();
+    doc.set("rows", json::Value::Arr(rows_json));
+    doc
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed: u64 = 0xA77AC4;
+    let mut out = String::from("BENCH_attack.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                seed = v
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| v.parse())
+                    .expect("--seed wants an integer");
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (mode, attacks) = if quick {
+        ("quick", QUICK_ATTACKS)
+    } else {
+        ("full", FULL_ATTACKS)
+    };
+    let protocols = [
+        ProtocolSpec::StandardCan,
+        ProtocolSpec::MinorCan,
+        ProtocolSpec::MajorCan { m: 5 },
+    ];
+    let mut rows = Vec::new();
+    for protocol in protocols {
+        let row = measure(protocol, attacks, seed);
+        println!(
+            "{:<12} {:>7} attacks {:>8.0} attacks/s   breaks {:>3}   certificates {}   min cost {}",
+            row.protocol.to_string(),
+            row.attacks,
+            row.attacks_per_sec,
+            row.breaks,
+            row.certificates,
+            row.min_break_cost
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+        rows.push(row);
+    }
+    let doc = report_to_json(mode, seed, &rows);
+
+    if let Ok(existing) = std::fs::read_to_string(&out) {
+        let old = json::parse(&existing)
+            .unwrap_or_else(|e| panic!("{out} exists but does not parse as JSON: {e}"));
+        if schema_fingerprint(&old) != schema_fingerprint(&doc) {
+            eprintln!("error: schema drift against existing {out}");
+            eprintln!("  committed: {:?}", schema_fingerprint(&old));
+            eprintln!("  generated: {:?}", schema_fingerprint(&doc));
+            std::process::exit(1);
+        }
+    }
+
+    std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
+    println!("wrote {out} ({mode} mode, {attacks} attacks per protocol)");
+}

@@ -14,14 +14,16 @@
 //! Results are bit-identical for any `--jobs`. The process exits with
 //! status 3 if any MajorCAN target yields a finding — the falsifier
 //! doubles as a regression gate for the protocol under test. `--probe`
-//! replays one archived corpus entry through the same oracle before the
-//! verdict: a probe that falsifies a MajorCAN target trips the same
-//! exit-3 gate as a search finding.
+//! replays one archived corpus entry — a benign disturbance repro or a
+//! `corpus/attack/` cheapest-attack certificate — through its oracle
+//! before the verdict: a probe that falsifies (or breaks) a MajorCAN
+//! target trips the same exit-3 gate as a search finding.
 
 use majorcan_bench::cli::{open_sink, CliArgs, ExtraFlag};
 use majorcan_campaign::{json, Manifest, ProtocolSpec};
 use majorcan_falsify::{
-    build_jobs, run_search, write_corpus, CorpusEntry, SearchConfig, SearchReport,
+    build_jobs, run_search, write_corpus, AttackCorpusEntry, CorpusEntry, SearchConfig,
+    SearchReport,
 };
 use std::path::Path;
 
@@ -36,8 +38,9 @@ const EXTRAS: &[ExtraFlag] = &[
     ExtraFlag::value("--probe", "<entry.json: replay one archived repro>"),
 ];
 
-/// Replays one archived corpus entry through the oracle and reports
-/// whether it counts as a finding against a MajorCAN target.
+/// Replays one archived corpus entry — benign disturbance repro or
+/// cheapest-attack certificate — through its oracle and reports whether
+/// it counts as a finding against a MajorCAN target.
 fn run_probe(path: &str) -> bool {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: reading probe {path}: {e}");
@@ -47,20 +50,33 @@ fn run_probe(path: &str) -> bool {
         eprintln!("error: parsing probe {path}: {e}");
         std::process::exit(1);
     });
-    let entry = CorpusEntry::from_json(&value).unwrap_or_else(|| {
-        eprintln!("error: {path} is not a corpus entry");
-        std::process::exit(1);
-    });
-    let outcome = entry.replay();
-    println!(
-        "probe {}: {} on {} (expected {}) {}",
-        path,
-        outcome.token(),
-        entry.protocol,
-        entry.expected,
-        entry.schedule
-    );
-    outcome.is_finding() && matches!(entry.protocol, ProtocolSpec::MajorCan { .. })
+    if let Some(entry) = CorpusEntry::from_json(&value) {
+        let outcome = entry.replay();
+        println!(
+            "probe {}: {} on {} (expected {}) {}",
+            path,
+            outcome.token(),
+            entry.protocol,
+            entry.expected,
+            entry.schedule
+        );
+        return outcome.is_finding() && matches!(entry.protocol, ProtocolSpec::MajorCan { .. });
+    }
+    if let Some(entry) = AttackCorpusEntry::from_json(&value) {
+        let outcome = entry.replay();
+        println!(
+            "probe {}: attack {} on {} (expected {}, cost {}) {}",
+            path,
+            outcome.token(),
+            entry.protocol,
+            entry.expected,
+            entry.provenance.cost,
+            entry.schedule
+        );
+        return outcome.is_break() && matches!(entry.protocol, ProtocolSpec::MajorCan { .. });
+    }
+    eprintln!("error: {path} is not a corpus entry");
+    std::process::exit(1);
 }
 
 fn parse_targets(text: &str) -> Vec<ProtocolSpec> {

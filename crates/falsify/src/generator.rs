@@ -136,7 +136,7 @@ pub fn tail_disturbance(rng: &mut StdRng, geo: &Geometry) -> Disturbance {
 /// The paper's figure schedules, re-expressed relative to `geo` (so
 /// "last-but-one EOF bit" lands correctly in a `2m`-bit EOF too). These
 /// are the starting points of the mutation path.
-fn seed_schedules(geo: &Geometry) -> Vec<Vec<Disturbance>> {
+pub(crate) fn seed_schedules(geo: &Geometry) -> Vec<Vec<Disturbance>> {
     let last = geo.eof_len as u16;
     let mut seeds = vec![
         // Fig. 1a: last EOF bit of X.

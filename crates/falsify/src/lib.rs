@@ -21,7 +21,12 @@
 //!   the deterministic runner, bit-identical results for any worker
 //!   count;
 //! * [`CorpusEntry`]/[`write_corpus`]/[`load_corpus`] — the replayable
-//!   regression corpus checked into `corpus/`, re-verified by CI.
+//!   regression corpus checked into `corpus/`, re-verified by CI;
+//! * [`run_attack_search`] — the cost-aware **attacker** mode: budgeted
+//!   dominant-injection [`AttackSchedule`]s against the link-layer
+//!   variants, victim bus-off as its own [`AttackOutcome`] class, shrinks
+//!   that minimize attack *cost*, and cheapest-attack certificates
+//!   archived under `corpus/attack/`.
 //!
 //! The search space is confined to the frame tail — the domain of the
 //! paper's analysis. The whole-frame single-error atlas (EXPERIMENTS.md
@@ -44,6 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attack;
+mod attack_search;
 mod corpus;
 mod generator;
 mod oracle;
@@ -51,6 +58,15 @@ mod schedule;
 mod search;
 mod shrink;
 
+pub use attack::{
+    evaluate_attack, load_attack_corpus, repo_attack_corpus_dir, runtime_spend,
+    write_attack_corpus, AttackCorpusEntry, AttackOracle, AttackOutcome, AttackProvenance,
+    AttackSchedule, ATTACK_BUDGET,
+};
+pub use attack_search::{
+    build_attack_jobs, generate_attack, run_attack_search, shrink_attack_with, AttackFinding,
+    AttackSearchConfig, AttackSearchReport, ShrunkAttack, ATTACKS_PER_JOB, MAX_ATTACK_EVALUATIONS,
+};
 pub use corpus::{load_corpus, repo_corpus_dir, write_corpus, CorpusEntry, Provenance};
 pub use generator::{generate, tail_disturbance, Geometry};
 pub use oracle::{budget_for, classify, evaluate, Oracle, Outcome, HLP_BUDGET, LINK_BUDGET};

@@ -137,3 +137,98 @@ fn majorcan_survives_every_archived_schedule() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// The attack corpus (`corpus/attack/`): cheapest-attack certificates.
+//
+// Unlike the benign corpus above, MajorCAN *break* entries are allowed
+// here — each one is a certificate "breaking this variant this way costs
+// at most N budget units", produced by a cost-bounded adversary outside
+// the paper's benign fault model. What CI pins is (a) every certificate
+// still reproduces its recorded outcome at its recorded cost, and
+// (b) the cost ordering that makes the paper's case: breaking Agreement
+// on any MajorCAN variant costs strictly more than on standard CAN.
+// ---------------------------------------------------------------------
+
+use majorcan_falsify::{load_attack_corpus, repo_attack_corpus_dir, AttackCorpusEntry};
+
+fn attack_corpus() -> Vec<AttackCorpusEntry> {
+    let dir = repo_attack_corpus_dir();
+    let entries = load_attack_corpus(&dir)
+        .unwrap_or_else(|e| panic!("loading attack corpus from {}: {e}", dir.display()));
+    assert!(
+        !entries.is_empty(),
+        "the checked-in attack corpus at {} must not be empty",
+        dir.display()
+    );
+    entries
+}
+
+#[test]
+fn attack_corpus_covers_every_protocol_variant() {
+    let entries = attack_corpus();
+    for protocol in [
+        ProtocolSpec::StandardCan,
+        ProtocolSpec::MinorCan,
+        ProtocolSpec::MajorCan { m: 3 },
+        ProtocolSpec::MajorCan { m: 4 },
+        ProtocolSpec::MajorCan { m: 5 },
+    ] {
+        assert!(
+            entries.iter().any(|e| e.protocol == protocol),
+            "attack corpus must hold at least one certificate against {protocol}"
+        );
+    }
+    for entry in &entries {
+        assert!(
+            ["busoff", "double", "omission", "validity", "panic"]
+                .contains(&entry.expected.as_str()),
+            "{}: a certificate must record a break class, not {:?}",
+            entry.file_name(),
+            entry.expected
+        );
+        assert_eq!(
+            entry.provenance.cost,
+            entry.schedule.cost(),
+            "{}: provenance cost must match the schedule's nominal cost",
+            entry.file_name()
+        );
+    }
+}
+
+#[test]
+fn every_attack_certificate_reproduces_its_recorded_outcome() {
+    for entry in attack_corpus() {
+        let outcome = entry.replay();
+        assert_eq!(
+            outcome.token(),
+            entry.expected,
+            "{}: {} no longer reproduces (got {outcome:?})",
+            entry.file_name(),
+            entry.schedule
+        );
+    }
+}
+
+#[test]
+fn majorcan_agreement_break_costs_stay_above_standard_can() {
+    let entries = attack_corpus();
+    let agreement = ["double", "omission", "validity"];
+    let floor = |p: ProtocolSpec| {
+        entries
+            .iter()
+            .filter(|e| e.protocol == p && agreement.contains(&e.expected.as_str()))
+            .map(|e| e.provenance.cost)
+            .min()
+    };
+    let can = floor(ProtocolSpec::StandardCan).expect("CAN agreement certificate archived");
+    assert_eq!(can, 1, "CAN falls to the paper's single-pulse attack");
+    for m in [3, 4, 5] {
+        if let Some(major) = floor(ProtocolSpec::MajorCan { m }) {
+            assert!(
+                major > can,
+                "MajorCAN_{m} agreement break at cost {major} must out-price CAN's {can}"
+            );
+        }
+    }
+}

@@ -64,6 +64,11 @@ impl<C> FieldFiltered<C> {
         FieldFiltered::new(vec![Field::Eof], inner)
     }
 
+    /// The wrapped fault model.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
     /// Allow-list for the whole frame *tail*: EOF, agreement phases, flags,
     /// delimiters and the interframe space.
     pub fn tail_region(inner: C) -> FieldFiltered<C> {

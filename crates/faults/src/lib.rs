@@ -8,6 +8,9 @@
 //!   after Charzinski), plus [`Compose`] for layering models;
 //! * [`ScriptedFaults`] / [`Disturbance`] — deterministic frame-relative
 //!   disturbances ("the last-but-one EOF bit of node 1's view");
+//! * [`Attacker`] / [`AttackAction`] / [`Strategy`] — a budgeted adversary
+//!   that observes the bus and injects dominant levels at chosen positions
+//!   (bus-off attacks, dominant flooding, error-counter manipulation);
 //! * [`Scenario`] — the paper's figures as a catalogued, executable
 //!   library (Figs. 1a, 1b, 1c, 3a/3b, 5); the `majorcan-testbed` crate
 //!   runs them under any protocol variant;
@@ -36,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attacker;
 mod crash;
 mod filter;
 mod random;
 mod scenarios;
 mod script;
 
+pub use attacker::{AttackAction, Attacker, Strategy};
 pub use crash::{crash_probability_within, exponential_failure_bits};
 pub use filter::{ActiveAfter, FieldFiltered};
 pub use random::{BurstErrors, Compose, GlobalEventErrors, IndependentBitErrors};

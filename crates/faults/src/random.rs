@@ -211,6 +211,16 @@ impl<A, B> Compose<A, B> {
     pub fn new(first: A, second: B) -> Compose<A, B> {
         Compose { first, second }
     }
+
+    /// The first combined model.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second combined model.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
 }
 
 impl<Tag, A: ChannelModel<Tag>, B: ChannelModel<Tag>> ChannelModel<Tag> for Compose<A, B> {

@@ -1,0 +1,203 @@
+//! Composition regressions for the [`Attacker`] channel: the adversary
+//! must be a first-class [`ChannelModel`] citizen, so every combinator
+//! that wraps the benign fault models (`ActiveAfter`, `FieldFiltered`,
+//! `Compose`) wraps the attacker identically — injections are *visible*
+//! to downstream filters, masked verdicts still charge the attack budget
+//! (a jammer pays for bits the victim never sees), and the dominant-only
+//! invariant survives every composition.
+
+use majorcan_can::{Field, WirePos};
+use majorcan_faults::{
+    ActiveAfter, AttackAction, Attacker, Compose, Disturbance, FieldFiltered, ScriptedFaults,
+    Strategy,
+};
+use majorcan_sim::{ChannelModel, Level, NodeId};
+
+fn pos(field: Field, index: u16) -> WirePos {
+    WirePos::new(field, index)
+}
+
+#[test]
+fn field_filter_passes_attacker_injections_in_allowed_fields() {
+    let mut ch = FieldFiltered::eof_only(Attacker::new(
+        vec![AttackAction::Pulse {
+            node: 1,
+            field: Field::Eof,
+            index: 5,
+            occurrence: 1,
+        }],
+        100,
+    ));
+    assert!(
+        !ch.disturb(7, NodeId(0), &pos(Field::Eof, 5), Level::Recessive),
+        "wrong node: the pulse holds its fire"
+    );
+    assert!(
+        ch.disturb(8, NodeId(1), &pos(Field::Eof, 5), Level::Recessive),
+        "the injection is visible through the EOF allow-list"
+    );
+}
+
+#[test]
+fn field_filter_masks_but_still_charges_the_attacker() {
+    // A flood confined to the EOF region by a downstream filter: the
+    // attacker drives the wire on every bit and pays for every bit; the
+    // filter only decides which of those dominant levels reach a view.
+    // Masked injections are wasted budget — the price of a blunt jammer.
+    let mut ch = FieldFiltered::eof_only(Attacker::new(
+        vec![AttackAction::Flood { start: 0, len: 10 }],
+        100,
+    ));
+    assert!(
+        !ch.disturb(3, NodeId(0), &pos(Field::Data, 2), Level::Recessive),
+        "data-field injection filtered downstream"
+    );
+    assert!(
+        ch.disturb(4, NodeId(0), &pos(Field::Eof, 0), Level::Recessive),
+        "EOF injection passes"
+    );
+    assert_eq!(
+        ch.inner().spent(),
+        2,
+        "both bus bits were charged, masked or not"
+    );
+}
+
+#[test]
+fn active_after_masks_early_attack_bits_but_charges_them() {
+    let mut ch = ActiveAfter::new(
+        50,
+        Attacker::new(vec![AttackAction::Flood { start: 0, len: 60 }], 100),
+    );
+    for bit in 0..50 {
+        assert!(
+            !ch.disturb(bit, NodeId(0), &pos(Field::Eof, 0), Level::Recessive),
+            "bit {bit} is inside the quiet period"
+        );
+    }
+    assert!(
+        ch.disturb(50, NodeId(0), &pos(Field::Eof, 0), Level::Recessive),
+        "the flood shows from start_bit onwards"
+    );
+    assert_eq!(
+        ch.inner.spent(),
+        51,
+        "the inner attacker was consulted (and charged) on every bit"
+    );
+}
+
+#[test]
+fn active_after_masking_consumes_pulse_occurrences() {
+    // A pulse that fires inside the quiet period is spent — ActiveAfter
+    // masks the verdict, it does not rewind the adversary. The stateful
+    // contract is the same one the benign PRNG channels obey: inner
+    // models always see every bit.
+    let mut ch = ActiveAfter::new(
+        100,
+        Attacker::new(
+            vec![AttackAction::Pulse {
+                node: 0,
+                field: Field::Eof,
+                index: 5,
+                occurrence: 1,
+            }],
+            100,
+        ),
+    );
+    assert!(
+        !ch.disturb(7, NodeId(0), &pos(Field::Eof, 5), Level::Recessive),
+        "masked by the quiet period"
+    );
+    assert_eq!(ch.inner.spent(), 1, "the occurrence was consumed anyway");
+    assert!(
+        !ch.disturb(107, NodeId(0), &pos(Field::Eof, 5), Level::Recessive),
+        "one-shot pulse does not re-fire after the quiet period"
+    );
+}
+
+#[test]
+fn compose_merges_attacker_and_scripted_faults() {
+    // Attacker pulse on node 0's EOF bit 5, scripted benign flip on node
+    // 1's EOF bit 6 (1-based index 7): each strikes its own position
+    // through the composition.
+    let mut ch = Compose::new(
+        Attacker::new(
+            vec![AttackAction::Pulse {
+                node: 0,
+                field: Field::Eof,
+                index: 5,
+                occurrence: 1,
+            }],
+            100,
+        ),
+        ScriptedFaults::new(vec![Disturbance::eof(1, 7)]),
+    );
+    assert!(
+        ch.disturb(5, NodeId(0), &pos(Field::Eof, 5), Level::Recessive),
+        "the attacker's injection comes through"
+    );
+    assert!(
+        ch.disturb(6, NodeId(1), &pos(Field::Eof, 6), Level::Recessive),
+        "the scripted disturbance comes through"
+    );
+    assert!(
+        !ch.disturb(7, NodeId(2), &pos(Field::Eof, 4), Level::Recessive),
+        "untouched positions stay clean"
+    );
+}
+
+#[test]
+fn compose_is_xor_when_both_strike_the_same_view() {
+    // Both models flipping the same bit of the same view cancel out —
+    // Compose is the benign XOR composition, and the attacker plays by
+    // the same rules as any other channel model.
+    let mut ch = Compose::new(
+        Attacker::new(
+            vec![AttackAction::Pulse {
+                node: 0,
+                field: Field::Eof,
+                index: 5,
+                occurrence: 1,
+            }],
+            100,
+        ),
+        ScriptedFaults::new(vec![Disturbance::eof(0, 6)]),
+    );
+    assert!(
+        !ch.disturb(5, NodeId(0), &pos(Field::Eof, 5), Level::Recessive),
+        "coincident strikes cancel (XOR), and both are consumed"
+    );
+    assert_eq!(ch.first().spent(), 1, "the attack budget was charged");
+    assert!(
+        !ch.disturb(50, NodeId(0), &pos(Field::Eof, 5), Level::Recessive),
+        "both one-shots were consumed by the cancelled strike"
+    );
+}
+
+#[test]
+fn dominant_only_invariant_survives_composition() {
+    // The attacker injects dominant levels: where the wire is already
+    // dominant it has nothing to add, whatever wraps it. Contrast with
+    // the scripted model, which flips dominant bits recessive-ward.
+    let strategy = Strategy::DominantFlood { start: 0, len: 20 };
+    let mut filtered = FieldFiltered::tail_region(Attacker::from_strategy(&strategy, 100));
+    let mut composed = Compose::new(
+        Attacker::from_strategy(&strategy, 100),
+        ScriptedFaults::new(Vec::new()),
+    );
+    for bit in 0..20 {
+        assert!(
+            !filtered.disturb(bit, NodeId(0), &pos(Field::Eof, 1), Level::Dominant),
+            "bit {bit}: nothing to inject on a dominant wire (filtered)"
+        );
+        assert!(
+            !composed.disturb(bit, NodeId(0), &pos(Field::Eof, 1), Level::Dominant),
+            "bit {bit}: nothing to inject on a dominant wire (composed)"
+        );
+    }
+    assert_eq!(
+        filtered.inner().spent(),
+        0,
+        "dominant wire bits are free: no injection, no charge"
+    );
+}

@@ -8,8 +8,8 @@
 
 use majorcan_can::WirePos;
 use majorcan_faults::{
-    ActiveAfter, BurstErrors, Disturbance, FieldFiltered, GlobalEventErrors, IndependentBitErrors,
-    ScriptedFaults,
+    ActiveAfter, AttackAction, Attacker, BurstErrors, Disturbance, FieldFiltered,
+    GlobalEventErrors, IndependentBitErrors, ScriptedFaults,
 };
 use majorcan_sim::{ChannelModel, Level, NodeId};
 
@@ -35,6 +35,9 @@ pub enum BusChannel {
     /// Periodic error bursts over the whole frame (the soak-traffic
     /// impairment model).
     Bursts(ActiveAfter<BurstErrors>),
+    /// A budgeted adversary injecting dominant levels (attack campaigns
+    /// and bus-off soak threading).
+    Attack(Attacker),
 }
 
 impl BusChannel {
@@ -78,8 +81,23 @@ impl BusChannel {
         ))
     }
 
+    /// A budgeted attacker channel over `actions`.
+    pub fn attack(actions: Vec<AttackAction>, budget: u64) -> BusChannel {
+        BusChannel::Attack(Attacker::new(actions, budget))
+    }
+
+    /// The armed attacker, if this channel is an attack channel.
+    pub fn attacker(&self) -> Option<&Attacker> {
+        match self {
+            BusChannel::Attack(a) => Some(a),
+            _ => None,
+        }
+    }
+
     /// The scripted disturbances that have not fired, in script order
-    /// (empty for non-scripted channels, which cannot "miss").
+    /// (empty for non-scripted channels; attack actions are reported by
+    /// [`Attacker::unfired_actions`] instead, since they are not
+    /// [`Disturbance`]s).
     pub fn unfired(&self) -> Vec<Disturbance> {
         match self {
             BusChannel::Scripted(s) => s.unfired(),
@@ -87,10 +105,12 @@ impl BusChannel {
         }
     }
 
-    /// Number of scripted disturbances that have not fired.
+    /// Number of scripted disturbances or attack actions that have not
+    /// fired.
     pub fn unfired_len(&self) -> usize {
         match self {
             BusChannel::Scripted(s) => s.remaining(),
+            BusChannel::Attack(a) => a.unfired_len(),
             _ => 0,
         }
     }
@@ -105,6 +125,7 @@ impl ChannelModel<WirePos> for BusChannel {
             BusChannel::IndepEof(c) => c.disturb(bit, node, tag, wire),
             BusChannel::GlobalEof(c) => c.disturb(bit, node, tag, wire),
             BusChannel::Bursts(c) => c.disturb(bit, node, tag, wire),
+            BusChannel::Attack(c) => c.disturb(bit, node, tag, wire),
         }
     }
 }

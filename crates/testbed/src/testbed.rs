@@ -7,7 +7,7 @@ use majorcan_abcast::trace_from_can_events;
 use majorcan_campaign::ProtocolSpec;
 use majorcan_can::{CanEvent, Controller, ControllerConfig, Frame, Variant};
 use majorcan_core::{MajorCan, MinorCan};
-use majorcan_faults::{scenario_frame, CrashRule, Disturbance, Scenario};
+use majorcan_faults::{scenario_frame, AttackAction, Attacker, CrashRule, Disturbance, Scenario};
 use majorcan_hlp::{trace_from_hlp_events, BroadcastId, EdCan, HlpEvent, HlpNode, RelCan, TotCan};
 use majorcan_sim::{NodeId, Simulator, TimedEvent};
 use majorcan_workload::{ReleaseSource, Workload};
@@ -334,6 +334,38 @@ impl Testbed {
         });
     }
 
+    /// Rewinds the cluster and arms `actions` as a budgeted attack
+    /// channel, reusing the previous attacker's allocation when the
+    /// testbed already ran one (mirrors [`Testbed::load_script`]).
+    pub fn load_attack(&mut self, actions: &[AttackAction], budget: u64) {
+        each_sim!(&mut self.cluster, sim => {
+            if let BusChannel::Attack(attacker) = sim.channel_mut() {
+                attacker.reload(actions, budget);
+                sim.reset();
+            } else {
+                sim.reset_with_channel(BusChannel::attack(actions.to_vec(), budget));
+            }
+            for node in sim.nodes_mut() {
+                node.set_fail_at(None);
+                node.reset();
+            }
+        });
+    }
+
+    /// The armed attacker, if the current channel is an attack channel.
+    pub fn attacker(&self) -> Option<&Attacker> {
+        each_sim!(&self.cluster, sim => sim.channel().attacker())
+    }
+
+    /// `(TEC, REC)` of `node`'s fault-confinement entity, for observing
+    /// attack-driven counter trajectories. Link-layer clusters only.
+    pub fn fault_counters(&self, node: usize) -> (u16, u16) {
+        link_sim!(&self.cluster, self.protocol, "fault_counters", sim => {
+            let fc = sim.node(NodeId(node)).fault_confinement();
+            (fc.tec(), fc.rec())
+        })
+    }
+
     /// Arms (or clears) a scripted fail-silent crash on `node` for the
     /// current run. Call after a reset — resets clear crash scripts.
     pub fn set_fail_at(&mut self, node: usize, at: Option<u64>) {
@@ -501,6 +533,19 @@ impl Testbed {
         } else {
             self.enqueue(0, scenario_frame());
         }
+        self.run(self.budget);
+        self.outcome()
+    }
+
+    /// The attack-campaign hot loop: rewinds the cluster, arms `actions`
+    /// as a budgeted attack channel, applies the canonical link stimulus
+    /// (node 0 transmits [`scenario_frame`]), runs the configured budget
+    /// without trace recording and classifies the run. Link-layer
+    /// clusters only — attacks target the frame format itself.
+    pub fn run_attack(&mut self, actions: &[AttackAction], cost_budget: u64) -> Outcome {
+        self.set_record_trace(false);
+        self.load_attack(actions, cost_budget);
+        self.enqueue(0, scenario_frame());
         self.run(self.budget);
         self.outcome()
     }

@@ -8,8 +8,15 @@
 //!     [<frames> [n_nodes]] [--seed <u64>] [--jobs <n>] [--out e17.jsonl] \
 //!     [--loads 30,60,90] [--sporadic <permille>] [--window <bits>] \
 //!     [--bursts] [--burst-period <bits>] [--burst-len <bits>] [--burst-ber <p>] \
+//!     [--attack-victim <node>] [--attack-budget <bits>] \
 //!     [--export <dir>] [--csv] [--allow-violations] [--quiet]
 //! ```
+//!
+//! `--attack-victim` rides a sustained bus-off attacker on every cell
+//! (dominant injections on the victim's CRC-delimiter view, re-knocking
+//! it after each recovery until `--attack-budget` runs dry) and reports
+//! the victim's bus-off residency under load. Mutually exclusive with
+//! `--bursts`.
 //!
 //! Exit codes: `0` — every cell's online verdict is `consistent`;
 //! `2` — bad arguments; `3` — some cell violated an Atomic Broadcast
@@ -49,6 +56,8 @@ fn main() {
         ExtraFlag::value("--burst-period", "<bits>"),
         ExtraFlag::value("--burst-len", "<bits>"),
         ExtraFlag::value("--burst-ber", "<prob>"),
+        ExtraFlag::value("--attack-victim", "<node>"),
+        ExtraFlag::value("--attack-budget", "<bits>"),
         ExtraFlag::value("--export", "<dir>"),
         ExtraFlag::switch("--csv", ""),
         ExtraFlag::switch("--allow-violations", ""),
@@ -76,7 +85,22 @@ fn main() {
         || cli.extra("--burst-period").is_some()
         || cli.extra("--burst-len").is_some()
         || cli.extra("--burst-ber").is_some();
-    let fault = if bursty {
+    let attacked = cli.extra("--attack-victim").is_some() || cli.extra("--attack-budget").is_some();
+    if bursty && attacked {
+        die("--bursts and --attack-victim are mutually exclusive: one channel shape per cell");
+    }
+    let fault = if attacked {
+        let victim = cli.extra_u64("--attack-victim", 0) as usize;
+        if victim >= n_nodes {
+            die(&format!(
+                "--attack-victim {victim} is outside the {n_nodes}-node bus"
+            ));
+        }
+        FaultSpec::BusOffAttack {
+            victim,
+            budget: cli.extra_u64("--attack-budget", 4_000),
+        }
+    } else if bursty {
         FaultSpec::ErrorBursts {
             period: cli.extra_u64("--burst-period", 2_000),
             len: cli.extra_u64("--burst-len", 30),
@@ -172,7 +196,7 @@ fn main() {
     }
 
     println!(
-        "{:<12} {:>5} {:>9} {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>9}  verdict",
+        "{:<12} {:>5} {:>9} {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>9} {:>8}  verdict",
         "protocol",
         "load",
         "released",
@@ -182,7 +206,8 @@ fn main() {
         "arb",
         "lat_p50",
         "lat_p99",
-        "passive‰"
+        "passive‰",
+        "busoff‰"
     );
     let mut violations: Vec<String> = Vec::new();
     for cell in &cells {
@@ -199,8 +224,11 @@ fn main() {
         let passive_permille = ((c.get("passive_bits") + c.get("busoff_bits")) * 1000)
             .checked_div(regime_bits)
             .unwrap_or(0);
+        let busoff_permille = (c.get("busoff_bits") * 1000)
+            .checked_div(regime_bits)
+            .unwrap_or(0);
         println!(
-            "{:<12} {:>4}% {:>9} {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>9}  {}",
+            "{:<12} {:>4}% {:>9} {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>9} {:>8}  {}",
             cell.protocol.to_string(),
             cell.load_pct,
             c.get("released"),
@@ -211,6 +239,7 @@ fn main() {
             c.get("lat_p50"),
             c.get("lat_p99"),
             passive_permille,
+            busoff_permille,
             verdict,
         );
         if verdict != "consistent" {

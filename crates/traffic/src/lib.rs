@@ -37,6 +37,6 @@ mod stream;
 
 pub use export::{ExportFormat, TraceExporter, US_PER_BIT};
 pub use metrics::{Histogram, LatencyTracker, Residency, ResidencyTracker};
-pub use soak::{run_soak, BurstSpec, SoakOutcome, SoakSpec, DEFAULT_WINDOW};
+pub use soak::{run_soak, AttackSpec, BurstSpec, SoakOutcome, SoakSpec, DEFAULT_WINDOW};
 pub use spec::{SenderPattern, SenderSpec, TrafficSpec, DEFAULT_FRAME_BITS};
 pub use stream::TrafficStream;

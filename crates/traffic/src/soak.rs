@@ -15,6 +15,7 @@ use crate::stream::TrafficStream;
 use majorcan_abcast::{msg_id_of, MsgId, OnlineReport, WindowedChecker, MAX_NODES};
 use majorcan_campaign::{derive_trial_seed, FaultSpec, Job, JobResult, ProtocolSpec, WorkloadSpec};
 use majorcan_can::CanEvent;
+use majorcan_faults::Attacker;
 use majorcan_testbed::{BusChannel, Testbed};
 use majorcan_workload::{Release, ReleaseSource};
 use std::io;
@@ -40,6 +41,18 @@ pub struct BurstSpec {
     pub ber_star: f64,
 }
 
+/// A sustained bus-off attacker riding a soak cell (see
+/// [`Attacker::sustained_bus_off`]): dominant injections on the victim's
+/// CRC-delimiter view, re-knocking it after every recovery, until the
+/// attack budget runs dry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSpec {
+    /// Node whose error counters the attacker drives.
+    pub victim: usize,
+    /// Attack budget in injected dominant bits.
+    pub budget: u64,
+}
+
 /// One soak cell: protocol × traffic shape × fault shape × seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SoakSpec {
@@ -55,6 +68,9 @@ pub struct SoakSpec {
     pub sporadic_permille: u16,
     /// Error-burst channel, or `None` for a clean bus.
     pub burst: Option<BurstSpec>,
+    /// Sustained bus-off attacker, or `None` for an unattacked bus.
+    /// Mutually exclusive with `burst` — one channel shape per cell.
+    pub attack: Option<AttackSpec>,
     /// Seed of the whole cell (stream and channel lanes are derived).
     pub seed: u64,
     /// Checker / latency window in bits.
@@ -85,6 +101,7 @@ impl SoakSpec {
             frames,
             sporadic_permille: 250,
             burst: None,
+            attack: None,
             seed,
             window: DEFAULT_WINDOW,
             shutoff_at_warning: false,
@@ -97,10 +114,10 @@ impl SoakSpec {
     /// # Panics
     ///
     /// Panics if the job's workload is not
-    /// [`WorkloadSpec::SustainedTraffic`], its fault is neither
-    /// [`FaultSpec::None`] nor [`FaultSpec::ErrorBursts`], or its
-    /// protocol is a higher-level protocol (the soak runner drives
-    /// link-layer clusters).
+    /// [`WorkloadSpec::SustainedTraffic`], its fault is none of
+    /// [`FaultSpec::None`], [`FaultSpec::ErrorBursts`] or
+    /// [`FaultSpec::BusOffAttack`], or its protocol is a higher-level
+    /// protocol (the soak runner drives link-layer clusters).
     pub fn for_job(job: &Job) -> SoakSpec {
         let WorkloadSpec::SustainedTraffic {
             load,
@@ -113,19 +130,31 @@ impl SoakSpec {
                 job.id, job.workload
             );
         };
-        let burst = match job.fault {
-            FaultSpec::None => None,
+        let (burst, attack) = match job.fault {
+            FaultSpec::None => (None, None),
             FaultSpec::ErrorBursts {
                 period,
                 len,
                 ber_star,
-            } => Some(BurstSpec {
-                period,
-                len,
-                ber_star,
-            }),
+            } => (
+                Some(BurstSpec {
+                    period,
+                    len,
+                    ber_star,
+                }),
+                None,
+            ),
+            FaultSpec::BusOffAttack { victim, budget } => {
+                assert!(
+                    victim < job.n_nodes,
+                    "job {}: attack victim {victim} outside the {}-node bus",
+                    job.id,
+                    job.n_nodes
+                );
+                (None, Some(AttackSpec { victim, budget }))
+            }
             ref other => panic!(
-                "soak runner wants FaultSpec::None or ErrorBursts, job {} has {other:?}",
+                "soak runner wants FaultSpec::None, ErrorBursts or BusOffAttack, job {} has {other:?}",
                 job.id
             ),
         };
@@ -141,6 +170,7 @@ impl SoakSpec {
             frames,
             sporadic_permille,
             burst,
+            attack,
             seed: job.seed,
             window: DEFAULT_WINDOW,
             shutoff_at_warning: false,
@@ -189,6 +219,9 @@ pub struct SoakOutcome {
     pub unmatched: u64,
     /// Error-regime residency totals.
     pub residency: Residency,
+    /// Attack-budget bits the attacker actually spent (`None` when the
+    /// cell ran without an attacker).
+    pub attack_spent: Option<u64>,
 }
 
 impl SoakOutcome {
@@ -226,6 +259,9 @@ impl SoakOutcome {
         c.add("unmatched", self.unmatched);
         c.add("peak_live", self.peak_live as u64);
         c.add("max_gap", self.max_gap);
+        if let Some(spent) = self.attack_spent {
+            c.add("attack_spent", spent);
+        }
         if let Some(report) = &self.report {
             c.add("validity", report.validity_violations);
             c.add("imo", report.imo_messages);
@@ -270,9 +306,13 @@ pub fn run_soak(
     assert!(spec.n_nodes <= MAX_NODES, "checker masks are 64-bit");
     let mut tb = Testbed::builder(spec.protocol).nodes(spec.n_nodes).build();
     tb.set_shutoff_at_warning(spec.shutoff_at_warning);
-    tb.reset_with(match &spec.burst {
-        None => BusChannel::NoFaults,
-        Some(b) => BusChannel::bursts(b.period, b.len, b.ber_star, derive_trial_seed(spec.seed, 1)),
+    tb.reset_with(match (&spec.burst, &spec.attack) {
+        (None, None) => BusChannel::NoFaults,
+        (Some(b), None) => {
+            BusChannel::bursts(b.period, b.len, b.ber_star, derive_trial_seed(spec.seed, 1))
+        }
+        (None, Some(a)) => BusChannel::Attack(Attacker::sustained_bus_off(a.victim, a.budget)),
+        (Some(_), Some(_)) => panic!("one channel shape per cell: burst or attack, not both"),
     });
     let traffic = TrafficSpec::mixed_load(
         spec.n_nodes,
@@ -305,6 +345,7 @@ pub fn run_soak(
         commit_latency: crate::metrics::Histogram::new(),
         unmatched: 0,
         residency: Residency::default(),
+        attack_spent: None,
     };
 
     // Runaway cap: twice the nominal release span plus drain slack, so a
@@ -359,6 +400,9 @@ pub fn run_soak(
     out.commit_latency = latency.commit.clone();
     out.unmatched = latency.unmatched();
     out.residency = residency.finish(out.bits);
+    if spec.attack.is_some() {
+        out.attack_spent = Some(tb.attacker().map_or(0, |a| a.spent()));
+    }
     if let Some(c) = checker {
         out.peak_live = c.peak_live();
         out.max_gap = c.max_observed_gap();
@@ -446,6 +490,93 @@ mod tests {
             "some node spends time error-passive"
         );
         assert!(out.max_gap < spec.window, "window still covers lifetimes");
+    }
+
+    #[test]
+    fn attacked_soak_drives_the_victim_bus_off() {
+        let mut spec = SoakSpec::new(ProtocolSpec::MajorCan { m: 5 }, 4, 0.6, 150, 0xC4);
+        spec.attack = Some(AttackSpec {
+            victim: 0,
+            budget: 4_000,
+        });
+        let out = run_soak(&spec, None).unwrap();
+        assert!(
+            out.residency.bus_offs >= 1,
+            "sustained attack reaches bus-off: {:?}",
+            out.residency
+        );
+        assert!(out.residency.busoff_bits > 0, "bus-off residency accrues");
+        let spent = out.attack_spent.expect("attacker was installed");
+        assert!(
+            spent >= 32,
+            "bus-off needs at least 32 injections, spent {spent}"
+        );
+        assert!(spent <= 4_000, "the attacker cannot outspend its budget");
+        // En route to bus-off the victim transits error-passive, where its
+        // error flags turn recessive and the healthy majority no longer
+        // sees its rejections: while the victim holds the transmitter
+        // role, the attacker extracts genuine double deliveries before
+        // silencing it (the EXPERIMENTS.md §E18 counter-finding — the
+        // voting window does not cover fault-confinement mode changes).
+        let report = out.report.expect("checker was online");
+        assert!(
+            report.double_deliveries > 0,
+            "the error-passive transit duplicates deliveries"
+        );
+    }
+
+    #[test]
+    fn attacked_soak_is_deterministic() {
+        let job = Job::new(
+            7,
+            0xD00F,
+            ProtocolSpec::StandardCan,
+            FaultSpec::BusOffAttack {
+                victim: 1,
+                budget: 2_000,
+            },
+            WorkloadSpec::SustainedTraffic {
+                load: 0.5,
+                frames: 100,
+                sporadic_permille: 250,
+            },
+            4,
+            100,
+        );
+        let spec = SoakSpec::for_job(&job);
+        assert_eq!(
+            spec.attack,
+            Some(AttackSpec {
+                victim: 1,
+                budget: 2_000
+            })
+        );
+        let a = run_soak(&spec, None).unwrap().to_result(&job);
+        let b = run_soak(&spec, None).unwrap().to_result(&job);
+        assert_eq!(a, b, "same attacked spec, same counters");
+        assert!(a.counters.get("attack_spent") > 0, "the attacker fired");
+    }
+
+    #[test]
+    #[should_panic(expected = "victim 9 outside")]
+    fn for_job_rejects_out_of_bus_victims() {
+        let job = Job::new(
+            0,
+            1,
+            ProtocolSpec::StandardCan,
+            FaultSpec::BusOffAttack {
+                victim: 9,
+                budget: 100,
+            },
+            WorkloadSpec::SustainedTraffic {
+                load: 0.5,
+                frames: 10,
+                sporadic_permille: 0,
+            },
+            3,
+            10,
+        );
+        SoakSpec::for_job(&job);
     }
 
     #[test]

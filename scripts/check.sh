@@ -70,6 +70,41 @@ if ! cmp -s "$tmp/t1.txt" "$tmp/t2.txt"; then
 fi
 echo "    tail slice clean and identical across worker counts"
 
+echo "==> attack-surface smoke run (60 attacks/target, 1 vs 2 workers, scratch corpus)"
+# The cost-aware attacker campaign: the cost-to-break table and the
+# archived cheapest-attack certificates must be bit-identical for any
+# worker count, and MajorCAN's cheapest Agreement break must out-price
+# standard CAN's (the bin exits 3 otherwise).
+cargo run -q --release -p majorcan-falsify --bin attack_surface -- \
+    60 --jobs 1 --quiet --corpus "$tmp/atk1" |
+    sed "s|$tmp/atk1|CORPUS|" >"$tmp/a1.txt"
+cargo run -q --release -p majorcan-falsify --bin attack_surface -- \
+    60 --jobs 2 --quiet --corpus "$tmp/atk2" |
+    sed "s|$tmp/atk2|CORPUS|" >"$tmp/a2.txt"
+if ! cmp -s "$tmp/a1.txt" "$tmp/a2.txt"; then
+    echo "FAIL: attack-surface table differs between 1 and 2 workers" >&2
+    exit 1
+fi
+if ! diff -r -q "$tmp/atk1" "$tmp/atk2" >/dev/null; then
+    echo "FAIL: attack corpus differs between 1 and 2 workers" >&2
+    exit 1
+fi
+echo "    cost-to-break table and certificates identical across worker counts"
+
+# Committed cheapest-attack minima replay through the probe gate: a CAN
+# certificate is historical record (exit 0); a MajorCAN certificate is a
+# cost-bounded break and must trip the same exit-3 gate as a live finding.
+cargo run -q --release -p majorcan-falsify --bin falsify -- \
+    0 --targets CAN --jobs 1 --quiet \
+    --probe corpus/attack/attack-can-double-b0aa2359.json >/dev/null
+if cargo run -q --release -p majorcan-falsify --bin falsify -- \
+    0 --targets CAN --jobs 1 --quiet \
+    --probe corpus/attack/attack-majorcan_5-busoff-81ddb72d.json >/dev/null 2>&1; then
+    echo "FAIL: probing a MajorCAN attack certificate should exit 3" >&2
+    exit 1
+fi
+echo "    committed attack minima replay through the probe gate"
+
 echo "==> traffic soak smoke run (short clean soak, 1 vs 2 workers, exports compared)"
 # The E17 soak in miniature: the campaign JSONL (sorted by job id; the
 # sink streams in completion order) and every exported bus log must be
@@ -105,6 +140,9 @@ echo "    online checker gates bursty cells; --allow-violations downgrades"
 
 echo "==> traffic bench smoke run (quick mode, regenerates BENCH_traffic.json)"
 cargo run -q --release -p majorcan-traffic --bin bench_traffic -- --quick
+
+echo "==> attack bench smoke run (quick mode, regenerates BENCH_attack.json)"
+cargo run -q --release -p majorcan-falsify --bin bench_attack -- --quick
 
 echo "==> hot-path bench smoke run (quick mode, regenerates BENCH_hotpath.json)"
 # Fails on schema drift against the committed artifact (the bin refuses to
