@@ -19,6 +19,22 @@
 use majorcan_campaign::{CampaignOptions, JsonlSink, Manifest};
 use std::path::{Path, PathBuf};
 
+/// The exit-code contract every campaign-backed binary shares. The
+/// spawned-binary contract tests assert against these constants, so a
+/// binary that drifts from the convention fails its own test rather than
+/// silently confusing `scripts/check.sh` and CI gates.
+pub mod exit_code {
+    /// Every checked property held; nothing to report.
+    pub const CONSISTENT: i32 = 0;
+    /// An I/O failure: unwritable sink, unreadable corpus, broken export.
+    pub const IO: i32 = 1;
+    /// A usage error: unknown flags, unparsable values, bad targets.
+    pub const USAGE: i32 = 2;
+    /// A finding: a property violation, failed probe, corpus regression or
+    /// margin regression.
+    pub const FINDING: i32 = 3;
+}
+
 /// Declaration of one binary-specific flag accepted on top of the common
 /// set.
 #[derive(Debug, Clone, Copy)]
@@ -79,7 +95,7 @@ fn parse_u64(flag: &str, text: &str) -> u64 {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("common flags: [--seed <u64>] [--jobs <n>] [--out <file.jsonl>] [--quiet]");
-    std::process::exit(2);
+    std::process::exit(exit_code::USAGE);
 }
 
 /// Opens the `--out` sink, exiting with a clean CLI error (rather than a

@@ -7,7 +7,7 @@ use majorcan_abcast::trace_from_can_events;
 use majorcan_can::{CanEvent, Field, StandardCan, Variant};
 use majorcan_core::{MajorCan, MinorCan};
 use majorcan_faults::Scenario;
-use majorcan_testbed::{run_scenario, ScenarioRun};
+use majorcan_testbed::{spec_of, ScenarioRun, Testbed};
 
 /// Default simulation budget per scenario run, in bits.
 pub const SCENARIO_BUDGET: u64 = 1_200;
@@ -112,7 +112,11 @@ pub fn render_eof_window(run: &ScenarioRun) -> (String, String) {
 
 /// Runs `scenario` under one protocol variant and reports.
 pub fn figure_under<V: Variant>(variant: &V, scenario: &Scenario) -> FigureReport {
-    let run = run_scenario(variant, scenario, SCENARIO_BUDGET);
+    let run = Testbed::builder(spec_of(variant))
+        .nodes(scenario.n_nodes)
+        .budget(SCENARIO_BUDGET)
+        .build()
+        .run_scenario(scenario);
     FigureReport::from_run(scenario.name, variant.name(), &run)
 }
 

@@ -134,14 +134,16 @@ impl JobRunner {
     fn broadcast_once(
         &mut self,
         job: &Job,
-        channel: BusChannel,
+        channel: &BusChannel,
         shutoff_at_warning: bool,
         frame: Frame,
         budget: u64,
     ) -> (u64, Vec<TimedEvent<CanEvent>>) {
         let testbed = self.testbed_for(job.protocol, job.n_nodes);
         testbed.set_shutoff_at_warning(shutoff_at_warning);
-        testbed.reset_with(channel);
+        // Borrow-based reset: same-variant `clone_from` reuses the cached
+        // testbed's channel storage trial after trial.
+        testbed.reset_with_ref(channel);
         testbed.enqueue(0, frame);
         let bits = testbed.run_until_quiescent(SETTLE_BITS, budget);
         (bits, testbed.take_can_events())
@@ -152,7 +154,7 @@ impl JobRunner {
         let (bits, events) = match &job.fault {
             FaultSpec::None => self.broadcast_once(
                 job,
-                BusChannel::NoFaults,
+                &BusChannel::NoFaults,
                 true,
                 trial_frame(),
                 RANDOM_TRIAL_BUDGET,
@@ -167,11 +169,11 @@ impl JobRunner {
                     DomainSpec::FullFrame => BusChannel::indep_full(*ber_star, trial_seed),
                     DomainSpec::EofOnly => BusChannel::indep_eof(*ber_star, trial_seed),
                 };
-                self.broadcast_once(job, channel, false, trial_frame(), RANDOM_TRIAL_BUDGET)
+                self.broadcast_once(job, &channel, false, trial_frame(), RANDOM_TRIAL_BUDGET)
             }
             FaultSpec::GlobalEventErrors { ber } => self.broadcast_once(
                 job,
-                BusChannel::global_eof(*ber, job.n_nodes, trial_seed),
+                &BusChannel::global_eof(*ber, job.n_nodes, trial_seed),
                 false,
                 trial_frame(),
                 RANDOM_TRIAL_BUDGET,
@@ -191,7 +193,7 @@ impl JobRunner {
                     .collect();
                 self.broadcast_once(
                     job,
-                    BusChannel::scripted(disturbances),
+                    &BusChannel::scripted(disturbances),
                     true,
                     scenario_frame(),
                     SCRIPTED_TRIAL_BUDGET,

@@ -13,7 +13,7 @@ use std::fmt;
 
 /// The segment of a frame (or of the error-handling machinery) a given bit
 /// belongs to, from a single node's point of view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Field {
     /// Bus idle (no frame in flight).
     Idle,

@@ -18,7 +18,7 @@
 //! less than or equal to CAN's cheapest Agreement break (the voting window
 //! buys no attack-cost margin — a reproduction regression).
 
-use majorcan_bench::cli::{open_sink, CliArgs, ExtraFlag};
+use majorcan_bench::cli::{exit_code, open_sink, CliArgs, ExtraFlag};
 use majorcan_campaign::{Manifest, ProtocolSpec};
 use majorcan_falsify::{
     build_attack_jobs, run_attack_search, write_attack_corpus, AttackSearchConfig,
@@ -55,11 +55,11 @@ fn parse_targets(text: &str) -> Vec<ProtocolSpec> {
             Some(spec) if !spec.is_hlp() => spec,
             Some(_) => {
                 eprintln!("error: {t} is a higher-level protocol; attacks target the link layer");
-                std::process::exit(2);
+                std::process::exit(exit_code::USAGE);
             }
             None => {
                 eprintln!("error: unknown protocol target {t:?}");
-                std::process::exit(2);
+                std::process::exit(exit_code::USAGE);
             }
         })
         .collect()
@@ -155,7 +155,7 @@ fn main() {
     }
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_code::IO);
     });
 
     print_table(&cfg, &report);
@@ -163,7 +163,7 @@ fn main() {
     if let Some(dir) = cli.extra("--corpus") {
         let written = write_attack_corpus(Path::new(dir), &report.entries).unwrap_or_else(|e| {
             eprintln!("error: writing attack corpus to {dir}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code::IO);
         });
         println!("archived {} certificates under {dir}/", written.len());
     }
@@ -204,6 +204,6 @@ fn main() {
         }
     }
     if regression {
-        std::process::exit(3);
+        std::process::exit(exit_code::FINDING);
     }
 }

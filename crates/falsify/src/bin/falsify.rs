@@ -19,7 +19,7 @@
 //! before the verdict: a probe that falsifies (or breaks) a MajorCAN
 //! target trips the same exit-3 gate as a search finding.
 
-use majorcan_bench::cli::{open_sink, CliArgs, ExtraFlag};
+use majorcan_bench::cli::{exit_code, open_sink, CliArgs, ExtraFlag};
 use majorcan_campaign::{json, Manifest, ProtocolSpec};
 use majorcan_falsify::{
     build_jobs, run_search, write_corpus, AttackCorpusEntry, CorpusEntry, SearchConfig,
@@ -36,6 +36,7 @@ const EXTRAS: &[ExtraFlag] = &[
     ExtraFlag::value("--max-errors", "<n: disturbances per schedule, default 4>"),
     ExtraFlag::value("--nodes", "<n: bus size, default 3>"),
     ExtraFlag::value("--probe", "<entry.json: replay one archived repro>"),
+    ExtraFlag::switch("--scalar", "(evaluate schedule-by-schedule, not batched)"),
 ];
 
 /// Replays one archived corpus entry — benign disturbance repro or
@@ -44,11 +45,11 @@ const EXTRAS: &[ExtraFlag] = &[
 fn run_probe(path: &str) -> bool {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: reading probe {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_code::IO);
     });
     let value = json::parse(&text).unwrap_or_else(|e| {
         eprintln!("error: parsing probe {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_code::IO);
     });
     if let Some(entry) = CorpusEntry::from_json(&value) {
         let outcome = entry.replay();
@@ -76,7 +77,7 @@ fn run_probe(path: &str) -> bool {
         return outcome.is_break() && matches!(entry.protocol, ProtocolSpec::MajorCan { .. });
     }
     eprintln!("error: {path} is not a corpus entry");
-    std::process::exit(1);
+    std::process::exit(exit_code::IO);
 }
 
 fn parse_targets(text: &str) -> Vec<ProtocolSpec> {
@@ -86,7 +87,7 @@ fn parse_targets(text: &str) -> Vec<ProtocolSpec> {
         .map(|t| {
             ProtocolSpec::from_name(t).unwrap_or_else(|| {
                 eprintln!("error: unknown protocol target {t:?}");
-                std::process::exit(2);
+                std::process::exit(exit_code::USAGE);
             })
         })
         .collect()
@@ -138,6 +139,7 @@ fn main() {
     );
     cfg.max_errors = cli.extra_u64("--max-errors", 4) as usize;
     cfg.n_nodes = cli.extra_u64("--nodes", 3) as usize;
+    cfg.scalar = cli.extra_flag("--scalar");
 
     let opts = cli.campaign_options();
     let report = match &cli.out {
@@ -150,7 +152,7 @@ fn main() {
     }
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_code::IO);
     });
 
     print_summary(&cfg, &report);
@@ -160,7 +162,7 @@ fn main() {
     if let Some(dir) = cli.extra("--corpus") {
         let written = write_corpus(Path::new(dir), &report.entries).unwrap_or_else(|e| {
             eprintln!("error: writing corpus to {dir}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code::IO);
         });
         println!("archived {} repros under {dir}/", written.len());
     }
@@ -174,11 +176,11 @@ fn main() {
         let n = report.findings_for(*target);
         if n > 0 {
             eprintln!("FALSIFIED: {n} finding(s) against {target} — see the corpus entries above");
-            std::process::exit(3);
+            std::process::exit(exit_code::FINDING);
         }
     }
     if probe_finding {
         eprintln!("FALSIFIED: the probed repro falsifies its MajorCAN target — see above");
-        std::process::exit(3);
+        std::process::exit(exit_code::FINDING);
     }
 }

@@ -27,6 +27,7 @@
 
 use crate::schedule::Schedule;
 use majorcan_campaign::ProtocolSpec;
+use majorcan_faults::Disturbance;
 use majorcan_testbed::Testbed;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -52,12 +53,47 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 #[derive(Debug, Default)]
 pub struct Oracle {
     cached: Option<((ProtocolSpec, usize), Testbed)>,
+    force_scalar: bool,
 }
 
 impl Oracle {
     /// A fresh oracle with an empty testbed cache.
     pub fn new() -> Oracle {
-        Oracle { cached: None }
+        Oracle::default()
+    }
+
+    /// An oracle whose [`Oracle::evaluate_batch`] runs schedule by
+    /// schedule through the scalar hot loop instead of the prefix-fork
+    /// engine. Exists for the batch-vs-scalar determinism gate in
+    /// `scripts/check.sh` (the falsify bin's `--scalar` switch): the same
+    /// campaign must produce byte-identical artifacts either way.
+    pub fn new_scalar() -> Oracle {
+        Oracle {
+            cached: None,
+            force_scalar: true,
+        }
+    }
+
+    /// Builds (or reuses) the cached testbed for `(target, n_nodes)`.
+    /// Returns the contained panic message when assembly itself unwinds
+    /// (e.g. an invalid MajorCAN tolerance).
+    fn testbed_for(
+        &mut self,
+        target: ProtocolSpec,
+        n_nodes: usize,
+    ) -> Result<&mut Testbed, String> {
+        let key = (target, n_nodes);
+        if self.cached.as_ref().map(|(k, _)| *k) != Some(key) {
+            self.cached = None; // drop the old cluster before building
+            let built = catch_unwind(AssertUnwindSafe(|| {
+                Testbed::builder(target).nodes(n_nodes).build()
+            }));
+            match built {
+                Ok(testbed) => self.cached = Some((key, testbed)),
+                Err(payload) => return Err(panic_text(payload)),
+            }
+        }
+        Ok(&mut self.cached.as_mut().expect("testbed cached above").1)
     }
 
     /// Evaluates `schedule` against `target` for `budget` bit times and
@@ -71,18 +107,10 @@ impl Oracle {
         n_nodes: usize,
         budget: u64,
     ) -> Outcome {
-        let key = (target, n_nodes);
-        if self.cached.as_ref().map(|(k, _)| *k) != Some(key) {
-            self.cached = None; // drop the old cluster before building
-            let built = catch_unwind(AssertUnwindSafe(|| {
-                Testbed::builder(target).nodes(n_nodes).build()
-            }));
-            match built {
-                Ok(testbed) => self.cached = Some((key, testbed)),
-                Err(payload) => return Outcome::CheckerPanic(panic_text(payload)),
-            }
-        }
-        let (_, testbed) = self.cached.as_mut().expect("testbed cached above");
+        let testbed = match self.testbed_for(target, n_nodes) {
+            Ok(testbed) => testbed,
+            Err(msg) => return Outcome::CheckerPanic(msg),
+        };
         testbed.set_budget(budget);
         let run = catch_unwind(AssertUnwindSafe(|| {
             testbed.run_schedule(schedule.disturbances())
@@ -92,6 +120,49 @@ impl Oracle {
             Err(payload) => {
                 self.cached = None;
                 Outcome::CheckerPanic(panic_text(payload))
+            }
+        }
+    }
+
+    /// Evaluates a whole batch of schedules against one target through the
+    /// testbed's prefix-fork engine
+    /// ([`run_batch`](majorcan_testbed::Testbed::run_batch)), returning one
+    /// outcome per schedule in input order — each identical to what
+    /// [`Oracle::evaluate`] would have returned.
+    ///
+    /// Panic containment matches the scalar path per schedule: if the
+    /// batch run unwinds anywhere, the cached cluster is dropped and every
+    /// schedule is re-evaluated one by one, so exactly the schedules that
+    /// panic classify as [`Outcome::CheckerPanic`] and the rest keep their
+    /// real outcomes.
+    pub fn evaluate_batch(
+        &mut self,
+        target: ProtocolSpec,
+        schedules: &[Schedule],
+        n_nodes: usize,
+        budget: u64,
+    ) -> Vec<Outcome> {
+        if self.force_scalar {
+            return schedules
+                .iter()
+                .map(|s| self.evaluate(target, s, n_nodes, budget))
+                .collect();
+        }
+        let testbed = match self.testbed_for(target, n_nodes) {
+            Ok(testbed) => testbed,
+            Err(msg) => return vec![Outcome::CheckerPanic(msg); schedules.len()],
+        };
+        testbed.set_budget(budget);
+        let refs: Vec<&[Disturbance]> = schedules.iter().map(Schedule::disturbances).collect();
+        let run = catch_unwind(AssertUnwindSafe(|| testbed.run_batch(&refs)));
+        match run {
+            Ok(outcomes) => outcomes,
+            Err(_) => {
+                self.cached = None;
+                schedules
+                    .iter()
+                    .map(|s| self.evaluate(target, s, n_nodes, budget))
+                    .collect()
             }
         }
     }

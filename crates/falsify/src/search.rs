@@ -49,6 +49,10 @@ pub struct SearchConfig {
     /// Archived entries kept per `(target, outcome)` class; the shrink
     /// queue admits four times this many raw findings per class.
     pub keep_per_class: usize,
+    /// Evaluate schedule by schedule through the scalar hot loop instead
+    /// of the prefix-fork batch engine (the `--scalar` determinism gate;
+    /// results must be identical either way).
+    pub scalar: bool,
 }
 
 impl SearchConfig {
@@ -66,6 +70,7 @@ impl SearchConfig {
             schedules_per_target,
             max_errors: 4,
             keep_per_class: 4,
+            scalar: false,
         }
     }
 }
@@ -143,9 +148,12 @@ pub fn build_jobs(cfg: &SearchConfig) -> Vec<Job> {
     jobs
 }
 
-/// Executes one adversarial-search job: synthesize and evaluate
-/// `job.frames` schedules, counting outcomes and reporting findings into
-/// the side channel.
+/// Executes one adversarial-search job: synthesize all `job.frames`
+/// schedules up front, evaluate them as one prefix-fork batch
+/// ([`Oracle::evaluate_batch`]), then count outcomes and report findings
+/// into the side channel. Counters and `(job id, trial)` finding
+/// coordinates are identical to evaluating trial by trial — the batch
+/// engine is gated on outcome equality with the scalar hot loop.
 fn execute_job(oracle: &mut Oracle, job: &Job, findings: &Mutex<Vec<Finding>>) -> JobResult {
     let FaultSpec::AdversarialSearch { max_errors } = job.fault else {
         panic!("falsify executor got a non-adversarial job {}", job.id);
@@ -153,10 +161,14 @@ fn execute_job(oracle: &mut Oracle, job: &Job, findings: &Mutex<Vec<Finding>>) -
     let geo = Geometry::for_protocol(job.protocol, job.n_nodes);
     let budget = budget_for(job.protocol);
     let mut out = JobResult::for_job(job);
-    for trial in 0..job.frames {
-        let mut rng = StdRng::seed_from_u64(derive_trial_seed(job.seed, trial));
-        let schedule = generate(&mut rng, &geo, max_errors);
-        let outcome = oracle.evaluate(job.protocol, &schedule, job.n_nodes, budget);
+    let schedules: Vec<_> = (0..job.frames)
+        .map(|trial| {
+            let mut rng = StdRng::seed_from_u64(derive_trial_seed(job.seed, trial));
+            generate(&mut rng, &geo, max_errors)
+        })
+        .collect();
+    let outcomes = oracle.evaluate_batch(job.protocol, &schedules, job.n_nodes, budget);
+    for (trial, (schedule, outcome)) in schedules.iter().zip(outcomes).enumerate() {
         out.counters
             .add(&format!("outcome/{}/{}", job.protocol, outcome.token()), 1);
         out.frames += 1;
@@ -165,7 +177,7 @@ fn execute_job(oracle: &mut Oracle, job: &Job, findings: &Mutex<Vec<Finding>>) -
             findings.lock().unwrap().push(Finding {
                 target: job.protocol,
                 job_id: job.id,
-                trial,
+                trial: trial as u64,
                 outcome,
                 schedule: schedule.clone(),
             });
@@ -192,10 +204,15 @@ pub fn run_search(
 ) -> io::Result<SearchReport> {
     let jobs = build_jobs(cfg);
     let findings = Mutex::new(Vec::new());
+    let factory = if cfg.scalar {
+        Oracle::new_scalar
+    } else {
+        Oracle::new
+    };
     let run = |oracle: &mut Oracle, job: &Job| execute_job(oracle, job, &findings);
     let report = match sink {
-        Some(s) => run_campaign_scoped(&jobs, opts, s, Oracle::new, run)?,
-        None => run_campaign_in_memory_scoped(&jobs, opts, Oracle::new, run),
+        Some(s) => run_campaign_scoped(&jobs, opts, s, factory, run)?,
+        None => run_campaign_in_memory_scoped(&jobs, opts, factory, run),
     };
     let mut raw = findings.into_inner().expect("finding channel poisoned");
     // The runner hands jobs out in nondeterministic order; sorting by the

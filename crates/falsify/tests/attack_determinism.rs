@@ -6,6 +6,7 @@
 //! any `--jobs` worker count, and the spawned bins must honour the
 //! repo-wide exit contract (0 clean, 3 on a MajorCAN break).
 
+use majorcan_bench::cli::exit_code;
 use majorcan_campaign::{CampaignOptions, ProtocolSpec};
 use majorcan_can::Field;
 use majorcan_falsify::{
@@ -78,7 +79,7 @@ fn attack_surface_bin_is_deterministic_and_honours_the_cost_gate() {
     assert_eq!(code1, code2);
     assert_eq!(
         code1,
-        Some(0),
+        Some(exit_code::CONSISTENT),
         "MajorCAN must out-price CAN\nstdout:\n{stdout1}\nstderr:\n{stderr1}\n{stderr2}"
     );
     assert!(
@@ -122,7 +123,7 @@ fn attack_probe_of_a_can_break_exits_zero() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(
         out.status.code(),
-        Some(0),
+        Some(exit_code::CONSISTENT),
         "stdout:\n{stdout}\nstderr:\n{stderr}"
     );
     assert!(
@@ -166,7 +167,7 @@ fn attack_probe_of_a_majorcan_break_exits_three() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(
         out.status.code(),
-        Some(3),
+        Some(exit_code::FINDING),
         "stdout:\n{stdout}\nstderr:\n{stderr}"
     );
     assert!(stdout.contains("attack busoff on MajorCAN_5"), "{stdout}");

@@ -6,6 +6,7 @@
 //! *over-budget* break — 4 disturbances against m = 3, a genuine
 //! violation through the same oracle, just outside the paper's budget.
 
+use majorcan_bench::cli::exit_code;
 use majorcan_campaign::ProtocolSpec;
 use majorcan_can::Field;
 use majorcan_falsify::{repo_corpus_dir, write_corpus, CorpusEntry, Provenance, Schedule};
@@ -40,7 +41,7 @@ fn clean_search_and_consistent_probe_exit_zero() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(
         out.status.code(),
-        Some(0),
+        Some(exit_code::CONSISTENT),
         "stdout:\n{stdout}\nstderr:\n{stderr}"
     );
     assert!(
@@ -93,7 +94,7 @@ fn majorcan_probe_finding_exits_three() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(
         out.status.code(),
-        Some(3),
+        Some(exit_code::FINDING),
         "stdout:\n{stdout}\nstderr:\n{stderr}"
     );
     assert!(stdout.contains("omission"), "{stdout}");
@@ -106,5 +107,5 @@ fn unknown_target_exits_two() {
         .args(["1", "--targets", "MegaCAN"])
         .output()
         .expect("spawning falsify");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(exit_code::USAGE));
 }

@@ -26,13 +26,15 @@
 //! use majorcan_core::MajorCan;
 //! use majorcan_can::StandardCan;
 //! use majorcan_faults::Scenario;
-//! use majorcan_testbed::run_scenario;
+//! use majorcan_testbed::{spec_of, Testbed};
 //!
 //! let fig1b = Scenario::fig1b();
-//! let can = run_scenario(&StandardCan, &fig1b, 800);
+//! let mut bed = Testbed::builder(spec_of(&StandardCan)).budget(800).build();
+//! let can = bed.run_scenario(&fig1b);
 //! assert_eq!(can.deliveries(2).len(), 2, "double reception on CAN");
 //!
-//! let major = run_scenario(&MajorCan::proposed(), &fig1b, 900);
+//! let mut bed = Testbed::builder(spec_of(&MajorCan::proposed())).budget(900).build();
+//! let major = bed.run_scenario(&fig1b);
 //! assert!(major.consistent_single_delivery());
 //! ```
 

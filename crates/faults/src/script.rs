@@ -14,7 +14,11 @@ use majorcan_sim::{ChannelModel, Level, NodeId};
 use std::fmt;
 
 /// One scripted view-flip.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `Ord` impl is lexicographic over the fields in declaration order —
+/// the batch engine sorts schedules by it so that schedules sharing a
+/// disturbance prefix become neighbours and can fork from one snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Disturbance {
     /// Victim node (its *view* is inverted; the wire is untouched).
     pub node: usize,
@@ -91,9 +95,24 @@ impl fmt::Display for Disturbance {
 /// let script = ScriptedFaults::new(vec![Disturbance::eof(1, 6)]);
 /// assert_eq!(script.remaining(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ScriptedFaults {
     pending: Vec<(Disturbance, u32)>,
+}
+
+/// Manual impl so `clone_from` reuses the destination's backing storage —
+/// the batch engine restores a snapshotted script into a reused channel
+/// slot once per fork, which must not reallocate per fork.
+impl Clone for ScriptedFaults {
+    fn clone(&self) -> Self {
+        ScriptedFaults {
+            pending: self.pending.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.pending.clone_from(&source.pending);
+    }
 }
 
 impl ScriptedFaults {
@@ -122,6 +141,21 @@ impl ScriptedFaults {
     /// assert this to be sure the script actually matched.
     pub fn exhausted(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// `true` when any not-yet-fired disturbance targets `field` — the
+    /// batch engine's guard against ending a run early while a script
+    /// entry could still fire on an idle bus.
+    pub fn targets_field(&self, field: Field) -> bool {
+        self.pending.iter().any(|(d, _)| d.field == field)
+    }
+
+    /// Appends `tail` to the script without touching the entries (and
+    /// per-entry occurrence counts) already loaded — the fork step of the
+    /// batch engine: a snapshot taken mid-run carries the shared prefix's
+    /// progress, and each fork appends its divergent tail fresh.
+    pub fn append_tail(&mut self, tail: &[Disturbance]) {
+        self.pending.extend(tail.iter().map(|d| (d.clone(), 0)));
     }
 
     /// The disturbances that have not fired (yet), in script order.

@@ -21,7 +21,7 @@ use majorcan_can::CanEvent;
 use std::collections::BTreeSet;
 
 /// The EDCAN protocol layer.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EdCan {
     delivered: BTreeSet<BroadcastId>,
     duplicated: BTreeSet<BroadcastId>,

@@ -125,7 +125,7 @@ pub trait HlpLayer: fmt::Debug {
 ///     .count();
 /// assert_eq!(delivered, 3, "all three nodes deliver (tx included)");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HlpNode<L: HlpLayer> {
     ctrl: Controller<StandardCan>,
     layer: L,

@@ -19,7 +19,7 @@ use majorcan_can::CanEvent;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The RELCAN protocol layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RelCan {
     config: HlpConfig,
     delivered: BTreeSet<BroadcastId>,

@@ -20,7 +20,7 @@ use majorcan_can::CanEvent;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The TOTCAN protocol layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TotCan {
     config: HlpConfig,
     delivered: BTreeSet<BroadcastId>,

@@ -187,6 +187,45 @@ impl<N: BitNode, C: ChannelModel<N::Tag>> Simulator<N, C> {
         &mut self.channel
     }
 
+    /// Captures the complete mid-run simulation state — nodes, fault
+    /// channel, bit clock and event log — so a later
+    /// [`Simulator::restore_from`] resumes bit-identically from this
+    /// instant. The bit-level trace is deliberately *not* captured: the
+    /// snapshot/fork hot path runs trace-off, and a trace spanning a
+    /// restore would be misleading anyway.
+    pub fn snapshot(&self) -> SimSnapshot<N, C>
+    where
+        N: Clone,
+        C: Clone,
+        N::Event: Clone,
+    {
+        SimSnapshot {
+            nodes: self.nodes.clone(),
+            channel: self.channel.clone(),
+            now: self.now,
+            events: self.events.clone(),
+        }
+    }
+
+    /// Rewinds the engine to the instant captured by `snap`, reusing the
+    /// existing allocations (`clone_from`) so forking N tails from one
+    /// snapshot does not reallocate N times. Any recorded trace is cleared:
+    /// it belonged to the abandoned timeline.
+    pub fn restore_from(&mut self, snap: &SimSnapshot<N, C>)
+    where
+        N: Clone,
+        C: Clone,
+        N::Event: Clone,
+    {
+        self.nodes.clone_from(&snap.nodes);
+        self.channel.clone_from(&snap.channel);
+        self.now = snap.now;
+        self.events.clone_from(&snap.events);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.clear();
+        }
+    }
+
     /// Simulates a single bit time and returns the fault-free resolved wire
     /// level of that bit.
     pub fn step(&mut self) -> Level {
@@ -258,6 +297,27 @@ impl<N: BitNode, C: ChannelModel<N::Tag>> Simulator<N, C> {
     }
 }
 
+/// A point-in-time capture of a [`Simulator`]'s complete mid-run state
+/// (nodes, channel, clock, event log), produced by [`Simulator::snapshot`].
+///
+/// Restoring with [`Simulator::restore_from`] and continuing is
+/// bit-identical to having cloned the whole engine at the capture point —
+/// the foundation of the testbed's prefix-fork batch execution.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot<N: BitNode, C: ChannelModel<N::Tag>> {
+    nodes: Vec<N>,
+    channel: C,
+    now: u64,
+    events: Vec<TimedEvent<N::Event>>,
+}
+
+impl<N: BitNode, C: ChannelModel<N::Tag>> SimSnapshot<N, C> {
+    /// The bit time at which this snapshot was taken.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +325,7 @@ mod tests {
 
     /// A node that drives a fixed script of levels, then recessive forever,
     /// and remembers everything it saw.
+    #[derive(Clone)]
     struct Scripted {
         script: Vec<Level>,
         seen: Vec<Level>,
@@ -414,6 +475,44 @@ mod tests {
         sim.attach(Scripted::new(vec![]));
         let steps = sim.run_until(10, |_| false);
         assert_eq!(steps, 10);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let build = || {
+            let mut sim = Simulator::new(NoFaults);
+            sim.attach(Scripted::new(vec![R, D, R, D, D, R]));
+            sim.attach(Scripted::new(vec![R, R, D, D, R, R]));
+            sim
+        };
+        let mut forked = build();
+        forked.run(2);
+        let snap = forked.snapshot();
+        assert_eq!(snap.now(), 2);
+
+        // Diverge, then restore and replay: must match an uninterrupted run.
+        forked.run(4);
+        forked.restore_from(&snap);
+        assert_eq!(forked.now(), 2);
+        forked.run(4);
+
+        let mut straight = build();
+        straight.run(6);
+        assert_eq!(forked.events(), straight.events());
+        assert_eq!(forked.node(NodeId(0)).seen, straight.node(NodeId(0)).seen);
+        assert_eq!(forked.node(NodeId(1)).seen, straight.node(NodeId(1)).seen);
+    }
+
+    #[test]
+    fn restore_clears_a_recorded_trace() {
+        let mut sim = Simulator::new(NoFaults);
+        sim.attach(Scripted::new(vec![D, R]));
+        sim.record_trace();
+        sim.run(2);
+        let snap = sim.snapshot();
+        sim.run(1);
+        sim.restore_from(&snap);
+        assert_eq!(sim.trace().map(|t| t.len()), Some(0));
     }
 
     #[test]

@@ -65,7 +65,7 @@ mod node;
 mod trace;
 
 pub use channel::{ChannelModel, FnChannel, NoFaults};
-pub use engine::Simulator;
+pub use engine::{SimSnapshot, Simulator};
 pub use level::Level;
 pub use node::{BitNode, NodeId, TimedEvent};
 pub use trace::{BitRecord, BitTrace, NodeBit};

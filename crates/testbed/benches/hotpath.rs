@@ -4,11 +4,29 @@
 //! `BENCH_hotpath.json` artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use majorcan_testbed::hotpath::{run_rebuilt, schedule_pool, HOTPATH_PROTOCOLS};
-use majorcan_testbed::Testbed;
+use majorcan_faults::{scenario_frame, Disturbance};
+use majorcan_testbed::hotpath::{schedule_pool, HOTPATH_PROTOCOLS};
+use majorcan_testbed::{budget_for, Outcome, ProtocolSpec, Testbed, HLP_PROBE_PAYLOAD};
 
 const N_NODES: usize = 3;
 const SCHEDULES: usize = 32;
+
+/// Rebuild-per-run baseline: a fresh builder-assembled testbed for every
+/// schedule (the shape the pre-testbed oracle had).
+fn run_rebuilt(protocol: ProtocolSpec, schedule: &[Disturbance]) -> Outcome {
+    let mut tb = Testbed::builder(protocol)
+        .nodes(N_NODES)
+        .trace(true)
+        .build();
+    tb.load_script(schedule);
+    if protocol.is_hlp() {
+        tb.broadcast(0, HLP_PROBE_PAYLOAD);
+    } else {
+        tb.enqueue(0, scenario_frame());
+    }
+    tb.run(budget_for(protocol));
+    tb.outcome()
+}
 
 fn bench_rebuild_per_run(c: &mut Criterion) {
     let pool = schedule_pool(0xB0A7, SCHEDULES);
@@ -21,7 +39,7 @@ fn bench_rebuild_per_run(c: &mut Criterion) {
             |b, &protocol| {
                 b.iter(|| {
                     pool.iter()
-                        .map(|s| run_rebuilt(protocol, N_NODES, s))
+                        .map(|s| run_rebuilt(protocol, s))
                         .filter(|o| o.is_finding())
                         .count()
                 })

@@ -20,7 +20,7 @@ use majorcan_sim::{ChannelModel, Level, NodeId};
 /// random models of the Monte-Carlo campaigns (always armed only after the
 /// 11-bit bus-integration phase, matching the probability model's lack of a
 /// start-up phase).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub enum BusChannel {
     /// Fault-free bus.
     NoFaults,
@@ -38,6 +38,31 @@ pub enum BusChannel {
     /// A budgeted adversary injecting dominant levels (attack campaigns
     /// and bus-off soak threading).
     Attack(Attacker),
+}
+
+/// Manual impl so same-variant `clone_from` reuses the destination's
+/// backing storage: the batch engine restores the snapshotted script into
+/// a live channel once per fork, and a derived `clone_from` would
+/// reallocate the script's backing `Vec` every time.
+impl Clone for BusChannel {
+    fn clone(&self) -> Self {
+        match self {
+            BusChannel::NoFaults => BusChannel::NoFaults,
+            BusChannel::Scripted(c) => BusChannel::Scripted(c.clone()),
+            BusChannel::IndepFull(c) => BusChannel::IndepFull(c.clone()),
+            BusChannel::IndepEof(c) => BusChannel::IndepEof(c.clone()),
+            BusChannel::GlobalEof(c) => BusChannel::GlobalEof(c.clone()),
+            BusChannel::Bursts(c) => BusChannel::Bursts(c.clone()),
+            BusChannel::Attack(c) => BusChannel::Attack(c.clone()),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        match (self, source) {
+            (BusChannel::Scripted(dst), BusChannel::Scripted(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl BusChannel {

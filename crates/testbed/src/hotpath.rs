@@ -67,9 +67,11 @@ pub fn schedule_pool(seed: u64, count: usize) -> Vec<Vec<Disturbance>> {
 }
 
 /// Evaluates one schedule the way the pre-testbed oracle did: assemble a
-/// fresh cluster, record the bit-level trace, run, classify. This is the
-/// rebuild-per-run baseline `run_schedule` is measured against.
-pub fn run_rebuilt(protocol: ProtocolSpec, n_nodes: usize, schedule: &[Disturbance]) -> Outcome {
+/// fresh cluster via [`Testbed::builder`], record the bit-level trace,
+/// run, classify. Private on purpose — it exists only as the
+/// rebuild-per-run baseline `run_schedule` is measured against; every
+/// real caller assembles through the builder.
+fn rebuild_and_run(protocol: ProtocolSpec, n_nodes: usize, schedule: &[Disturbance]) -> Outcome {
     let mut tb = Testbed::builder(protocol)
         .nodes(n_nodes)
         .trace(true)
@@ -115,7 +117,7 @@ pub fn measure(protocol: ProtocolSpec, n_nodes: usize, pool: &[Vec<Disturbance>]
     let mut reused = Testbed::builder(protocol).nodes(n_nodes).build();
     for (i, schedule) in pool.iter().enumerate() {
         let warm = reused.run_schedule(schedule);
-        let cold = run_rebuilt(protocol, n_nodes, schedule);
+        let cold = rebuild_and_run(protocol, n_nodes, schedule);
         assert_eq!(
             warm, cold,
             "{protocol}: schedule {i} classifies differently reused vs rebuilt"
@@ -124,7 +126,7 @@ pub fn measure(protocol: ProtocolSpec, n_nodes: usize, pool: &[Vec<Disturbance>]
 
     let start = Instant::now();
     for schedule in pool {
-        std::hint::black_box(run_rebuilt(protocol, n_nodes, schedule));
+        std::hint::black_box(rebuild_and_run(protocol, n_nodes, schedule));
     }
     let rebuild_secs = start.elapsed().as_secs_f64();
 
@@ -224,7 +226,7 @@ mod tests {
             for schedule in &pool {
                 assert_eq!(
                     reused.run_schedule(schedule),
-                    run_rebuilt(protocol, 3, schedule),
+                    rebuild_and_run(protocol, 3, schedule),
                     "{protocol}"
                 );
             }

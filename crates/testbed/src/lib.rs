@@ -24,8 +24,14 @@
 //! [`Testbed::load_script`] rewinds controllers, event buffers, trace
 //! storage and the script allocation in place, so the hot loop is
 //! allocation-free after warm-up (see `BENCH_hotpath.json` at the repo
-//! root for the measured payoff).
+//! root for the measured payoff). Batch callers go one step further:
+//! [`Testbed::run_batch`] sorts schedules by shared disturbance prefix,
+//! simulates each prefix once, [snapshots](Testbed::snapshot) at the
+//! divergence point and forks every tail from the [`Snapshot`] instead of
+//! replaying from bit zero (see `BENCH_batch.json`).
 
+mod batch;
+pub mod batchbench;
 mod channel;
 pub mod hotpath;
 mod outcome;
@@ -37,6 +43,6 @@ pub use majorcan_campaign::ProtocolSpec;
 pub use outcome::{classify, Outcome};
 pub use scenario_run::ScenarioRun;
 pub use testbed::{
-    budget_for, run_scenario, run_scenario_strict, run_script, spec_of, Testbed, TestbedBuilder,
-    HLP_BUDGET, HLP_PROBE_PAYLOAD, LINK_BUDGET,
+    budget_for, spec_of, Snapshot, Testbed, TestbedBuilder, HLP_BUDGET, HLP_PROBE_PAYLOAD,
+    LINK_BUDGET,
 };

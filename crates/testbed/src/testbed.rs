@@ -9,7 +9,7 @@ use majorcan_can::{CanEvent, Controller, ControllerConfig, Frame, Variant};
 use majorcan_core::{MajorCan, MinorCan};
 use majorcan_faults::{scenario_frame, AttackAction, Attacker, CrashRule, Disturbance, Scenario};
 use majorcan_hlp::{trace_from_hlp_events, BroadcastId, EdCan, HlpEvent, HlpNode, RelCan, TotCan};
-use majorcan_sim::{NodeId, Simulator, TimedEvent};
+use majorcan_sim::{NodeId, SimSnapshot, Simulator, TimedEvent};
 use majorcan_workload::{ReleaseSource, Workload};
 
 /// Bit budget for one link-layer schedule evaluation (matches the
@@ -102,6 +102,53 @@ macro_rules! hlp_sim {
             ),
         }
     };
+}
+
+/// The per-kind payload of a [`Snapshot`] (mirrors [`Cluster`]).
+#[derive(Debug, Clone)]
+enum ClusterSnapshot {
+    Can(SimSnapshot<Controller<majorcan_can::StandardCan>, BusChannel>),
+    Minor(SimSnapshot<Controller<MinorCan>, BusChannel>),
+    Major(SimSnapshot<Controller<MajorCan>, BusChannel>),
+    Ed(SimSnapshot<HlpNode<EdCan>, BusChannel>),
+    Rel(SimSnapshot<HlpNode<RelCan>, BusChannel>),
+    Tot(SimSnapshot<HlpNode<TotCan>, BusChannel>),
+}
+
+/// A point-in-time capture of a [`Testbed`]'s complete mid-run state:
+/// every controller (or HLP node), the fault channel (including script
+/// progress), the bit clock and the event log the checker grades.
+///
+/// Produced by [`Testbed::snapshot`]; [`Testbed::restore`] rewinds the
+/// *same-shaped* testbed to this instant, after which continuing the run
+/// is bit-identical to never having left it. This is the fork primitive
+/// behind [`Testbed::run_batch`]: advance once through a shared schedule
+/// prefix, snapshot at the divergence point, and fork each tail from the
+/// snapshot instead of replaying from bit zero.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    protocol: ProtocolSpec,
+    n_nodes: usize,
+    state: ClusterSnapshot,
+}
+
+impl Snapshot {
+    /// The protocol of the testbed this snapshot was taken from.
+    pub fn protocol(&self) -> ProtocolSpec {
+        self.protocol
+    }
+
+    /// The bit time at which this snapshot was taken.
+    pub fn now(&self) -> u64 {
+        match &self.state {
+            ClusterSnapshot::Can(s) => s.now(),
+            ClusterSnapshot::Minor(s) => s.now(),
+            ClusterSnapshot::Major(s) => s.now(),
+            ClusterSnapshot::Ed(s) => s.now(),
+            ClusterSnapshot::Rel(s) => s.now(),
+            ClusterSnapshot::Tot(s) => s.now(),
+        }
+    }
 }
 
 /// Configures and assembles a [`Testbed`].
@@ -311,9 +358,72 @@ impl Testbed {
         });
     }
 
+    /// [`Testbed::reset_with`] borrowing the channel: clones `channel`'s
+    /// contents into the existing channel slot via `clone_from`, so a hot
+    /// loop resetting onto the same scripted channel shape reuses the
+    /// script's backing storage instead of building a fresh channel per
+    /// run.
+    pub fn reset_with_ref(&mut self, channel: &BusChannel) {
+        each_sim!(&mut self.cluster, sim => {
+            sim.channel_mut().clone_from(channel);
+            sim.reset();
+            for node in sim.nodes_mut() {
+                node.set_fail_at(None);
+                node.reset();
+            }
+        });
+    }
+
     /// Rewinds the cluster onto a fault-free bus.
     pub fn reset(&mut self) {
         self.reset_with(BusChannel::NoFaults);
+    }
+
+    /// Captures the cluster's complete mid-run state. See [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let state = match &self.cluster {
+            Cluster::Can(sim) => ClusterSnapshot::Can(sim.snapshot()),
+            Cluster::Minor(sim) => ClusterSnapshot::Minor(sim.snapshot()),
+            Cluster::Major(sim) => ClusterSnapshot::Major(sim.snapshot()),
+            Cluster::Ed(sim) => ClusterSnapshot::Ed(sim.snapshot()),
+            Cluster::Rel(sim) => ClusterSnapshot::Rel(sim.snapshot()),
+            Cluster::Tot(sim) => ClusterSnapshot::Tot(sim.snapshot()),
+        };
+        Snapshot {
+            protocol: self.protocol,
+            n_nodes: self.n_nodes,
+            state,
+        }
+    }
+
+    /// Rewinds the cluster to the instant captured by `snap`, reusing the
+    /// cluster's existing allocations. Continuing the run afterwards is
+    /// bit-identical to an uninterrupted run. Any recorded trace is
+    /// cleared (it belonged to the abandoned timeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `snap` was taken from a testbed of a different
+    /// protocol or node count.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        assert_eq!(
+            (self.protocol, self.n_nodes),
+            (snap.protocol, snap.n_nodes),
+            "snapshot of {} × {} nodes cannot restore a {} × {} testbed",
+            snap.protocol,
+            snap.n_nodes,
+            self.protocol,
+            self.n_nodes
+        );
+        match (&mut self.cluster, &snap.state) {
+            (Cluster::Can(sim), ClusterSnapshot::Can(s)) => sim.restore_from(s),
+            (Cluster::Minor(sim), ClusterSnapshot::Minor(s)) => sim.restore_from(s),
+            (Cluster::Major(sim), ClusterSnapshot::Major(s)) => sim.restore_from(s),
+            (Cluster::Ed(sim), ClusterSnapshot::Ed(s)) => sim.restore_from(s),
+            (Cluster::Rel(sim), ClusterSnapshot::Rel(s)) => sim.restore_from(s),
+            (Cluster::Tot(sim), ClusterSnapshot::Tot(s)) => sim.restore_from(s),
+            _ => unreachable!("protocol equality implies matching cluster kinds"),
+        }
     }
 
     /// Rewinds the cluster and installs `disturbances` as the scripted
@@ -537,6 +647,33 @@ impl Testbed {
         self.outcome()
     }
 
+    /// Evaluates a whole batch of scripted schedules, returning one
+    /// [`Outcome`] per schedule in input order — each identical to what
+    /// [`Testbed::run_schedule`] would return for it on this testbed.
+    ///
+    /// Link-layer clusters route through the prefix-fork engine
+    /// (`crate::batch`): schedules are sorted so shared disturbance
+    /// prefixes become neighbours, each group's prefix is simulated once,
+    /// the cluster state is [snapshotted](Testbed::snapshot) at the
+    /// divergence point and every tail forks from the snapshot instead of
+    /// replaying from bit zero; runs also end at quiescence instead of
+    /// burning the rest of the bit budget. Higher-level-protocol clusters
+    /// fall back to per-schedule [`Testbed::run_schedule`] calls.
+    pub fn run_batch(&mut self, schedules: &[&[Disturbance]]) -> Vec<Outcome> {
+        match &mut self.cluster {
+            Cluster::Can(sim) => {
+                crate::batch::run_batch_link(sim, self.n_nodes, self.budget, schedules)
+            }
+            Cluster::Minor(sim) => {
+                crate::batch::run_batch_link(sim, self.n_nodes, self.budget, schedules)
+            }
+            Cluster::Major(sim) => {
+                crate::batch::run_batch_link(sim, self.n_nodes, self.budget, schedules)
+            }
+            _ => schedules.iter().map(|s| self.run_schedule(s)).collect(),
+        }
+    }
+
     /// The attack-campaign hot loop: rewinds the cluster, arms `actions`
     /// as a budgeted attack channel, applies the canonical link stimulus
     /// (node 0 transmits [`scenario_frame`]), runs the configured budget
@@ -616,50 +753,4 @@ impl Testbed {
             }
         })
     }
-}
-
-/// Executes `scenario` under protocol `variant` on a fresh testbed with
-/// `budget` bits (see [`Testbed::run_scenario`]).
-pub fn run_scenario<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -> ScenarioRun {
-    Testbed::builder(spec_of(variant))
-        .nodes(scenario.n_nodes)
-        .budget(budget)
-        .build()
-        .run_scenario(scenario)
-}
-
-/// Executes `scenario` like [`run_scenario`] and then asserts the
-/// disturbance script fully applied (see
-/// [`ScenarioRun::assert_fully_applied`]), so a schedule that silently
-/// missed cannot be mistaken for a passing one.
-///
-/// # Panics
-///
-/// Panics, listing the unfired disturbances, when any scripted disturbance
-/// never fired.
-pub fn run_scenario_strict<V: Variant>(
-    variant: &V,
-    scenario: &Scenario,
-    budget: u64,
-) -> ScenarioRun {
-    let run = run_scenario(variant, scenario, budget);
-    run.assert_fully_applied();
-    run
-}
-
-/// Executes an ad-hoc disturbance schedule under `variant` on a fresh
-/// testbed (see [`Testbed::run_script`]). Campaign hot loops should build
-/// one [`Testbed`] and call [`Testbed::run_script`] /
-/// [`Testbed::run_schedule`] instead.
-pub fn run_script<V: Variant>(
-    variant: &V,
-    disturbances: Vec<Disturbance>,
-    n_nodes: usize,
-    budget: u64,
-) -> ScenarioRun {
-    Testbed::builder(spec_of(variant))
-        .nodes(n_nodes)
-        .budget(budget)
-        .build()
-        .run_script(&disturbances)
 }

@@ -7,9 +7,22 @@
 //! bearers, so both must now end in global rejection plus a clean
 //! retransmission.
 
+use majorcan_can::Variant;
 use majorcan_core::MajorCan;
 use majorcan_faults::Scenario;
-use majorcan_testbed::{run_scenario_strict, Outcome};
+use majorcan_testbed::{spec_of, Outcome, ScenarioRun, Testbed};
+
+/// Builder-assembled scenario run + fully-applied assertion (the strict
+/// facade the paper-figure tests use).
+fn run_scenario_strict<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -> ScenarioRun {
+    let run = Testbed::builder(spec_of(variant))
+        .nodes(scenario.n_nodes)
+        .budget(budget)
+        .build()
+        .run_scenario(scenario);
+    run.assert_fully_applied();
+    run
+}
 
 #[test]
 fn frame_tail_family_is_consistent_with_retransmission_on_majorcan_3() {

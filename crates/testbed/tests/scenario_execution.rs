@@ -3,10 +3,42 @@
 //! here).
 
 use majorcan_campaign::ProtocolSpec;
+use majorcan_can::Variant;
 use majorcan_can::{CanEvent, Field, StandardCan};
 use majorcan_faults::{CrashRule, Disturbance, Scenario};
 use majorcan_sim::NodeId;
-use majorcan_testbed::{run_scenario, run_scenario_strict, run_script, Outcome, Testbed};
+use majorcan_testbed::{spec_of, Outcome, ScenarioRun, Testbed};
+
+/// Assembles a fresh testbed through the builder (the one assembly path)
+/// and executes `scenario` on it.
+fn run_scenario<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -> ScenarioRun {
+    Testbed::builder(spec_of(variant))
+        .nodes(scenario.n_nodes)
+        .budget(budget)
+        .build()
+        .run_scenario(scenario)
+}
+
+/// [`run_scenario`] + [`ScenarioRun::assert_fully_applied`].
+fn run_scenario_strict<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -> ScenarioRun {
+    let run = run_scenario(variant, scenario, budget);
+    run.assert_fully_applied();
+    run
+}
+
+/// An ad-hoc disturbance script on a fresh builder-assembled testbed.
+fn run_script<V: Variant>(
+    variant: &V,
+    disturbances: Vec<Disturbance>,
+    n_nodes: usize,
+    budget: u64,
+) -> ScenarioRun {
+    Testbed::builder(spec_of(variant))
+        .nodes(n_nodes)
+        .budget(budget)
+        .build()
+        .run_script(&disturbances)
+}
 
 #[test]
 fn fig1b_run_shows_double_reception_on_standard_can() {

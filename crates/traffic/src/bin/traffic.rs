@@ -23,7 +23,7 @@
 //! property (suppressed by `--allow-violations`, for impairment studies
 //! where violations are the measurement).
 
-use majorcan_bench::cli::{self, CliArgs, ExtraFlag};
+use majorcan_bench::cli::{self, exit_code, CliArgs, ExtraFlag};
 use majorcan_campaign::{
     run_campaign_in_memory_scoped, run_campaign_scoped, FaultSpec, Job, JobResult, Manifest,
     ProtocolSpec, WorkloadSpec,
@@ -44,7 +44,7 @@ struct ExportPlan {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    std::process::exit(2);
+    std::process::exit(exit_code::USAGE);
 }
 
 fn main() {
@@ -265,7 +265,7 @@ fn main() {
             eprintln!("  {v}");
         }
         if !cli.extra_flag("--allow-violations") {
-            std::process::exit(3);
+            std::process::exit(exit_code::FINDING);
         }
     }
 }

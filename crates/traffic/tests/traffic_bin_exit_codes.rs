@@ -3,6 +3,7 @@
 //! exit 3 when the incremental checker flags a violation (unless
 //! `--allow-violations`), exit 2 on bad arguments.
 
+use majorcan_bench::cli::exit_code;
 use std::process::Command;
 
 fn traffic_bin() -> Command {
@@ -21,7 +22,11 @@ fn run(args: &[&str]) -> (Option<i32>, String, String) {
 #[test]
 fn clean_soak_exits_zero() {
     let (code, stdout, stderr) = run(&["120", "4", "--quiet", "--jobs", "1"]);
-    assert_eq!(code, Some(0), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert_eq!(
+        code,
+        Some(exit_code::CONSISTENT),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
     assert!(
         stdout.matches("consistent").count() == 9,
         "all 3 protocols × 3 loads consistent:\n{stdout}"
@@ -49,7 +54,11 @@ fn online_violation_exits_three() {
         "7",
     ];
     let (code, stdout, stderr) = run(&args);
-    assert_eq!(code, Some(3), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert_eq!(
+        code,
+        Some(exit_code::FINDING),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
     assert!(
         stderr.contains("violating cell"),
         "diagnostics name the cells:\n{stderr}"
@@ -59,16 +68,20 @@ fn online_violation_exits_three() {
     let mut allowed: Vec<&str> = args.to_vec();
     allowed.push("--allow-violations");
     let (code, stdout, stderr) = run(&allowed);
-    assert_eq!(code, Some(0), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert_eq!(
+        code,
+        Some(exit_code::CONSISTENT),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
     assert!(stderr.contains("violating cell"), "{stderr}");
 }
 
 #[test]
 fn bad_arguments_exit_two() {
     let (code, _, stderr) = run(&["--no-such-flag"]);
-    assert_eq!(code, Some(2), "{stderr}");
+    assert_eq!(code, Some(exit_code::USAGE), "{stderr}");
     let (code, _, stderr) = run(&["--loads", "0,150"]);
-    assert_eq!(code, Some(2), "{stderr}");
+    assert_eq!(code, Some(exit_code::USAGE), "{stderr}");
     let (code, _, stderr) = run(&["--burst-ber", "1.5", "--bursts"]);
-    assert_eq!(code, Some(2), "{stderr}");
+    assert_eq!(code, Some(exit_code::USAGE), "{stderr}");
 }

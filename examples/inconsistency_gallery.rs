@@ -10,7 +10,15 @@ use majorcan::abcast::{render_delivery_matrix, trace_from_can_events};
 use majorcan::can::{StandardCan, Variant};
 use majorcan::faults::Scenario;
 use majorcan::protocols::{MajorCan, MinorCan};
-use majorcan::testbed::run_scenario;
+use majorcan::testbed::{spec_of, ScenarioRun, Testbed};
+
+fn run_scenario<V: Variant>(variant: &V, scenario: &Scenario, budget: u64) -> ScenarioRun {
+    Testbed::builder(spec_of(variant))
+        .nodes(scenario.n_nodes)
+        .budget(budget)
+        .build()
+        .run_scenario(scenario)
+}
 
 fn verdict<V: Variant>(variant: &V, scenario: &Scenario) -> String {
     let run = run_scenario(variant, scenario, 1_200);

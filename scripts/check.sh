@@ -150,4 +150,27 @@ echo "==> hot-path bench smoke run (quick mode, regenerates BENCH_hotpath.json)"
 # it with this machine's quick-mode numbers.
 cargo run -q --release -p majorcan-testbed --bin bench_hotpath -- --quick
 
+echo "==> batch-vs-scalar determinism smoke (same slice through both execution paths)"
+# The prefix-fork batch engine must report exactly what the scalar hot
+# loop reports: run the same falsifier slice through run_batch (default)
+# and schedule-by-schedule (--scalar) and diff the JSONL artifacts, which
+# record every job's per-outcome counters.
+cargo run -q -p majorcan-falsify --bin falsify -- \
+    80 --seed 0xBA7C4 --jobs 2 --quiet --out "$tmp/b1.jsonl" >/dev/null
+cargo run -q -p majorcan-falsify --bin falsify -- \
+    80 --seed 0xBA7C4 --jobs 2 --quiet --scalar --out "$tmp/b2.jsonl" >/dev/null
+sort "$tmp/b1.jsonl" >"$tmp/b1.sorted"
+sort "$tmp/b2.jsonl" >"$tmp/b2.sorted"
+if ! cmp -s "$tmp/b1.sorted" "$tmp/b2.sorted"; then
+    echo "FAIL: falsifier artifact differs between batch and scalar evaluation" >&2
+    exit 1
+fi
+echo "    batch and scalar evaluation produce identical artifacts ($(wc -l <"$tmp/b1.jsonl") jobs)"
+
+echo "==> batch bench smoke run (quick mode, regenerates BENCH_batch.json)"
+# Fails on schema drift against the committed artifact, and measure()
+# itself asserts every schedule classifies identically through run_batch
+# and run_schedule before a single number is reported.
+cargo run -q --release -p majorcan-testbed --bin bench_batch -- --quick
+
 echo "OK"

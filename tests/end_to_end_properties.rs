@@ -6,10 +6,14 @@ use majorcan::abcast::{trace_from_can_events, Report};
 use majorcan::can::{StandardCan, Variant};
 use majorcan::faults::Scenario;
 use majorcan::protocols::{MajorCan, MinorCan};
-use majorcan::testbed::run_scenario;
+use majorcan::testbed::{spec_of, Testbed};
 
 fn grade<V: Variant>(variant: &V, scenario: &Scenario) -> Report {
-    let run = run_scenario(variant, scenario, 1_500);
+    let run = Testbed::builder(spec_of(variant))
+        .nodes(scenario.n_nodes)
+        .budget(1_500)
+        .build()
+        .run_scenario(scenario);
     assert!(
         run.script_exhausted,
         "{} under {}: the disturbance script must fire",
