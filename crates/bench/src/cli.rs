@@ -16,8 +16,12 @@
 //! [`CliArgs::parse_with_extras`]; undeclared `--…` arguments still fail
 //! fast instead of being swallowed as positionals.
 
-use majorcan_campaign::{CampaignOptions, JsonlSink, Manifest};
+use majorcan_campaign::{
+    merge_ready, merge_shards, run_fleet_worker, CampaignOptions, ChaosMode, FleetManifest,
+    FleetOptions, Job, JobResult, JsonlSink, Manifest, MergeError, ShardOutcome, Totals,
+};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// The exit-code contract every campaign-backed binary shares. The
 /// spawned-binary contract tests assert against these constants, so a
@@ -222,6 +226,231 @@ impl CliArgs {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet (sharded) execution
+// ---------------------------------------------------------------------------
+
+/// The shared fleet flags. Campaign-backed binaries concatenate these with
+/// their own [`ExtraFlag`]s (via [`with_shard_flags`]) and hand the parsed
+/// [`CliArgs`] plus their job list to [`fleet`]; every such binary gains
+/// crash-tolerant sharded execution, verified merging and chaos injection
+/// without binary-specific code.
+pub const SHARD_FLAGS: &[ExtraFlag] = &[
+    ExtraFlag::value("--shard", "<k/n: run shard k of an n-shard fleet>"),
+    ExtraFlag::value("--shard-dir", "<dir: fleet coordination directory>"),
+    ExtraFlag::switch("--merge", "(verify + merge a finished fleet)"),
+    ExtraFlag::switch("--scavenge", "(reclaim stale shards after finishing)"),
+    ExtraFlag::value("--chaos", "<kill|truncate|flip|dup|stale>"),
+    ExtraFlag::value("--stale-after-ms", "<ms: lease staleness threshold>"),
+];
+
+/// A binary's own flags plus the shared fleet flags, for
+/// [`CliArgs::parse_with_extras`].
+pub fn with_shard_flags(own: &[ExtraFlag]) -> Vec<ExtraFlag> {
+    own.iter().chain(SHARD_FLAGS.iter()).copied().collect()
+}
+
+fn parse_shard_spec(text: &str) -> (u64, u64) {
+    if let Some((k, n)) = text.split_once('/') {
+        let (k, n) = (parse_u64("--shard", k), parse_u64("--shard", n));
+        if n >= 1 && k < n {
+            return (k, n);
+        }
+    }
+    die(&format!("--shard expects <k/n> with k < n, got {text:?}"))
+}
+
+/// Where the merged artifact goes: `--out` when given, else
+/// `<shard-dir>/merged.jsonl`.
+fn merged_out(cli: &CliArgs, dir: &Path) -> PathBuf {
+    cli.out.clone().unwrap_or_else(|| dir.join("merged.jsonl"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_and_gate(
+    dir: &Path,
+    jobs: &[Job],
+    manifest: &Manifest,
+    shards: u64,
+    out: &Path,
+    gate: &dyn Fn(&Totals) -> Option<String>,
+    demanded: bool,
+    quiet: bool,
+) -> i32 {
+    match merge_shards(dir, jobs, manifest, shards, out) {
+        Ok(summary) => {
+            if !quiet || demanded {
+                let dedup = if summary.deduplicated > 0 {
+                    format!(", {} duplicate(s) deduplicated", summary.deduplicated)
+                } else {
+                    String::new()
+                };
+                println!(
+                    "merged {} job(s) from {shards} shard(s) -> {} \
+                     (campaign anchor {:#018x}{dedup})",
+                    summary.jobs,
+                    out.display(),
+                    summary.campaign_anchor,
+                );
+            }
+            match gate(&summary.totals) {
+                Some(finding) => {
+                    eprintln!("finding: {finding}");
+                    exit_code::FINDING
+                }
+                None => exit_code::CONSISTENT,
+            }
+        }
+        // A worker's opportunistic merge defers on an unfinished shard
+        // (another worker may still be racing its anchor in); a demanded
+        // `--merge` reports it through the exit-code contract instead.
+        Err(MergeError::Incomplete {
+            shard,
+            detail,
+            live,
+        }) if !demanded => {
+            if !quiet {
+                let state = if live { "live" } else { "unclaimed or stale" };
+                eprintln!("merge deferred — shard {shard} ({state}): {detail}");
+            }
+            exit_code::CONSISTENT
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            e.exit_code()
+        }
+    }
+}
+
+/// The shared fleet driver. Returns `None` when no fleet flag was passed
+/// (the binary proceeds with its ordinary single-process path) and
+/// `Some(exit_code)` when this invocation was a fleet worker or merge.
+///
+/// * `--shard k/n --shard-dir d` claims and executes shard `k`, then
+///   opportunistically merges when every anchor is committed (an
+///   unfinished fleet is exit 0: run the remaining shards);
+/// * `--merge --shard-dir d` verifies and merges a finished fleet,
+///   surfacing integrity failures through the exit-code contract;
+/// * `gate` inspects the merged [`Totals`] and returns a finding message
+///   to exit [`exit_code::FINDING`], mirroring the binary's
+///   single-process verdict;
+/// * in fleet mode `--out` names the merged artifact (per-shard
+///   transcripts always live in the shard directory).
+pub fn fleet<S>(
+    cli: &CliArgs,
+    name: &str,
+    jobs: &[Job],
+    init: impl Fn() -> S + Sync,
+    run_job: impl Fn(&mut S, &Job) -> JobResult + Sync,
+    gate: impl Fn(&Totals) -> Option<String>,
+) -> Option<i32> {
+    let shard_spec = cli.extra("--shard");
+    let merge_only = cli.extra_flag("--merge");
+    if shard_spec.is_none() && !merge_only {
+        for flag in ["--shard-dir", "--chaos", "--stale-after-ms"] {
+            if cli.extra(flag).is_some() {
+                die(&format!("{flag} requires --shard <k/n> or --merge"));
+            }
+        }
+        if cli.extra_flag("--scavenge") {
+            die("--scavenge requires --shard <k/n>");
+        }
+        return None;
+    }
+    let dir = PathBuf::from(
+        cli.extra("--shard-dir")
+            .unwrap_or_else(|| die("fleet mode requires --shard-dir <dir>")),
+    );
+    let manifest = Manifest::for_jobs(name, cli.seed, jobs);
+
+    if merge_only {
+        if shard_spec.is_some() || cli.extra("--chaos").is_some() || cli.extra_flag("--scavenge") {
+            die("--merge verifies a finished fleet; drop --shard/--chaos/--scavenge");
+        }
+        // The committed fleet manifest knows the shard count; merge_shards
+        // re-verifies it against this binary's own campaign manifest.
+        let shards = match FleetManifest::load(&dir) {
+            Ok(fleet) => fleet.shards,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!(
+                    "error: {} is not a shard directory (no campaign.json)",
+                    dir.display()
+                );
+                return Some(exit_code::USAGE);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return Some(exit_code::IO);
+            }
+        };
+        let out = merged_out(cli, &dir);
+        return Some(merge_and_gate(
+            &dir, jobs, &manifest, shards, &out, &gate, true, cli.quiet,
+        ));
+    }
+
+    let (k, n) = parse_shard_spec(shard_spec.unwrap());
+    let chaos = cli.extra("--chaos").map(|t| {
+        ChaosMode::from_name(t).unwrap_or_else(|| {
+            die(&format!(
+                "--chaos expects kill|truncate|flip|dup|stale, got {t:?}"
+            ))
+        })
+    });
+    let opts = FleetOptions {
+        campaign: cli.campaign_options(),
+        stale_after: Duration::from_millis(cli.extra_u64("--stale-after-ms", 30_000)),
+        scavenge: cli.extra_flag("--scavenge"),
+        chaos,
+        ..FleetOptions::default()
+    };
+    let statuses = match run_fleet_worker(&dir, jobs, &manifest, k, n, &opts, init, run_job) {
+        Ok(statuses) => statuses,
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::InvalidInput | std::io::ErrorKind::InvalidData
+            ) =>
+        {
+            eprintln!("error: {e}");
+            return Some(exit_code::USAGE);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Some(exit_code::IO);
+        }
+    };
+    if !cli.quiet {
+        for s in &statuses {
+            let what = match &s.outcome {
+                ShardOutcome::Completed(ran) => format!("completed ({ran} job(s) executed)"),
+                ShardOutcome::AlreadyDone => "already done".to_string(),
+                ShardOutcome::Busy(lease) => format!("busy (live worker pid {})", lease.pid),
+                ShardOutcome::Failed(ran) => {
+                    format!("FAILED after {ran} job(s); no anchor committed")
+                }
+            };
+            eprintln!("shard {}/{n}: {what}", s.shard);
+        }
+    }
+    if statuses
+        .iter()
+        .any(|s| matches!(s.outcome, ShardOutcome::Failed(_)))
+    {
+        return Some(exit_code::FINDING);
+    }
+    if !merge_ready(&dir, n) {
+        if !cli.quiet {
+            eprintln!("fleet incomplete; run the remaining shards, then --merge");
+        }
+        return Some(exit_code::CONSISTENT);
+    }
+    let out = merged_out(cli, &dir);
+    Some(merge_and_gate(
+        &dir, jobs, &manifest, n, &out, &gate, false, cli.quiet,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +519,32 @@ mod tests {
         assert_eq!(cli.extra_u64("--nodes", 3), 3, "absent -> default");
         assert!(cli.extra_flag("--strict"));
         assert!(!cli.extra_flag("--other"));
+    }
+
+    #[test]
+    fn shard_flags_parse_alongside_a_binarys_own() {
+        let own = [ExtraFlag::value("--corpus", "<dir>")];
+        let all = with_shard_flags(&own);
+        assert_eq!(all.len(), own.len() + SHARD_FLAGS.len());
+        let cli = CliArgs::parse_from_with_extras(
+            strs(&[
+                "--corpus",
+                "c",
+                "--shard",
+                "1/3",
+                "--shard-dir",
+                "d",
+                "--scavenge",
+            ]),
+            1,
+            &all,
+        );
+        assert_eq!(cli.extra("--shard"), Some("1/3"));
+        assert_eq!(cli.extra("--shard-dir"), Some("d"));
+        assert!(cli.extra_flag("--scavenge"));
+        assert!(!cli.extra_flag("--merge"));
+        assert_eq!(parse_shard_spec("1/3"), (1, 3));
+        assert_eq!(parse_shard_spec("0/1"), (0, 1));
     }
 
     #[test]

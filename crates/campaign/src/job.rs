@@ -117,6 +117,67 @@ pub enum DomainSpec {
     EofOnly,
 }
 
+impl DomainSpec {
+    fn from_debug(text: &str) -> Option<DomainSpec> {
+        match text {
+            "FullFrame" => Some(DomainSpec::FullFrame),
+            "EofOnly" => Some(DomainSpec::EofOnly),
+            _ => None,
+        }
+    }
+}
+
+/// Splits a derived-`Debug` rendering `Name { k: v, k: v }` (or a bare
+/// `Name`) into the variant name and its `(key, value)` fields. Commas
+/// nested inside parentheses/braces/brackets do not split fields, so
+/// tuple-struct values survive.
+fn split_debug(text: &str) -> Option<(&str, Vec<(&str, &str)>)> {
+    let text = text.trim();
+    let Some(brace) = text.find(" { ") else {
+        return Some((text, Vec::new()));
+    };
+    let name = &text[..brace];
+    let body = text[brace + 3..].strip_suffix(" }")?;
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, b) in body.bytes().enumerate() {
+        match b {
+            b'(' | b'{' | b'[' => depth += 1,
+            b')' | b'}' | b']' => depth = depth.checked_sub(1)?,
+            b',' if depth == 0 => {
+                fields.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    fields.push(&body[start..]);
+    let mut pairs = Vec::with_capacity(fields.len());
+    for field in fields {
+        let field = field.trim();
+        let colon = field.find(": ")?;
+        pairs.push((&field[..colon], field[colon + 2..].trim()));
+    }
+    Some((name, pairs))
+}
+
+/// Looks up `key` among `split_debug` pairs and parses it with `parse`.
+fn debug_field<'a, T>(
+    pairs: &[(&str, &'a str)],
+    key: &str,
+    parse: impl FnOnce(&'a str) -> Option<T>,
+) -> Option<T> {
+    pairs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| parse(v))
+}
+
+fn field_from_debug(text: &str) -> Option<Field> {
+    Field::ALL.into_iter().find(|f| format!("{f:?}") == text)
+}
+
 /// The fault model a job runs under.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultSpec {
@@ -197,6 +258,54 @@ pub enum FaultSpec {
     },
 }
 
+impl FaultSpec {
+    /// Parses the rendering `format!("{spec:?}")` produces — the encoding
+    /// [`Job::to_json`] has always written into manifests and failure
+    /// artifacts. This is what makes a [`JobFailure`] line (and a shard's
+    /// job slice) replayable without the generating binary's job list.
+    pub fn from_debug(text: &str) -> Option<FaultSpec> {
+        let (name, f) = split_debug(text)?;
+        let p_f64 = |v: &str| v.parse::<f64>().ok();
+        let p_u64 = |v: &str| v.parse::<u64>().ok();
+        let p_usize = |v: &str| v.parse::<usize>().ok();
+        match name {
+            "None" => Some(FaultSpec::None),
+            "IndependentBitErrors" => Some(FaultSpec::IndependentBitErrors {
+                ber_star: debug_field(&f, "ber_star", p_f64)?,
+                domain: debug_field(&f, "domain", DomainSpec::from_debug)?,
+            }),
+            "GlobalEventErrors" => Some(FaultSpec::GlobalEventErrors {
+                ber: debug_field(&f, "ber", p_f64)?,
+            }),
+            "RandomTail" => Some(FaultSpec::RandomTail {
+                errors_per_frame: debug_field(&f, "errors_per_frame", p_usize)?,
+            }),
+            "SingleFlip" => Some(FaultSpec::SingleFlip {
+                node: debug_field(&f, "node", p_usize)?,
+                field: debug_field(&f, "field", field_from_debug)?,
+                index: debug_field(&f, "index", |v| v.parse::<u16>().ok())?,
+                stuff: debug_field(&f, "stuff", |v| v.parse::<bool>().ok())?,
+            }),
+            "AdversarialSearch" => Some(FaultSpec::AdversarialSearch {
+                max_errors: debug_field(&f, "max_errors", p_usize)?,
+            }),
+            "ErrorBursts" => Some(FaultSpec::ErrorBursts {
+                period: debug_field(&f, "period", p_u64)?,
+                len: debug_field(&f, "len", p_u64)?,
+                ber_star: debug_field(&f, "ber_star", p_f64)?,
+            }),
+            "AttackSearch" => Some(FaultSpec::AttackSearch {
+                max_cost: debug_field(&f, "max_cost", p_u64)?,
+            }),
+            "BusOffAttack" => Some(FaultSpec::BusOffAttack {
+                victim: debug_field(&f, "victim", p_usize)?,
+                budget: debug_field(&f, "budget", p_u64)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// The traffic pattern a job drives.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
@@ -224,6 +333,27 @@ pub enum WorkloadSpec {
         /// Per-mille of senders that are sporadic (0–1000).
         sporadic_permille: u16,
     },
+}
+
+impl WorkloadSpec {
+    /// Parses the rendering `format!("{spec:?}")` produces (the manifest /
+    /// failure-artifact encoding). See [`FaultSpec::from_debug`].
+    pub fn from_debug(text: &str) -> Option<WorkloadSpec> {
+        let (name, f) = split_debug(text)?;
+        match name {
+            "SingleBroadcast" => Some(WorkloadSpec::SingleBroadcast),
+            "PeriodicLoad" => Some(WorkloadSpec::PeriodicLoad {
+                load: debug_field(&f, "load", |v| v.parse().ok())?,
+                horizon: debug_field(&f, "horizon", |v| v.parse().ok())?,
+            }),
+            "SustainedTraffic" => Some(WorkloadSpec::SustainedTraffic {
+                load: debug_field(&f, "load", |v| v.parse().ok())?,
+                frames: debug_field(&f, "frames", |v| v.parse().ok())?,
+                sporadic_permille: debug_field(&f, "sporadic_permille", |v| v.parse().ok())?,
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// One independent unit of campaign work.
@@ -279,6 +409,23 @@ impl Job {
             .set("n_nodes", Value::from(self.n_nodes))
             .set("frames", Value::U64(self.frames));
         v
+    }
+
+    /// Parses a description written by [`Job::to_json`] back into a full
+    /// `Job` — the inverse that makes failure artifacts and shard job
+    /// slices self-contained repros. The recorded seed is taken verbatim
+    /// (not re-derived), so a parsed job replays the exact random universe
+    /// the original ran.
+    pub fn from_json(v: &Value) -> Option<Job> {
+        Some(Job {
+            id: v.get("id")?.as_u64()?,
+            seed: v.get("seed")?.as_u64()?,
+            protocol: ProtocolSpec::from_name(v.get("protocol")?.as_str()?)?,
+            fault: FaultSpec::from_debug(v.get("fault")?.as_str()?)?,
+            workload: WorkloadSpec::from_debug(v.get("workload")?.as_str()?)?,
+            n_nodes: v.get("n_nodes")?.as_u64()? as usize,
+            frames: v.get("frames")?.as_u64()?,
+        })
     }
 }
 
@@ -411,6 +558,10 @@ pub struct JobFailure {
     pub seed: u64,
     /// The panic payload, if it was a string.
     pub message: String,
+    /// Who was executing when the job died: `"<label>/worker<i>"` in fleet
+    /// mode (e.g. `"shard3/worker0"`), `"pid<p>/worker<i>"` otherwise.
+    /// Empty on artifacts predating fleet execution.
+    pub origin: String,
     /// The failed job's full JSON description ([`Job::to_json`]), so the
     /// failure line is a standalone repro.
     pub job: Value,
@@ -423,8 +574,21 @@ impl JobFailure {
             job_id: job.id,
             seed: job.seed,
             message,
+            origin: String::new(),
             job: job.to_json(),
         }
+    }
+
+    /// Stamps the worker/shard identity that hit the failure.
+    pub fn with_origin(mut self, origin: impl Into<String>) -> JobFailure {
+        self.origin = origin.into();
+        self
+    }
+
+    /// Reconstructs the failed [`Job`] from the embedded payload, if the
+    /// line carries one ([`Job::from_json`]).
+    pub fn job_repro(&self) -> Option<Job> {
+        Job::from_json(&self.job)
     }
 
     /// One JSONL line for the failures artifact.
@@ -433,18 +597,25 @@ impl JobFailure {
         v.set("job_id", Value::U64(self.job_id))
             .set("seed", Value::U64(self.seed))
             .set("error", Value::from(self.message.as_str()))
+            .set("origin", Value::from(self.origin.as_str()))
             .set("job", self.job.clone());
         v
     }
 
     /// Parses a line written by [`JobFailure::to_json`]. Lines from
-    /// artifacts predating the embedded payload (no `"job"` key) load with
-    /// a `Null` payload rather than failing.
+    /// artifacts predating the embedded payload (no `"job"` key) or the
+    /// origin stamp load with a `Null` payload / empty origin rather than
+    /// failing.
     pub fn from_json(v: &Value) -> Option<JobFailure> {
         Some(JobFailure {
             job_id: v.get("job_id")?.as_u64()?,
             seed: v.get("seed")?.as_u64()?,
             message: v.get("error")?.as_str()?.to_string(),
+            origin: v
+                .get("origin")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
             job: v.get("job").cloned().unwrap_or(Value::Null),
         })
     }
@@ -553,6 +724,114 @@ mod tests {
         let back = JobFailure::from_json(&crate::json::parse(legacy).unwrap()).unwrap();
         assert_eq!(back.job_id, 5);
         assert_eq!(back.job, Value::Null);
+        assert_eq!(back.origin, "");
+    }
+
+    #[test]
+    fn failure_origin_round_trips_and_yields_a_replayable_job() {
+        let job = Job::new(
+            11,
+            0xFA15,
+            ProtocolSpec::MajorCan { m: 5 },
+            FaultSpec::AdversarialSearch { max_errors: 4 },
+            WorkloadSpec::SingleBroadcast,
+            3,
+            50,
+        );
+        let failure = JobFailure::for_job(&job, "boom".to_string()).with_origin("shard2/worker1");
+        let line = failure.to_json().to_string();
+        assert!(line.contains("\"origin\":\"shard2/worker1\""), "{line}");
+        let back = JobFailure::from_json(&crate::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, failure);
+        // The embedded payload alone reconstructs the exact job — fleet
+        // failures replay without the generating manifest.
+        assert_eq!(back.job_repro(), Some(job));
+    }
+
+    #[test]
+    fn every_fault_spec_round_trips_through_debug() {
+        let specs = [
+            FaultSpec::None,
+            FaultSpec::IndependentBitErrors {
+                ber_star: 0.02,
+                domain: DomainSpec::EofOnly,
+            },
+            FaultSpec::IndependentBitErrors {
+                ber_star: 1e-4,
+                domain: DomainSpec::FullFrame,
+            },
+            FaultSpec::GlobalEventErrors { ber: 0.001 },
+            FaultSpec::RandomTail {
+                errors_per_frame: 3,
+            },
+            FaultSpec::SingleFlip {
+                node: 2,
+                field: Field::AckDelim,
+                index: 0,
+                stuff: true,
+            },
+            FaultSpec::AdversarialSearch { max_errors: 8 },
+            FaultSpec::ErrorBursts {
+                period: 1500,
+                len: 30,
+                ber_star: 0.5,
+            },
+            FaultSpec::AttackSearch { max_cost: 16 },
+            FaultSpec::BusOffAttack {
+                victim: 1,
+                budget: 4000,
+            },
+        ];
+        for spec in specs {
+            let text = format!("{spec:?}");
+            assert_eq!(FaultSpec::from_debug(&text), Some(spec), "{text}");
+        }
+        assert_eq!(FaultSpec::from_debug("Bogus { x: 1 }"), None);
+        assert_eq!(FaultSpec::from_debug("GlobalEventErrors { }"), None);
+    }
+
+    #[test]
+    fn every_workload_spec_round_trips_through_debug() {
+        let specs = [
+            WorkloadSpec::SingleBroadcast,
+            WorkloadSpec::PeriodicLoad {
+                load: 0.35,
+                horizon: 200_000,
+            },
+            WorkloadSpec::SustainedTraffic {
+                load: 0.5,
+                frames: 1000,
+                sporadic_permille: 250,
+            },
+        ];
+        for spec in specs {
+            let text = format!("{spec:?}");
+            assert_eq!(WorkloadSpec::from_debug(&text), Some(spec), "{text}");
+        }
+        assert_eq!(WorkloadSpec::from_debug("PeriodicLoad"), None);
+    }
+
+    #[test]
+    fn job_json_round_trips_for_every_field_variant() {
+        for (i, field) in Field::ALL.into_iter().enumerate() {
+            let job = Job::new(
+                i as u64,
+                7,
+                ProtocolSpec::MajorCan { m: 3 },
+                FaultSpec::SingleFlip {
+                    node: 1,
+                    field,
+                    index: 2,
+                    stuff: false,
+                },
+                WorkloadSpec::SingleBroadcast,
+                3,
+                10,
+            );
+            let line = job.to_json().to_string();
+            let back = Job::from_json(&crate::json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, job, "{line}");
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod json;
 
 mod job;
 mod runner;
+pub mod shard;
 mod sink;
 
 pub use job::{
@@ -68,5 +69,9 @@ pub use job::{
 pub use runner::{
     run_campaign, run_campaign_in_memory, run_campaign_in_memory_scoped, run_campaign_scoped,
     CampaignOptions, CampaignReport, WorkerStats,
+};
+pub use shard::{
+    campaign_anchor, merge_ready, merge_shards, run_fleet_worker, shard_of, ChaosMode,
+    FleetManifest, FleetOptions, MergeError, MergeSummary, ShardAnchor, ShardOutcome, ShardStatus,
 };
 pub use sink::{JsonlSink, Manifest};

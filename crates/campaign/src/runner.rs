@@ -24,6 +24,11 @@ pub struct CampaignOptions {
     pub progress: bool,
     /// Minimum interval between progress lines.
     pub progress_every: Duration,
+    /// Identity stamped into [`JobFailure::origin`] as
+    /// `"<label>/worker<i>"` — shard workers set `"shard<k>"`; `None`
+    /// falls back to `"pid<p>/worker<i>"` so a failure always names the
+    /// process that hit it.
+    pub label: Option<String>,
 }
 
 impl Default for CampaignOptions {
@@ -32,6 +37,7 @@ impl Default for CampaignOptions {
             workers: 0,
             progress: true,
             progress_every: Duration::from_secs(2),
+            label: None,
         }
     }
 }
@@ -43,6 +49,14 @@ impl CampaignOptions {
             workers,
             progress: false,
             ..CampaignOptions::default()
+        }
+    }
+
+    /// The failure-origin prefix for this run (label or `pid<p>`).
+    fn origin_prefix(&self) -> String {
+        match &self.label {
+            Some(label) => label.clone(),
+            None => format!("pid{}", std::process::id()),
         }
     }
 
@@ -276,6 +290,7 @@ where
     let mut progress = Progress::new(jobs.len() as u64, skipped, opts.progress_every);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<Completion>();
+    let origin_prefix = opts.origin_prefix();
 
     std::thread::scope(|scope| -> io::Result<()> {
         for worker in 0..workers {
@@ -284,6 +299,7 @@ where
             let next = &next;
             let run_job = &run_job;
             let init = &init;
+            let origin_prefix = &origin_prefix;
             scope.spawn(move || {
                 let mut state = init();
                 loop {
@@ -297,7 +313,10 @@ where
                             // The panic may have left the reusable state
                             // mid-mutation; rebuild it before the next job.
                             state = init();
-                            Outcome::Panicked(JobFailure::for_job(job, panic_message(payload)))
+                            Outcome::Panicked(
+                                JobFailure::for_job(job, panic_message(payload))
+                                    .with_origin(format!("{origin_prefix}/worker{worker}")),
+                            )
                         }
                     };
                     let completion = Completion {

@@ -38,7 +38,11 @@ pub struct Manifest {
     pub digest: u64,
 }
 
-fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+/// FNV-1a offset basis (shared by the manifest digest and the shard
+/// anchor chain).
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+pub(crate) fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     for &b in bytes {
         *hash ^= b as u64;
         *hash = hash.wrapping_mul(0x1000_0000_01B3);
@@ -48,7 +52,7 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
 impl Manifest {
     /// Builds the manifest describing `jobs`.
     pub fn for_jobs(name: &str, campaign_seed: u64, jobs: &[Job]) -> Manifest {
-        let mut digest = 0xCBF2_9CE4_8422_2325u64;
+        let mut digest = FNV_OFFSET;
         for job in jobs {
             fnv1a(&mut digest, job.to_json().to_string().as_bytes());
             fnv1a(&mut digest, b"\n");
@@ -61,7 +65,7 @@ impl Manifest {
         }
     }
 
-    fn to_json(&self) -> Value {
+    pub(crate) fn to_json(&self) -> Value {
         let mut v = Value::obj();
         v.set("name", Value::from(self.name.as_str()))
             .set("campaign_seed", Value::U64(self.campaign_seed))
@@ -70,7 +74,7 @@ impl Manifest {
         v
     }
 
-    fn from_json(v: &Value) -> Option<Manifest> {
+    pub(crate) fn from_json(v: &Value) -> Option<Manifest> {
         Some(Manifest {
             name: v.get("name")?.as_str()?.to_string(),
             campaign_seed: v.get("campaign_seed")?.as_u64()?,
@@ -89,7 +93,7 @@ pub struct JsonlSink {
     completed: BTreeMap<u64, JobResult>,
 }
 
-fn side_path(results: &Path, suffix: &str) -> PathBuf {
+pub(crate) fn side_path(results: &Path, suffix: &str) -> PathBuf {
     let mut name = results
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
@@ -139,18 +143,68 @@ impl JsonlSink {
             if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
                 std::fs::create_dir_all(parent)?;
             }
-            let mut f = File::create(&manifest_path)?;
-            writeln!(f, "{}", manifest.to_json())?;
+            // Write-to-temp + rename: a kill mid-write must never leave a
+            // half-written manifest that wedges every later resume.
+            let tmp = side_path(path, &format!(".manifest.json.tmp{}", std::process::id()));
+            {
+                let mut f = File::create(&tmp)?;
+                writeln!(f, "{}", manifest.to_json())?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, &manifest_path)?;
         }
 
         let mut completed = BTreeMap::new();
         if path.exists() {
             let mut text = String::new();
             File::open(path)?.read_to_string(&mut text)?;
-            for line in text.lines() {
-                if let Some(result) = parse(line).ok().as_ref().and_then(JobResult::from_json) {
-                    completed.insert(result.job_id, result);
+            // A process killed mid-append leaves at most one truncated
+            // trailing line; tolerate it (log + chop, so the artifact stays
+            // clean JSONL) and re-run its job. An unparseable line in the
+            // *interior* is corruption, not a kill artifact — fail loudly
+            // instead of silently absorbing it into the numbers.
+            let mut offset = 0usize;
+            let mut valid_len = 0usize;
+            let mut bad: Option<(usize, usize)> = None; // (line number, byte offset)
+            for (idx, seg) in text.split_inclusive('\n').enumerate() {
+                let start = offset;
+                offset += seg.len();
+                let line = seg.trim_end_matches(['\n', '\r']);
+                if line.is_empty() {
+                    valid_len = offset;
+                    continue;
                 }
+                match parse(line).ok().as_ref().and_then(JobResult::from_json) {
+                    Some(result) => {
+                        if let Some((bad_line, _)) = bad {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "corrupt interior line {} in {} (parseable results follow \
+                                     it); refusing to resume over a damaged artifact",
+                                    bad_line,
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        completed.insert(result.job_id, result);
+                        valid_len = offset;
+                    }
+                    None => bad = Some((idx + 1, start)),
+                }
+            }
+            if let Some((bad_line, bad_offset)) = bad {
+                eprintln!(
+                    "campaign: tolerating truncated trailing line {} in {} \
+                     (mid-write kill); its job will be re-run",
+                    bad_line,
+                    path.display()
+                );
+                debug_assert!(bad_offset >= valid_len || valid_len == 0);
+                OpenOptions::new()
+                    .write(true)
+                    .open(path)?
+                    .set_len(bad_offset as u64)?;
             }
         }
 
@@ -246,6 +300,63 @@ mod tests {
         let sink = JsonlSink::open(&path, &manifest).unwrap();
         assert_eq!(sink.completed().len(), 1);
         assert!(sink.completed().contains_key(&0));
+        // The truncated tail is physically removed, so the artifact is
+        // clean JSONL again (merge/anchor tooling hashes raw lines).
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.contains("\"seed\":2,"),
+            "truncated tail must be chopped on resume: {text:?}"
+        );
+        assert!(text.ends_with('\n') || text.is_empty(), "{text:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_corruption_is_refused_not_absorbed() {
+        let dir = tmp_dir("interior");
+        let path = dir.join("results.jsonl");
+        let jobs = sample_jobs(3);
+        let manifest = Manifest::for_jobs("t", 7, &jobs);
+        {
+            let mut sink = JsonlSink::open(&path, &manifest).unwrap();
+            let mut r = JobResult::for_job(&jobs[0]);
+            r.frames = 10;
+            sink.record(&r).unwrap();
+            let mut r1 = JobResult::for_job(&jobs[1]);
+            r1.frames = 10;
+            sink.record(&r1).unwrap();
+        }
+        // Corrupt the FIRST line (not the tail): that is damage, not a
+        // mid-write kill, and resume must refuse rather than silently
+        // re-run job 0 over a poisoned artifact.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[0] = "{\"job_id\":0,\"seed";
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = JsonlSink::open(&path, &manifest).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("interior"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_write_is_atomic_no_temp_left_behind() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("results.jsonl");
+        let jobs = sample_jobs(2);
+        let manifest = Manifest::for_jobs("t", 7, &jobs);
+        JsonlSink::open(&path, &manifest).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        assert!(path.with_file_name("results.jsonl.manifest.json").is_file());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

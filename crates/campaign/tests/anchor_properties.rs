@@ -1,0 +1,216 @@
+//! Property tests for transcript-anchor stability: the shard anchor must
+//! be a pure function of the campaign's deterministic results —
+//! invariant under worker count, shard visit order, job completion order
+//! and resume/retry interleavings — while any single-byte substitution
+//! in a committed transcript line must change it.
+
+use majorcan_campaign::shard::ShardAnchor;
+use majorcan_campaign::{
+    merge_shards, run_fleet_worker, shard_of, CampaignOptions, FaultSpec, FleetOptions, Job,
+    JobResult, JsonlSink, Manifest, ProtocolSpec, WorkloadSpec,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn jobs(campaign_seed: u64, n: u64) -> Vec<Job> {
+    (0..n)
+        .map(|id| {
+            Job::new(
+                id,
+                campaign_seed,
+                ProtocolSpec::MajorCan { m: 2 },
+                FaultSpec::None,
+                WorkloadSpec::SingleBroadcast,
+                3,
+                1 + id % 5,
+            )
+        })
+        .collect()
+}
+
+fn synthetic(job: &Job) -> JobResult {
+    let mut r = JobResult::for_job(job);
+    r.frames = job.frames;
+    r.bits = job.frames * (100 + job.seed % 55);
+    r.counters.add("imo", job.seed % 3);
+    r.counters.add("retx", job.seed % 11);
+    r
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "majorcan-anchor-prop-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(workers: usize) -> FleetOptions {
+    FleetOptions {
+        campaign: CampaignOptions::quiet(workers),
+        stale_after: Duration::from_millis(500),
+        claim_backoff: Duration::from_millis(5),
+        ..FleetOptions::default()
+    }
+}
+
+/// Runs a full fleet over `dir`, visiting shards in `order` with the
+/// given per-shard thread count, and returns (shard anchors, campaign
+/// anchor, merged bytes).
+fn run_fleet(
+    dir: &Path,
+    all: &[Job],
+    manifest: &Manifest,
+    shards: u64,
+    order: &[u64],
+    workers: usize,
+) -> (Vec<u64>, u64, String) {
+    for &k in order {
+        run_fleet_worker(
+            dir,
+            all,
+            manifest,
+            k,
+            shards,
+            &opts(workers),
+            || (),
+            |_, j| synthetic(j),
+        )
+        .unwrap();
+    }
+    let out = dir.join("merged.jsonl");
+    let summary = merge_shards(dir, all, manifest, shards, &out).unwrap();
+    let text = std::fs::read_to_string(&out).unwrap();
+    (summary.shard_anchors, summary.campaign_anchor, text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The anchors and merged bytes are a pure function of (campaign,
+    // shard count): worker threads, shard visit order, a resumed
+    // partial shard and a retried (bit-identical duplicate) line all
+    // leave them untouched.
+    #[test]
+    fn anchors_invariant_under_workers_order_resume_and_retry(
+        seed in 0u64..1_000_000,
+        n_jobs in 4u64..16,
+        shards in 1u64..5,
+        rotate in 0u64..5,
+        prefix in 0usize..3,
+        workers in 1usize..4,
+    ) {
+        let all = jobs(seed, n_jobs);
+        let manifest = Manifest::for_jobs("prop", seed, &all);
+
+        // Baseline: in-order visit, single-threaded shards.
+        let base_dir = tmp_dir("base");
+        let order: Vec<u64> = (0..shards).collect();
+        let (base_anchors, base_campaign, base_text) =
+            run_fleet(&base_dir, &all, &manifest, shards, &order, 1);
+
+        // Variant: rotated+reversed visit order, multi-threaded shards,
+        // with the last shard partially pre-recorded (a resumed worker
+        // generation) and one line duplicated (a retried claim).
+        let var_dir = tmp_dir("var");
+        let resumed_shard = shards - 1;
+        let mine: Vec<Job> = all
+            .iter()
+            .filter(|j| shard_of(j.id, shards) == resumed_shard)
+            .cloned()
+            .collect();
+        let shard_manifest = Manifest::for_jobs(
+            &format!("{}#shard{resumed_shard}of{shards}", manifest.name),
+            seed,
+            &mine,
+        );
+        let shard_path = var_dir.join(format!("shard-{resumed_shard}.jsonl"));
+        let mut sink = JsonlSink::open(&shard_path, &shard_manifest).unwrap();
+        for job in mine.iter().take(prefix.min(mine.len())) {
+            sink.record(&synthetic(job)).unwrap();
+        }
+        drop(sink);
+        if prefix > 0 && !mine.is_empty() {
+            // Retry interleaving: the first recorded line is re-executed
+            // bit-identically by a raced worker.
+            let text = std::fs::read_to_string(&shard_path).unwrap();
+            if let Some(first) = text.lines().next().map(str::to_string) {
+                std::fs::write(&shard_path, format!("{text}{first}\n")).unwrap();
+            }
+        }
+        let mut order: Vec<u64> = (0..shards).map(|i| (i + rotate) % shards).collect();
+        order.reverse();
+        let (var_anchors, var_campaign, var_text) =
+            run_fleet(&var_dir, &all, &manifest, shards, &order, workers);
+
+        prop_assert_eq!(base_anchors, var_anchors);
+        prop_assert_eq!(base_campaign, var_campaign);
+        prop_assert_eq!(base_text, var_text);
+
+        let _ = std::fs::remove_dir_all(&base_dir);
+        let _ = std::fs::remove_dir_all(&var_dir);
+    }
+
+    // Any single-byte substitution in any canonical result line changes
+    // both that job's transcript hash and the shard anchor chain.
+    #[test]
+    fn any_single_byte_substitution_changes_the_anchor(
+        seed in 0u64..1_000_000,
+        n_jobs in 1u64..8,
+        victim in 0u64..8,
+        pos_salt in 0usize..10_000,
+        byte_salt in 0u8..255,
+    ) {
+        let all = jobs(seed, n_jobs);
+        let victim = victim % n_jobs;
+        let mut results: BTreeMap<u64, JobResult> = all
+            .iter()
+            .map(|j| (j.id, synthetic(j)))
+            .collect();
+        let clean = ShardAnchor::over(0, &results);
+
+        // Perturb one byte of the victim's canonical line by rewriting
+        // the parsed result so the line re-encodes with exactly that
+        // byte changed — covering every byte position via pos_salt.
+        let line = results[&victim].to_json().to_string();
+        let bytes = line.as_bytes();
+        let pos = pos_salt % bytes.len();
+        let old = bytes[pos];
+        // Substitute with a different ASCII byte (printable, avoids
+        // UTF-8 concerns); FNV-1a's per-byte ops are bijective, so any
+        // substitution must change the hash.
+        let candidates = (b' '..=b'~').filter(|&b| b != old);
+        let replacement = candidates
+            .clone()
+            .nth(byte_salt as usize % candidates.count())
+            .unwrap();
+        let mut perturbed = bytes.to_vec();
+        perturbed[pos] = replacement;
+        let perturbed_line = String::from_utf8(perturbed).unwrap();
+
+        prop_assert_ne!(
+            majorcan_campaign::shard::result_line_hash(&line),
+            majorcan_campaign::shard::result_line_hash(&perturbed_line),
+            "substituting byte {} ({:?} -> {:?}) must change the line hash",
+            pos, old as char, replacement as char
+        );
+
+        // And a semantic perturbation (any counter/field change that
+        // alters the encoding) changes the shard chain and only the
+        // victim's entry.
+        results.get_mut(&victim).unwrap().bits ^= 1 << (byte_salt % 48);
+        let dirty = ShardAnchor::over(0, &results);
+        prop_assert_ne!(clean.anchor, dirty.anchor);
+        for (&(id, a), &(_, b)) in clean.entries.iter().zip(dirty.entries.iter()) {
+            prop_assert_eq!(a == b, id != victim, "entry {}", id);
+        }
+    }
+}

@@ -430,7 +430,7 @@ fn action_sort_key(a: &AttackAction) -> (u8, u64, usize, String, u16, u64) {
 fn execute_attack_job(
     oracle: &mut AttackOracle,
     job: &Job,
-    findings: &Mutex<Vec<AttackFinding>>,
+    findings: Option<&Mutex<Vec<AttackFinding>>>,
 ) -> JobResult {
     let FaultSpec::AttackSearch { max_cost } = job.fault else {
         panic!("attack executor got a non-attack job {}", job.id);
@@ -446,16 +446,27 @@ fn execute_attack_job(
         out.frames += 1;
         out.bits += ATTACK_BUDGET;
         if outcome.is_break() {
-            findings.lock().unwrap().push(AttackFinding {
-                target: job.protocol,
-                job_id: job.id,
-                trial,
-                outcome,
-                schedule: schedule.clone(),
-            });
+            if let Some(findings) = findings {
+                findings.lock().unwrap().push(AttackFinding {
+                    target: job.protocol,
+                    job_id: job.id,
+                    trial,
+                    outcome,
+                    schedule: schedule.clone(),
+                });
+            }
         }
     }
     out
+}
+
+/// Executes one attack-search job for its counters alone — the fleet
+/// (sharded) execution path. Cost shrinking and certificate archiving
+/// need the in-process finding channel, so they remain single-process
+/// concerns; transcript bytes are identical to the single-process
+/// executor's and shard anchors verify against an unsharded run.
+pub fn execute_attack_search_job(oracle: &mut AttackOracle, job: &Job) -> JobResult {
+    execute_attack_job(oracle, job, None)
 }
 
 /// Runs an attack-search campaign: explore, collect, cost-shrink, archive
@@ -475,7 +486,8 @@ pub fn run_attack_search(
 ) -> io::Result<AttackSearchReport> {
     let jobs = build_attack_jobs(cfg);
     let findings = Mutex::new(Vec::new());
-    let run = |oracle: &mut AttackOracle, job: &Job| execute_attack_job(oracle, job, &findings);
+    let run =
+        |oracle: &mut AttackOracle, job: &Job| execute_attack_job(oracle, job, Some(&findings));
     let report = match sink {
         Some(s) => run_campaign_scoped(&jobs, opts, s, AttackOracle::new, run)?,
         None => run_campaign_in_memory_scoped(&jobs, opts, AttackOracle::new, run),

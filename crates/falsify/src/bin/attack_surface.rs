@@ -10,6 +10,7 @@
 //! attack_surface [attacks_per_target] [--seed <u64>] [--jobs <n>]
 //!                [--out <f.jsonl>] [--quiet] [--corpus <dir>]
 //!                [--targets <csv>] [--max-cost <n>] [--nodes <n>]
+//!                [--shard <k/n> --shard-dir <dir>] [--merge] [--scavenge]
 //! ```
 //!
 //! Results are bit-identical for any `--jobs`. Exit codes: `0` — MajorCAN's
@@ -17,12 +18,19 @@
 //! CAN's; `2` — bad arguments; `3` — some MajorCAN target broke at a cost
 //! less than or equal to CAN's cheapest Agreement break (the voting window
 //! buys no attack-cost margin — a reproduction regression).
+//!
+//! With `--shard k/n --shard-dir d` the exploration runs as one shard of
+//! a crash-tolerant fleet (see `docs/FLEET.md`). The fleet merge is an
+//! integrity gate only: break *costs* live in the in-process shrink/side
+//! channel, not the counters, so the cost-margin verdict remains a
+//! single-process concern — a verified merge exits 0, any transcript
+//! tampering or incomplete shard exits 3.
 
-use majorcan_bench::cli::{exit_code, open_sink, CliArgs, ExtraFlag};
+use majorcan_bench::cli::{exit_code, fleet, open_sink, with_shard_flags, CliArgs, ExtraFlag};
 use majorcan_campaign::{Manifest, ProtocolSpec};
 use majorcan_falsify::{
-    build_attack_jobs, run_attack_search, write_attack_corpus, AttackSearchConfig,
-    AttackSearchReport,
+    build_attack_jobs, execute_attack_search_job, run_attack_search, write_attack_corpus,
+    AttackOracle, AttackSearchConfig, AttackSearchReport,
 };
 use std::path::Path;
 
@@ -135,7 +143,7 @@ fn print_table(cfg: &AttackSearchConfig, report: &AttackSearchReport) {
 }
 
 fn main() {
-    let mut cli = CliArgs::parse_with_extras(DEFAULT_SEED, EXTRAS);
+    let mut cli = CliArgs::parse_with_extras(DEFAULT_SEED, &with_shard_flags(EXTRAS));
     let attacks_per_target = cli.positional(DEFAULT_ATTACKS);
     let mut cfg = AttackSearchConfig::new(cli.seed, attacks_per_target);
     if let Some(text) = cli.extra("--targets") {
@@ -143,6 +151,20 @@ fn main() {
     }
     cfg.max_cost = cli.extra_u64("--max-cost", 40);
     cfg.n_nodes = cli.extra_u64("--nodes", 3) as usize;
+
+    // Fleet mode: integrity gate only — break costs live in the
+    // in-process shrink channel, so the cost-margin verdict stays
+    // single-process (see the module docs).
+    if let Some(code) = fleet(
+        &cli,
+        "attack-surface",
+        &build_attack_jobs(&cfg),
+        AttackOracle::new,
+        execute_attack_search_job,
+        |_| None,
+    ) {
+        std::process::exit(code);
+    }
 
     let opts = cli.campaign_options();
     let report = match &cli.out {

@@ -9,6 +9,7 @@
 //! falsify [schedules_per_target] [--seed <u64>] [--jobs <n>] [--out <f.jsonl>]
 //!         [--quiet] [--corpus <dir>] [--targets <csv>] [--max-errors <n>]
 //!         [--nodes <n>] [--probe <entry.json>]
+//!         [--shard <k/n> --shard-dir <dir>] [--merge] [--scavenge]
 //! ```
 //!
 //! Results are bit-identical for any `--jobs`. The process exits with
@@ -18,12 +19,19 @@
 //! `corpus/attack/` cheapest-attack certificate — through its oracle
 //! before the verdict: a probe that falsifies (or breaks) a MajorCAN
 //! target trips the same exit-3 gate as a search finding.
+//!
+//! With `--shard k/n --shard-dir d` the same campaign runs as one shard
+//! of a crash-tolerant fleet (see `docs/FLEET.md`): per-shard transcripts
+//! carry content anchors, and the merged artifact is verified
+//! bit-identical to a single-process run. The fleet verdict gates on the
+//! merged outcome counters; shrinking and `--corpus` archiving remain
+//! single-process concerns.
 
-use majorcan_bench::cli::{exit_code, open_sink, CliArgs, ExtraFlag};
-use majorcan_campaign::{json, Manifest, ProtocolSpec};
+use majorcan_bench::cli::{exit_code, fleet, open_sink, with_shard_flags, CliArgs, ExtraFlag};
+use majorcan_campaign::{json, Manifest, ProtocolSpec, Totals};
 use majorcan_falsify::{
-    build_jobs, run_search, write_corpus, AttackCorpusEntry, CorpusEntry, SearchConfig,
-    SearchReport,
+    build_jobs, execute_search_job, run_search, write_corpus, AttackCorpusEntry, CorpusEntry,
+    Oracle, SearchConfig, SearchReport,
 };
 use std::path::Path;
 
@@ -129,8 +137,32 @@ fn print_summary(cfg: &SearchConfig, report: &SearchReport) {
     }
 }
 
+/// The fleet-mode verdict, read off merged outcome counters: any
+/// finding-class outcome (`double`, `omission`, `validity`, `panic`)
+/// against a MajorCAN target falsifies the protocol under test.
+fn merged_majorcan_findings(totals: &Totals) -> Option<String> {
+    let findings: u64 = totals
+        .counters
+        .iter()
+        .filter(|(key, _)| {
+            let Some(rest) = key.strip_prefix("outcome/") else {
+                return false;
+            };
+            let Some((target, token)) = rest.split_once('/') else {
+                return false;
+            };
+            target.starts_with("MajorCAN")
+                && matches!(token, "double" | "omission" | "validity" | "panic")
+        })
+        .map(|(_, v)| v)
+        .sum();
+    (findings > 0).then(|| {
+        format!("FALSIFIED: {findings} MajorCAN finding(s) in the merged outcome counters")
+    })
+}
+
 fn main() {
-    let mut cli = CliArgs::parse_with_extras(DEFAULT_SEED, EXTRAS);
+    let mut cli = CliArgs::parse_with_extras(DEFAULT_SEED, &with_shard_flags(EXTRAS));
     let schedules_per_target = cli.positional(DEFAULT_SCHEDULES);
     let mut cfg = SearchConfig::new(cli.seed, schedules_per_target);
     cfg.targets = parse_targets(
@@ -140,6 +172,22 @@ fn main() {
     cfg.max_errors = cli.extra_u64("--max-errors", 4) as usize;
     cfg.n_nodes = cli.extra_u64("--nodes", 3) as usize;
     cfg.scalar = cli.extra_flag("--scalar");
+
+    let factory = if cfg.scalar {
+        Oracle::new_scalar
+    } else {
+        Oracle::new
+    };
+    if let Some(code) = fleet(
+        &cli,
+        "falsify",
+        &build_jobs(&cfg),
+        factory,
+        execute_search_job,
+        merged_majorcan_findings,
+    ) {
+        std::process::exit(code);
+    }
 
     let opts = cli.campaign_options();
     let report = match &cli.out {

@@ -64,12 +64,16 @@ pub use attack::{
     AttackSchedule, ATTACK_BUDGET,
 };
 pub use attack_search::{
-    build_attack_jobs, generate_attack, run_attack_search, shrink_attack_with, AttackFinding,
-    AttackSearchConfig, AttackSearchReport, ShrunkAttack, ATTACKS_PER_JOB, MAX_ATTACK_EVALUATIONS,
+    build_attack_jobs, execute_attack_search_job, generate_attack, run_attack_search,
+    shrink_attack_with, AttackFinding, AttackSearchConfig, AttackSearchReport, ShrunkAttack,
+    ATTACKS_PER_JOB, MAX_ATTACK_EVALUATIONS,
 };
 pub use corpus::{load_corpus, repo_corpus_dir, write_corpus, CorpusEntry, Provenance};
 pub use generator::{generate, tail_disturbance, Geometry};
 pub use oracle::{budget_for, classify, evaluate, Oracle, Outcome, HLP_BUDGET, LINK_BUDGET};
 pub use schedule::Schedule;
-pub use search::{build_jobs, run_search, Finding, SearchConfig, SearchReport, SCHEDULES_PER_JOB};
+pub use search::{
+    build_jobs, execute_search_job, run_search, Finding, SearchConfig, SearchReport,
+    SCHEDULES_PER_JOB,
+};
 pub use shrink::{shrink, shrink_with, Shrunk, MAX_EVALUATIONS};

@@ -154,7 +154,11 @@ pub fn build_jobs(cfg: &SearchConfig) -> Vec<Job> {
 /// into the side channel. Counters and `(job id, trial)` finding
 /// coordinates are identical to evaluating trial by trial — the batch
 /// engine is gated on outcome equality with the scalar hot loop.
-fn execute_job(oracle: &mut Oracle, job: &Job, findings: &Mutex<Vec<Finding>>) -> JobResult {
+fn execute_job(
+    oracle: &mut Oracle,
+    job: &Job,
+    findings: Option<&Mutex<Vec<Finding>>>,
+) -> JobResult {
     let FaultSpec::AdversarialSearch { max_errors } = job.fault else {
         panic!("falsify executor got a non-adversarial job {}", job.id);
     };
@@ -174,16 +178,27 @@ fn execute_job(oracle: &mut Oracle, job: &Job, findings: &Mutex<Vec<Finding>>) -
         out.frames += 1;
         out.bits += budget;
         if outcome.is_finding() {
-            findings.lock().unwrap().push(Finding {
-                target: job.protocol,
-                job_id: job.id,
-                trial: trial as u64,
-                outcome,
-                schedule: schedule.clone(),
-            });
+            if let Some(findings) = findings {
+                findings.lock().unwrap().push(Finding {
+                    target: job.protocol,
+                    job_id: job.id,
+                    trial: trial as u64,
+                    outcome,
+                    schedule: schedule.clone(),
+                });
+            }
         }
     }
     out
+}
+
+/// Executes one adversarial-search job for its counters alone — the
+/// fleet (sharded) execution path, where the verdict is read off the
+/// merged outcome counters and corpus archiving stays a single-process
+/// concern. Transcript bytes are identical to the single-process
+/// executor's, so shard anchors verify against an unsharded run.
+pub fn execute_search_job(oracle: &mut Oracle, job: &Job) -> JobResult {
+    execute_job(oracle, job, None)
 }
 
 /// Runs a falsification campaign: explore, collect, shrink, archive.
@@ -209,7 +224,7 @@ pub fn run_search(
     } else {
         Oracle::new
     };
-    let run = |oracle: &mut Oracle, job: &Job| execute_job(oracle, job, &findings);
+    let run = |oracle: &mut Oracle, job: &Job| execute_job(oracle, job, Some(&findings));
     let report = match sink {
         Some(s) => run_campaign_scoped(&jobs, opts, s, factory, run)?,
         None => run_campaign_in_memory_scoped(&jobs, opts, factory, run),

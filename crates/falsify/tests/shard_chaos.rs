@@ -1,0 +1,243 @@
+//! The chaos harness, driven through the real `falsify` binary: every
+//! fault a fleet can suffer either RECOVERS (a later worker completes
+//! the shard and the merged artifact is bit-identical to a
+//! single-process run) or is DETECTED at merge with exit 3 naming the
+//! offending shard. Crash faults (`kill`, `truncate`) recover;
+//! tampering and coordination faults (`flip`, `dup`, `stale`) are
+//! detected.
+
+use majorcan_bench::cli::exit_code;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "majorcan-shard-chaos-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// 120 CAN-only schedules -> 3 campaign jobs across 2 shards
+/// (shard 0: jobs 0 and 2; shard 1: job 1).
+fn falsify(extra: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_falsify"));
+    cmd.args(["120", "--targets", "CAN", "--jobs", "1", "--quiet"]);
+    cmd.args(extra);
+    cmd.output().expect("spawning falsify")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().unwrap_or_else(|| {
+        panic!(
+            "no exit code (signal?)\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        )
+    })
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn sorted_lines(path: &Path) -> Vec<String> {
+    let mut lines: Vec<String> = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines.sort();
+    assert!(!lines.is_empty(), "{} is empty", path.display());
+    lines
+}
+
+/// The single-process ground truth the recovered fleets must reproduce
+/// byte for byte.
+fn baseline(dir: &Path) -> Vec<String> {
+    let path = dir.join("baseline.jsonl");
+    let out = falsify(&["--out", path.to_str().unwrap()]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    sorted_lines(&path)
+}
+
+fn run_clean_fleet_shard(dir: &Path, k: u64) {
+    let out = falsify(&[
+        "--shard",
+        &format!("{k}/2"),
+        "--shard-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+}
+
+#[test]
+fn sigkill_mid_shard_recovers() {
+    let dir = tmp_dir("kill");
+    std::fs::create_dir_all(&dir).unwrap();
+    let truth = baseline(&dir);
+    // The chaos worker executes half its pending jobs and dies by
+    // SIGABRT — no exit code, no anchor, a live-then-orphaned lease.
+    let out = falsify(&[
+        "--shard",
+        "0/2",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--chaos",
+        "kill",
+        "--stale-after-ms",
+        "100",
+    ]);
+    assert!(!out.status.success(), "chaos kill must not exit cleanly");
+    assert!(
+        !dir.join("shard-0.anchor.json").exists(),
+        "a killed shard must not have committed its anchor"
+    );
+    // A later worker generation reclaims the stale lease, resumes the
+    // partial transcript and completes the shard.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let out = falsify(&[
+        "--shard",
+        "0/2",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--stale-after-ms",
+        "100",
+    ]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    run_clean_fleet_shard(&dir, 1);
+    assert_eq!(sorted_lines(&dir.join("merged.jsonl")), truth);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_tail_after_crash_recovers() {
+    let dir = tmp_dir("trunc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let truth = baseline(&dir);
+    // The chaos worker finishes its jobs, tears the transcript's tail
+    // mid-line (a crash between write and close) and dies.
+    let out = falsify(&[
+        "--shard",
+        "0/2",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--chaos",
+        "truncate",
+        "--stale-after-ms",
+        "100",
+    ]);
+    assert!(
+        !out.status.success(),
+        "chaos truncate must not exit cleanly"
+    );
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    // Recovery tolerates the torn trailing line, re-executes that job
+    // and commits an anchor identical to an untorn run's.
+    let out = falsify(&[
+        "--shard",
+        "0/2",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--stale-after-ms",
+        "100",
+    ]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    run_clean_fleet_shard(&dir, 1);
+    assert_eq!(sorted_lines(&dir.join("merged.jsonl")), truth);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn divergent_duplicate_line_is_detected() {
+    let dir = tmp_dir("dup");
+    std::fs::create_dir_all(&dir).unwrap();
+    run_clean_fleet_shard(&dir, 1);
+    // The chaos worker commits shard 0, then appends a duplicate of its
+    // first result line with a perturbed field — the signature of a
+    // raced re-execution that did NOT reproduce bit-identically.
+    let out = falsify(&[
+        "--shard",
+        "0/2",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--chaos",
+        "dup",
+    ]);
+    assert_eq!(code(&out), exit_code::FINDING, "{}", stderr(&out));
+    let out = falsify(&["--merge", "--shard-dir", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), exit_code::FINDING, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("shard 0") && err.contains("duplicate"),
+        "merge must present both transcripts of the divergence:\n{err}"
+    );
+    assert!(!dir.join("merged.jsonl").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_lease_blocks_merge_until_reclaimed() {
+    let dir = tmp_dir("stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    let truth = baseline(&dir);
+    run_clean_fleet_shard(&dir, 1);
+    // The chaos worker leaves an ancient lease on shard 0 and runs
+    // nothing — a worker whose clock (or life) ended mid-claim.
+    let out = falsify(&[
+        "--shard",
+        "0/2",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--chaos",
+        "stale",
+    ]);
+    assert_eq!(code(&out), exit_code::FINDING, "{}", stderr(&out));
+    // A demanded merge refuses: the shard is unfinished.
+    let out = falsify(&["--merge", "--shard-dir", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), exit_code::FINDING, "{}", stderr(&out));
+    assert!(stderr(&out).contains("shard 0"), "{}", stderr(&out));
+    // A fresh worker reclaims the stale lease and completes the fleet.
+    let out = falsify(&["--shard", "0/2", "--shard-dir", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    assert_eq!(sorted_lines(&dir.join("merged.jsonl")), truth);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scavenging_survivor_completes_an_abandoned_shard() {
+    let dir = tmp_dir("scavenge");
+    std::fs::create_dir_all(&dir).unwrap();
+    let truth = baseline(&dir);
+    // Shard 0's worker dies without ever heartbeating.
+    let out = falsify(&[
+        "--shard",
+        "0/2",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--chaos",
+        "kill",
+        "--stale-after-ms",
+        "100",
+    ]);
+    assert!(!out.status.success());
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    // The survivor on shard 1 sweeps the fleet with --scavenge, reclaims
+    // the dead worker's shard and merges the whole campaign itself.
+    let out = falsify(&[
+        "--shard",
+        "1/2",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--scavenge",
+        "--stale-after-ms",
+        "100",
+    ]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    assert_eq!(sorted_lines(&dir.join("merged.jsonl")), truth);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,134 @@
+//! The shard driver's exit-code contract, tested by spawning the real
+//! `falsify` binary: `0` — shard work done or fleet merged consistent;
+//! `1` — I/O trouble; `2` — usage errors (malformed `--shard`, joining a
+//! different campaign, merging a non-shard directory); `3` — integrity
+//! failure at merge (a tampered transcript) or a fleet finding. Extends
+//! the single-process contract in `falsify_bin_exit_codes.rs`.
+
+use majorcan_bench::cli::exit_code;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "majorcan-shard-exit-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// 120 CAN-only schedules -> 3 campaign jobs: enough to populate every
+/// shard of a 3-shard fleet while staying cheap to spawn repeatedly.
+fn falsify(extra: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_falsify"));
+    cmd.args(["120", "--targets", "CAN", "--jobs", "1", "--quiet"]);
+    cmd.args(extra);
+    cmd.output().expect("spawning falsify")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().unwrap_or_else(|| {
+        panic!(
+            "no exit code (signal?)\nstdout:\n{}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        )
+    })
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn complete_fleet_and_merge_exit_zero() {
+    let dir = tmp_dir("ok");
+    let d = dir.to_str().unwrap();
+    for k in 0..3 {
+        let out = falsify(&["--shard", &format!("{k}/3"), "--shard-dir", d]);
+        assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    }
+    assert!(dir.join("merged.jsonl").is_file(), "auto-merge must commit");
+    // A demanded merge of the finished fleet is also consistent, and a
+    // re-run of a finished shard is a cheap no-op.
+    let out = falsify(&["--merge", "--shard-dir", d]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    let out = falsify(&["--shard", "1/3", "--shard-dir", d]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let dir = tmp_dir("usage");
+    let d = dir.to_str().unwrap().to_string();
+    // Malformed shard specs.
+    for spec in ["3/3", "5/2", "nope", "1"] {
+        let out = falsify(&["--shard", spec, "--shard-dir", &d]);
+        assert_eq!(
+            code(&out),
+            exit_code::USAGE,
+            "spec {spec}: {}",
+            stderr(&out)
+        );
+    }
+    // Fleet flags without a shard or merge request, or without a dir.
+    let out = falsify(&["--shard-dir", &d]);
+    assert_eq!(code(&out), exit_code::USAGE, "{}", stderr(&out));
+    let out = falsify(&["--shard", "0/3"]);
+    assert_eq!(code(&out), exit_code::USAGE, "{}", stderr(&out));
+    // Merging a directory that is not a fleet.
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = falsify(&["--merge", "--shard-dir", &d]);
+    assert_eq!(code(&out), exit_code::USAGE, "{}", stderr(&out));
+    // Joining an existing fleet with a different campaign (seed) or
+    // shard count is refused, not silently mixed in.
+    let out = falsify(&["--shard", "0/3", "--shard-dir", &d]);
+    assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    let out = falsify(&["--shard", "1/3", "--shard-dir", &d, "--seed", "99"]);
+    assert_eq!(code(&out), exit_code::USAGE, "{}", stderr(&out));
+    let out = falsify(&["--shard", "1/4", "--shard-dir", &d]);
+    assert_eq!(code(&out), exit_code::USAGE, "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_shard_dir_exits_one() {
+    // A shard-dir path whose parent is a regular file cannot be created.
+    let file = tmp_dir("io-file");
+    std::fs::write(&file, "not a directory\n").unwrap();
+    let inner = file.join("fleet");
+    let out = falsify(&["--shard", "0/3", "--shard-dir", inner.to_str().unwrap()]);
+    assert_eq!(code(&out), exit_code::IO, "{}", stderr(&out));
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn tampered_transcript_exits_three_at_merge() {
+    let dir = tmp_dir("tamper");
+    let d = dir.to_str().unwrap();
+    for k in 0..2 {
+        let out = falsify(&["--shard", &format!("{k}/3"), "--shard-dir", d]);
+        assert_eq!(code(&out), exit_code::CONSISTENT, "{}", stderr(&out));
+    }
+    // The last worker commits shard 2 and then flips one transcript byte
+    // (the `--chaos flip` harness); its own opportunistic merge already
+    // detects the tampering.
+    let out = falsify(&["--shard", "2/3", "--shard-dir", d, "--chaos", "flip"]);
+    assert_eq!(code(&out), exit_code::FINDING, "{}", stderr(&out));
+    assert!(!dir.join("merged.jsonl").exists(), "no artifact on failure");
+    // And so does a demanded merge, naming the shard and the job.
+    let out = falsify(&["--merge", "--shard-dir", d]);
+    assert_eq!(code(&out), exit_code::FINDING, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("shard 2") && err.contains("job"),
+        "merge must name the tampered shard and job:\n{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,7 +9,8 @@
 //!     [--loads 30,60,90] [--sporadic <permille>] [--window <bits>] \
 //!     [--bursts] [--burst-period <bits>] [--burst-len <bits>] [--burst-ber <p>] \
 //!     [--attack-victim <node>] [--attack-budget <bits>] \
-//!     [--export <dir>] [--csv] [--allow-violations] [--quiet]
+//!     [--export <dir>] [--csv] [--allow-violations] [--quiet] \
+//!     [--shard <k/n> --shard-dir <dir>] [--merge] [--scavenge]
 //! ```
 //!
 //! `--attack-victim` rides a sustained bus-off attacker on every cell
@@ -22,6 +23,10 @@
 //! `2` — bad arguments; `3` — some cell violated an Atomic Broadcast
 //! property (suppressed by `--allow-violations`, for impairment studies
 //! where violations are the measurement).
+//!
+//! With `--shard k/n --shard-dir d` the soak grid runs as one shard of a
+//! crash-tolerant fleet (see `docs/FLEET.md`); the fleet verdict gates on
+//! the merged `verdict/*` counters, honouring `--allow-violations`.
 
 use majorcan_bench::cli::{self, exit_code, CliArgs, ExtraFlag};
 use majorcan_campaign::{
@@ -62,7 +67,7 @@ fn main() {
         ExtraFlag::switch("--csv", ""),
         ExtraFlag::switch("--allow-violations", ""),
     ];
-    let mut cli = CliArgs::parse_with_extras(0x7AF1C, &extras);
+    let mut cli = CliArgs::parse_with_extras(0x7AF1C, &cli::with_shard_flags(&extras));
     let frames: u64 = cli.positional(1_500);
     let n_nodes: usize = cli.positional(8);
 
@@ -177,6 +182,31 @@ fn main() {
         }
         outcome.to_result(job)
     };
+
+    // Fleet (sharded) execution: the verdict is read off the merged
+    // `verdict/*` counters, mirroring the per-cell gate below.
+    let allow_violations = cli.extra_flag("--allow-violations");
+    if let Some(code) = cli::fleet(
+        &cli,
+        "traffic-soak",
+        &jobs,
+        || (),
+        |_, job| run_one(job),
+        |totals| {
+            if allow_violations {
+                return None;
+            }
+            let violating: u64 = ["double", "omission", "validity"]
+                .iter()
+                .map(|t| totals.counters.get(&format!("verdict/{t}")))
+                .sum();
+            (violating > 0).then(|| {
+                format!("online checker flagged {violating} violating verdict(s) in the merged counters")
+            })
+        },
+    ) {
+        std::process::exit(code);
+    }
 
     let opts = cli.campaign_options();
     let report = match &cli.out {

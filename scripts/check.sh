@@ -167,6 +167,43 @@ if ! cmp -s "$tmp/b1.sorted" "$tmp/b2.sorted"; then
 fi
 echo "    batch and scalar evaluation produce identical artifacts ($(wc -l <"$tmp/b1.jsonl") jobs)"
 
+echo "==> sharded fleet smoke run (falsify, 1 process vs 3 shard workers, then tamper)"
+# The crash-tolerant fleet path end to end: three sequential shard
+# workers over one coordination directory must merge to a JSONL artifact
+# byte-identical to the single-process run (both sorted: the sink
+# streams in completion order, the merge in job-id order). Then flip one
+# transcript byte and demand a merge — the anchor cross-check must
+# detect it (exit 3), and nothing else may exit nonzero.
+cargo run -q -p majorcan-falsify --bin falsify -- \
+    120 --seed 0x5A --jobs 1 --quiet --out "$tmp/single.jsonl" >/dev/null
+for k in 0 1 2; do
+    cargo run -q -p majorcan-falsify --bin falsify -- \
+        120 --seed 0x5A --jobs 1 --quiet --shard "$k/3" --shard-dir "$tmp/fleet" >/dev/null
+done
+sort "$tmp/single.jsonl" >"$tmp/single.sorted"
+sort "$tmp/fleet/merged.jsonl" >"$tmp/merged.sorted"
+if ! cmp -s "$tmp/single.sorted" "$tmp/merged.sorted"; then
+    echo "FAIL: merged fleet artifact differs from the single-process run" >&2
+    exit 1
+fi
+cargo run -q -p majorcan-falsify --bin falsify -- \
+    120 --seed 0x5A --jobs 1 --quiet --merge --shard-dir "$tmp/fleet" >/dev/null
+echo "    merged fleet artifact identical to single process ($(wc -l <"$tmp/single.jsonl") jobs)"
+# Tamper: increment the last digit of one committed shard transcript.
+perl -i -pe 's/(\d)(?=[^\d]*$)/($1+1)%10/e if eof' "$tmp/fleet/shard-1.jsonl"
+if cargo run -q -p majorcan-falsify --bin falsify -- \
+    120 --seed 0x5A --jobs 1 --quiet --merge --shard-dir "$tmp/fleet" \
+    >/dev/null 2>"$tmp/tamper.err"; then
+    echo "FAIL: merging a tampered shard transcript should exit 3" >&2
+    exit 1
+fi
+if ! grep -q "shard 1" "$tmp/tamper.err"; then
+    echo "FAIL: tamper detection should name the corrupt shard" >&2
+    cat "$tmp/tamper.err" >&2
+    exit 1
+fi
+echo "    flipped transcript byte detected at merge, shard named"
+
 echo "==> batch bench smoke run (quick mode, regenerates BENCH_batch.json)"
 # Fails on schema drift against the committed artifact, and measure()
 # itself asserts every schedule classifies identically through run_batch
