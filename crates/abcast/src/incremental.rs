@@ -30,6 +30,23 @@
 //! `(origin, seq)` payload tags satisfies the no-recurrence half by
 //! construction; [`WindowedChecker::max_observed_gap`] reports the largest
 //! intra-message gap actually seen so soak runs can assert the margin.
+//!
+//! A recurrence splits the message's history into halves judged
+//! independently, which can both mint violations the post-hoc checker
+//! never sees *and* hide ones it does (the revived entry carries no rank
+//! state, so an AB5 inversion straddling the split is invisible to the
+//! pairwise order bookkeeping). Worse, the naive gap statistic is blind to
+//! exactly this failure: the gap is computed against the *revived* entry's
+//! `last_event`, which is the revival itself, so it reads as zero. The
+//! checker therefore remembers every message retired *incomplete* (missing
+//! deliveries, or delivered without a broadcast) in a suspect map; an event
+//! on a suspect proves the precondition failed, and is counted in
+//! [`OnlineReport::window_exceeded`] and folded into the gap statistic.
+//! Messages retired complete need no entry: their only possible revival is
+//! a re-delivery, which the fresh entry surfaces as a spurious delivery —
+//! miscategorized, but never a silent `Consistent`. Suspects are bounded by
+//! the number of incomplete retirements, each already a violation-in-waiting,
+//! so healthy soaks hold none.
 
 use crate::{AbEvent, MsgId, Report, Verdict};
 use majorcan_can::CanEvent;
@@ -121,12 +138,27 @@ pub struct OnlineReport {
     /// AB5 — `true` when two correct nodes delivered some message pair in
     /// opposite orders.
     pub order_violated: bool,
+    /// Events that arrived for a message already retired *incomplete* —
+    /// i.e. per-message gaps exceeding the window. Nonzero means the
+    /// window precondition failed: the message's history was split across
+    /// retirements, and the counts above may be wrong in **either**
+    /// direction (split halves can mint spurious violations *or* hide an
+    /// AB5 inversion whose rank state was retired). Callers must treat
+    /// the verdict as unreliable and rerun with a larger window.
+    pub window_exceeded: u64,
 }
 
 impl OnlineReport {
     /// `true` iff all five Atomic Broadcast properties hold.
     pub fn atomic_broadcast(&self) -> bool {
         self.reliable_broadcast() && !self.order_violated
+    }
+
+    /// `true` iff the window precondition held throughout, making this
+    /// report bit-identical to the post-hoc checker's. A report that is
+    /// not exact proves nothing — least of all consistency.
+    pub fn exact(&self) -> bool {
+        self.window_exceeded == 0
     }
 
     /// `true` iff AB1–AB4 hold (Reliable Broadcast).
@@ -187,6 +219,18 @@ pub struct WindowedChecker {
     /// First violation observed online, against the then-current crash
     /// set: `(time, description)`.
     first_violation: Option<(u64, String)>,
+    /// Messages retired *incomplete* (missing deliveries or never
+    /// broadcast) → their last event time. A later event on one of these
+    /// proves its intra-message gap exceeded the window, which the plain
+    /// `max_observed_gap` bookkeeping cannot see (the revived entry is
+    /// fresh, so the gap computes as zero). Bounded by the number of
+    /// incomplete retirements — each already a violation-in-waiting — so
+    /// healthy soaks keep this empty.
+    suspects: BTreeMap<MsgId, u64>,
+    /// Suspect revivals seen (window-precondition failures).
+    window_exceeded: u64,
+    /// First revival: `(message, gap)`.
+    first_exceedance: Option<(MsgId, u64)>,
 }
 
 impl WindowedChecker {
@@ -213,6 +257,9 @@ impl WindowedChecker {
             inverted: vec![false; n_nodes * n_nodes],
             retired: Retired::default(),
             first_violation: None,
+            suspects: BTreeMap::new(),
+            window_exceeded: 0,
+            first_exceedance: None,
         }
     }
 
@@ -242,11 +289,22 @@ impl WindowedChecker {
         self.retired.messages + self.live.len() as u64
     }
 
-    /// Largest gap observed between consecutive events of one message.
-    /// Must stay below [`window`](Self::window) for the window
-    /// precondition to hold.
+    /// Largest gap observed between consecutive events of one message,
+    /// including gaps proven by a suspect revival. Must stay below
+    /// [`window`](Self::window) for the window precondition to hold.
     pub fn max_observed_gap(&self) -> u64 {
         self.max_observed_gap
+    }
+
+    /// Number of window-precondition failures detected so far (events on
+    /// messages already retired incomplete).
+    pub fn window_exceeded(&self) -> u64 {
+        self.window_exceeded
+    }
+
+    /// The first detected window exceedance, as `(message, gap)`.
+    pub fn first_exceedance(&self) -> Option<&(MsgId, u64)> {
+        self.first_exceedance.as_ref()
     }
 
     /// The first violation flagged online, as `(time, description)`,
@@ -261,6 +319,29 @@ impl WindowedChecker {
         }
     }
 
+    /// Checks an incoming event's message against the suspect map. A hit
+    /// means the message recurred after retiring incomplete: the window
+    /// precondition failed and the verdict is no longer trustworthy.
+    fn note_revival(&mut self, at: u64, msg: &MsgId) {
+        if self.suspects.is_empty() {
+            return;
+        }
+        if let Some(last) = self.suspects.remove(msg) {
+            let gap = at - last;
+            self.window_exceeded += 1;
+            self.max_observed_gap = self.max_observed_gap.max(gap);
+            if self.first_exceedance.is_none() {
+                self.first_exceedance = Some((msg.clone(), gap));
+            }
+            let window = self.window;
+            let text = format!(
+                "{msg} recurred {gap} bits after its last event, exceeding the \
+                 {window}-bit window; the windowed verdict is unreliable"
+            );
+            self.flag(at, || text);
+        }
+    }
+
     /// Consumes one timestamped event. Timestamps should be
     /// non-decreasing; a stale timestamp is clamped to the current time.
     pub fn push(&mut self, at: u64, event: &AbEvent) {
@@ -268,6 +349,7 @@ impl WindowedChecker {
         self.now = at;
         match event {
             AbEvent::Broadcast { node, msg } => {
+                self.note_revival(at, msg);
                 let n_nodes = self.n_nodes;
                 let entry = self
                     .live
@@ -296,6 +378,7 @@ impl WindowedChecker {
     }
 
     fn deliver(&mut self, at: u64, node: usize, msg: &MsgId) {
+        self.note_revival(at, msg);
         let n = self.n_nodes;
         let bit = 1u64 << node;
         let n_nodes = self.n_nodes;
@@ -379,6 +462,17 @@ impl WindowedChecker {
 
     fn retire(&mut self, now: u64, id: &MsgId, msg: &LiveMsg) {
         self.retired.fold(msg);
+        // An incomplete message could see more events; if one arrives the
+        // window precondition failed. Complete messages can only recur as
+        // a re-delivery, which the fresh entry flags as spurious anyway.
+        let all = if self.n_nodes == MAX_NODES {
+            u64::MAX
+        } else {
+            (1u64 << self.n_nodes) - 1
+        };
+        if msg.origin.is_none() || msg.delivered != all {
+            self.suspects.insert(id.clone(), msg.last_event);
+        }
         // Provisional online flagging against the crash set known now;
         // the exact verdict against the final crash set comes at finish().
         let correct = self.correct_mask();
@@ -448,6 +542,7 @@ impl WindowedChecker {
             double_deliveries: double,
             spurious_deliveries: spurious,
             order_violated,
+            window_exceeded: self.window_exceeded,
         }
     }
 
@@ -808,5 +903,155 @@ mod tests {
     #[should_panic(expected = "64 nodes")]
     fn rejects_too_many_nodes() {
         WindowedChecker::new(65, 10);
+    }
+
+    #[test]
+    fn revival_after_incomplete_retirement_is_detected() {
+        let m = msg(1);
+        let mut c = WindowedChecker::new(2, 100);
+        c.push(
+            0,
+            &AbEvent::Broadcast {
+                node: 0,
+                msg: m.clone(),
+            },
+        );
+        c.push(
+            5,
+            &AbEvent::Deliver {
+                node: 0,
+                msg: m.clone(),
+            },
+        );
+        // Unrelated complete message far later forces the sweep that
+        // retires m incomplete.
+        let filler = msg(2);
+        c.push(
+            400,
+            &AbEvent::Broadcast {
+                node: 0,
+                msg: filler.clone(),
+            },
+        );
+        for n in 0..2 {
+            c.push(
+                401,
+                &AbEvent::Deliver {
+                    node: n,
+                    msg: filler.clone(),
+                },
+            );
+        }
+        assert_eq!(c.live_len(), 1, "m retired, filler live");
+        assert_eq!(c.window_exceeded(), 0);
+        // The late delivery revives m: the 495-bit gap — invisible to the
+        // naive statistic, which would score the fresh entry as gap 0 —
+        // must be proven by the suspect map.
+        c.push(
+            500,
+            &AbEvent::Deliver {
+                node: 1,
+                msg: m.clone(),
+            },
+        );
+        assert_eq!(c.window_exceeded(), 1);
+        let (id, gap) = c.first_exceedance().expect("recorded").clone();
+        assert_eq!(id, m);
+        assert_eq!(gap, 495);
+        assert!(c.max_observed_gap() >= 495, "gap folded into the statistic");
+        assert!(c.first_violation().is_some(), "surfaced online");
+        let r = c.finish();
+        assert_eq!(r.window_exceeded, 1);
+        assert!(!r.exact());
+    }
+
+    #[test]
+    fn split_inversion_is_invisible_but_report_admits_inexactness() {
+        // The latent bug this guards against: an AB5 inversion whose rank
+        // state retired mid-history is invisible to the windowed order
+        // bookkeeping, and before the suspect map the report would carry
+        // no hint that it might be wrong.
+        let (m1, m2, m3) = (msg(1), msg(2), msg(3));
+        let mut t = AbTrace::new(2);
+        t.broadcast(0, 0, m1.clone());
+        t.deliver(1, 0, m1.clone());
+        t.broadcast(2, 0, m2.clone());
+        t.deliver(3, 0, m2.clone());
+        t.deliver(4, 1, m2.clone());
+        // Quiet stretch > window: m1 retires incomplete, m2 complete.
+        t.broadcast(300, 0, m3.clone());
+        t.deliver(301, 0, m3.clone());
+        t.deliver(302, 1, m3.clone());
+        // n1 finally delivers m1 after m2: post-hoc sees the inversion
+        // (n0 ordered m1 before m2, n1 the reverse).
+        t.deliver(500, 1, m1.clone());
+        let posthoc = t.check();
+        assert!(!posthoc.total_order.holds, "post-hoc sees the inversion");
+        let online = run(&t, 100);
+        assert!(
+            !online.order_violated,
+            "the split halves hide the inversion from the online checker"
+        );
+        assert_eq!(online.window_exceeded, 1, "...but the split is detected");
+        assert!(!online.exact());
+        assert!(!online.matches(&posthoc));
+    }
+
+    #[test]
+    fn complete_retirement_is_not_a_suspect() {
+        // A message retired complete never enters the suspect map, so the
+        // map stays empty over a healthy stream (memory bound) — and a
+        // re-delivery of a completed message still surfaces as spurious.
+        let m = msg(1);
+        let mut c = WindowedChecker::new(2, 50);
+        c.push(
+            0,
+            &AbEvent::Broadcast {
+                node: 0,
+                msg: m.clone(),
+            },
+        );
+        for n in 0..2 {
+            c.push(
+                1,
+                &AbEvent::Deliver {
+                    node: n,
+                    msg: m.clone(),
+                },
+            );
+        }
+        // Push past retirement with a second complete message.
+        let filler = msg(2);
+        c.push(
+            200,
+            &AbEvent::Broadcast {
+                node: 0,
+                msg: filler.clone(),
+            },
+        );
+        for n in 0..2 {
+            c.push(
+                201,
+                &AbEvent::Deliver {
+                    node: n,
+                    msg: filler.clone(),
+                },
+            );
+        }
+        assert_eq!(c.live_len(), 1, "m retired complete");
+        c.push(
+            400,
+            &AbEvent::Deliver {
+                node: 1,
+                msg: m.clone(),
+            },
+        );
+        assert_eq!(c.window_exceeded(), 0, "complete messages are not suspects");
+        let r = c.finish();
+        assert!(r.exact());
+        assert!(
+            r.spurious_deliveries > 0,
+            "the recurrence still shows up as a violation: {r:?}"
+        );
     }
 }

@@ -1130,6 +1130,27 @@ impl<V: Variant> BitNode for Controller<V> {
         }
     }
 
+    fn quiescent_until(&self, now: u64) -> u64 {
+        // Only two states are self-sustaining under a recessive view: an
+        // idle controller with nothing queued, and a crashed one. Every
+        // other state (including bus-off recovery and suspend, which also
+        // drive recessive) counts bits and so changes every step.
+        let idle = matches!(self.state, CState::Idle) && self.queue.is_empty();
+        if !(idle || matches!(self.state, CState::Crashed))
+            || !self.pending_drive_events.is_empty()
+            || self.announce_crash
+        {
+            return now;
+        }
+        // A scheduled crash still due interrupts the quiet stretch: the
+        // drive phase of bit `fail_at` must run so the crash (and its
+        // event) lands on the same bit as in a stepped run.
+        match self.config.fail_at {
+            Some(t) if !self.crashed => t.max(now),
+            _ => u64::MAX,
+        }
+    }
+
     fn observe(&mut self, now: u64, seen: Level, events: &mut Vec<CanEvent>) {
         if !self.pending_drive_events.is_empty() {
             events.append(&mut self.pending_drive_events);

@@ -115,6 +115,14 @@ impl Field {
     pub fn from_token(token: &str) -> Option<Field> {
         Field::ALL.into_iter().find(|f| f.to_string() == token)
     }
+
+    /// Dense index of this field within [`Field::ALL`] — `Field::ALL` lists
+    /// the variants in declaration order, so the cast and the table agree
+    /// (checked by a test). Lets tooling build per-field lookup tables (the
+    /// lane engine's watch masks) without hashing.
+    pub fn ordinal(self) -> usize {
+        self as usize
+    }
 }
 
 impl fmt::Display for Field {
@@ -435,6 +443,13 @@ mod tests {
     use super::*;
     use crate::{FrameId, StandardCan};
     use majorcan_sim::Level::{Dominant as D, Recessive as R};
+
+    #[test]
+    fn ordinal_indexes_all() {
+        for (i, field) in Field::ALL.into_iter().enumerate() {
+            assert_eq!(field.ordinal(), i, "{field} ordinal disagrees with ALL");
+        }
+    }
 
     #[test]
     fn field_tokens_round_trip() {

@@ -301,6 +301,10 @@ fn classify_attack(outcome: Outcome, bus_off_node: Option<usize>) -> AttackOutco
         (Some(node), _) => AttackOutcome::VictimBusOff { node },
         (None, Outcome::Violation(v)) => AttackOutcome::Violation(v),
         (None, Outcome::Vacuous { unfired }) => AttackOutcome::Vacuous { unfired },
+        // `run_attack` grades the full budget without the truncation
+        // demotion, so this arm is dormant — but were it ever reached, a
+        // truncated run certifies nothing, exactly like a vacuous one.
+        (None, Outcome::Truncated { unfired }) => AttackOutcome::Vacuous { unfired },
         (None, Outcome::Consistent) => AttackOutcome::Survived,
     }
 }

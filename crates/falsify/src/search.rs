@@ -16,7 +16,7 @@
 
 use crate::corpus::{CorpusEntry, Provenance};
 use crate::generator::{generate, Geometry};
-use crate::oracle::{budget_for, Oracle, Outcome};
+use crate::oracle::{budget_for, Engine, Oracle, Outcome};
 use crate::schedule::Schedule;
 use crate::shrink::shrink_with;
 use majorcan_bench::jobs::chunked_frames;
@@ -49,10 +49,11 @@ pub struct SearchConfig {
     /// Archived entries kept per `(target, outcome)` class; the shrink
     /// queue admits four times this many raw findings per class.
     pub keep_per_class: usize,
-    /// Evaluate schedule by schedule through the scalar hot loop instead
-    /// of the prefix-fork batch engine (the `--scalar` determinism gate;
-    /// results must be identical either way).
-    pub scalar: bool,
+    /// Which engine [`Oracle::evaluate_batch`] routes each job's
+    /// schedules through — lane cohorts by default, with `--batch` and
+    /// `--scalar` as the determinism gates (results must be identical
+    /// whichever engine runs).
+    pub engine: Engine,
 }
 
 impl SearchConfig {
@@ -70,7 +71,7 @@ impl SearchConfig {
             schedules_per_target,
             max_errors: 4,
             keep_per_class: 4,
-            scalar: false,
+            engine: Engine::default(),
         }
     }
 }
@@ -149,11 +150,12 @@ pub fn build_jobs(cfg: &SearchConfig) -> Vec<Job> {
 }
 
 /// Executes one adversarial-search job: synthesize all `job.frames`
-/// schedules up front, evaluate them as one prefix-fork batch
-/// ([`Oracle::evaluate_batch`]), then count outcomes and report findings
-/// into the side channel. Counters and `(job id, trial)` finding
-/// coordinates are identical to evaluating trial by trial — the batch
-/// engine is gated on outcome equality with the scalar hot loop.
+/// schedules up front, evaluate them through the oracle's packed engine
+/// ([`Oracle::evaluate_batch`] — 64-lane cohorts by default), then count
+/// outcomes and report findings into the side channel. Counters and
+/// `(job id, trial)` finding coordinates are identical to evaluating
+/// trial by trial — every engine is gated on outcome equality with the
+/// scalar hot loop.
 fn execute_job(
     oracle: &mut Oracle,
     job: &Job,
@@ -219,11 +221,8 @@ pub fn run_search(
 ) -> io::Result<SearchReport> {
     let jobs = build_jobs(cfg);
     let findings = Mutex::new(Vec::new());
-    let factory = if cfg.scalar {
-        Oracle::new_scalar
-    } else {
-        Oracle::new
-    };
+    let engine = cfg.engine;
+    let factory = move || Oracle::with_engine(engine);
     let run = |oracle: &mut Oracle, job: &Job| execute_job(oracle, job, Some(&findings));
     let report = match sink {
         Some(s) => run_campaign_scoped(&jobs, opts, s, factory, run)?,

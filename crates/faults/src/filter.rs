@@ -43,6 +43,13 @@ impl<Tag, C: ChannelModel<Tag>> ChannelModel<Tag> for ActiveAfter<C> {
         let flip = self.inner.disturb(bit, node, tag, wire);
         flip && bit >= self.start_bit
     }
+
+    fn quiet_until(&self, now: u64) -> u64 {
+        // The mask cannot extend the inner promise: the inner model is
+        // consulted (and may consume rng state) even while masked, so
+        // only bits the *inner* model declares skippable are skippable.
+        self.inner.quiet_until(now)
+    }
 }
 
 /// Lets the inner model's faults through only at positions whose field is
@@ -92,6 +99,12 @@ impl<C: ChannelModel<WirePos>> ChannelModel<WirePos> for FieldFiltered<C> {
     fn disturb(&mut self, bit: u64, node: NodeId, tag: &WirePos, wire: Level) -> bool {
         let flip = self.inner.disturb(bit, node, tag, wire);
         flip && self.fields.contains(&tag.field)
+    }
+
+    fn quiet_until(&self, now: u64) -> u64 {
+        // Same reasoning as `ActiveAfter`: the inner model runs every bit
+        // regardless of the field filter.
+        self.inner.quiet_until(now)
     }
 }
 

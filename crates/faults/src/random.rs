@@ -195,6 +195,19 @@ impl<Tag> ChannelModel<Tag> for BurstErrors {
         // deterministic regardless of how much clean time passes between.
         self.in_burst(bit) && self.inner.disturb(bit, node, tag, wire)
     }
+
+    fn quiet_until(&self, now: u64) -> u64 {
+        // Outside a burst neither the verdict nor the rng stream depends
+        // on the skipped bits, so the stretch up to the next burst start
+        // is leapable; inside one, no promise.
+        if self.is_empty() {
+            u64::MAX
+        } else if self.in_burst(now) {
+            now
+        } else {
+            (now - now % self.period) + self.period
+        }
+    }
 }
 
 /// Composes two channel models: a view is flipped iff **exactly one** of the
@@ -230,6 +243,14 @@ impl<Tag, A: ChannelModel<Tag>, B: ChannelModel<Tag>> ChannelModel<Tag> for Comp
         let a = self.first.disturb(bit, node, tag, wire);
         let b = self.second.disturb(bit, node, tag, wire);
         a ^ b
+    }
+
+    fn quiet_until(&self, now: u64) -> u64 {
+        // A skipped bit skips both inner calls, so the promise holds only
+        // while both models make it.
+        self.first
+            .quiet_until(now)
+            .min(self.second.quiet_until(now))
     }
 }
 

@@ -178,6 +178,16 @@ impl FromIterator<Disturbance> for ScriptedFaults {
 }
 
 impl ChannelModel<WirePos> for ScriptedFaults {
+    fn quiet_until(&self, now: u64) -> u64 {
+        // An exhausted script can never fire (or mutate) again; a pending
+        // entry could match any tag — including `Idle` — so no promise.
+        if self.pending.is_empty() {
+            u64::MAX
+        } else {
+            now
+        }
+    }
+
     fn disturb(&mut self, _bit: u64, node: NodeId, tag: &WirePos, _wire: Level) -> bool {
         let mut fired = false;
         self.pending.retain_mut(|(d, seen)| {

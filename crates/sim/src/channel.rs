@@ -24,6 +24,19 @@ pub trait ChannelModel<Tag> {
     /// `wire` is the fault-free resolved bus level, and `tag` is `node`'s own
     /// description of where in a frame this bit falls.
     fn disturb(&mut self, bit: u64, node: NodeId, tag: &Tag, wire: Level) -> bool;
+
+    /// First bit time at or after `now` where this model might disturb a
+    /// view **or** consume hidden per-bit state (e.g. a PRNG draw): for
+    /// every bit in `now..quiet_until(now)`, skipping the
+    /// [`disturb`](ChannelModel::disturb) calls entirely leaves the model
+    /// in the same state as making them, and they would all have returned
+    /// `false`. The engine's clean-stretch leap
+    /// ([`Simulator::leap`](crate::Simulator::leap)) relies on this.
+    ///
+    /// The default promises nothing (`now`), which is always sound.
+    fn quiet_until(&self, now: u64) -> u64 {
+        now
+    }
 }
 
 /// The fault-free channel: every node sees the true bus level.
@@ -43,6 +56,11 @@ impl<Tag> ChannelModel<Tag> for NoFaults {
     #[inline]
     fn disturb(&mut self, _bit: u64, _node: NodeId, _tag: &Tag, _wire: Level) -> bool {
         false
+    }
+
+    #[inline]
+    fn quiet_until(&self, _now: u64) -> u64 {
+        u64::MAX
     }
 }
 
@@ -79,6 +97,11 @@ impl<Tag> ChannelModel<Tag> for Box<dyn ChannelModel<Tag>> {
     #[inline]
     fn disturb(&mut self, bit: u64, node: NodeId, tag: &Tag, wire: Level) -> bool {
         (**self).disturb(bit, node, tag, wire)
+    }
+
+    #[inline]
+    fn quiet_until(&self, now: u64) -> u64 {
+        (**self).quiet_until(now)
     }
 }
 

@@ -283,6 +283,46 @@ impl<N: BitNode, C: ChannelModel<N::Tag>> Simulator<N, C> {
         }
     }
 
+    /// First bit time at or after `now` where *anything* can happen: the
+    /// minimum of the channel's [`quiet_until`](ChannelModel::quiet_until)
+    /// and every node's [`quiescent_until`](BitNode::quiescent_until).
+    /// Every bit in `now..quiet_horizon()` is a guaranteed no-op round —
+    /// all nodes drive recessive, no view is disturbed, no state changes,
+    /// no events — so [`Simulator::leap`] may skip straight over them.
+    ///
+    /// Returns `now` (no stretch) while trace recording is enabled: a
+    /// leap records no per-bit samples, and traces must stay exact.
+    pub fn quiet_horizon(&self) -> u64 {
+        if self.trace.is_some() {
+            return self.now;
+        }
+        let mut horizon = self.channel.quiet_until(self.now);
+        for node in &self.nodes {
+            horizon = horizon.min(node.quiescent_until(self.now));
+        }
+        horizon.max(self.now)
+    }
+
+    /// Advances the clock to `to` without stepping, skipping bits proven
+    /// inert by [`Simulator::quiet_horizon`]. Bit-identical to stepping
+    /// through the stretch one bit at a time: state, events and all later
+    /// timestamps are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` lies beyond the current quiet horizon (or behind
+    /// `now`) — leaping over a bit where something could happen would
+    /// silently desynchronize the run.
+    pub fn leap(&mut self, to: u64) {
+        assert!(
+            (self.now..=self.quiet_horizon()).contains(&to),
+            "leap to {to} outside the quiet stretch {}..={}",
+            self.now,
+            self.quiet_horizon()
+        );
+        self.now = to;
+    }
+
     /// Simulates until `stop` returns `true` (checked after each bit) or
     /// until `max_bits` have elapsed, whichever comes first. Returns the
     /// number of bits simulated.

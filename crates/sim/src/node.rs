@@ -66,6 +66,21 @@ pub trait BitNode {
     /// Delivers this node's view of the resolved bus level for the current
     /// bit. Protocol events triggered by the bit are pushed into `events`.
     fn observe(&mut self, now: u64, seen: Level, events: &mut Vec<Self::Event>);
+
+    /// First bit time at or after `now` where this node might do anything
+    /// but drive recessive and ignore a recessive sample: for every bit in
+    /// `now..quiescent_until(now)`, **provided the node sees recessive**,
+    /// its drive/observe round is a guaranteed no-op (no state change, no
+    /// events). The engine's clean-stretch leap
+    /// ([`Simulator::leap`](crate::Simulator::leap)) relies on this; the
+    /// recessive-view proviso holds there because the leap requires every
+    /// node quiescent (so the wired-AND is recessive) and the channel
+    /// quiet (so no view is flipped).
+    ///
+    /// The default promises nothing (`now`), which is always sound.
+    fn quiescent_until(&self, now: u64) -> u64 {
+        now
+    }
 }
 
 /// An event stamped with the bit time and node that produced it.

@@ -48,7 +48,7 @@ use majorcan_sim::{BitNode, NodeId, Simulator};
 /// can be entered during the drive phase (so a pre-step peek would miss
 /// them), and the integration/shutdown fields are kept scalar out of
 /// caution — no falsifier schedule targets them on the hot path.
-const NO_FORK_FIELDS: &[Field] = &[
+pub(crate) const NO_FORK_FIELDS: &[Field] = &[
     Field::Idle,
     Field::Sof,
     Field::Integrating,
@@ -56,7 +56,7 @@ const NO_FORK_FIELDS: &[Field] = &[
     Field::BusOff,
 ];
 
-type LinkSim<V> = Simulator<Controller<V>, BusChannel>;
+pub(crate) type LinkSim<V> = Simulator<Controller<V>, BusChannel>;
 
 /// Evaluates every schedule in `schedules` and returns their outcomes in
 /// input order, each bit-identical to `Testbed::run_schedule` on the same
@@ -119,7 +119,7 @@ fn common_prefix(a: &[Disturbance], b: &[Disturbance]) -> usize {
 /// Rewinds the cluster onto `schedule` and queues the canonical stimulus
 /// (node 0 transmits the scenario frame) — the batch-local equivalent of
 /// `Testbed::load_script` + `enqueue`.
-fn load<V: Variant>(sim: &mut LinkSim<V>, schedule: &[Disturbance]) {
+pub(crate) fn load<V: Variant>(sim: &mut LinkSim<V>, schedule: &[Disturbance]) {
     if let BusChannel::Scripted(script) = sim.channel_mut() {
         script.reload(schedule);
         sim.reset();
@@ -133,23 +133,34 @@ fn load<V: Variant>(sim: &mut LinkSim<V>, schedule: &[Disturbance]) {
     sim.node_mut(NodeId(0)).enqueue(scenario_frame());
 }
 
+/// `true` when every node is idle with an empty queue or crashed — the
+/// same drain condition `Testbed::is_drained` exposes, and the condition
+/// the truncation distinction rests on: a run whose budget elapses while
+/// `!drained` executed a *prefix* of its schedule's consequences.
+pub(crate) fn drained<V: Variant>(sim: &LinkSim<V>) -> bool {
+    sim.nodes()
+        .all(|n| (n.is_idle() && n.pending() == 0) || n.is_crashed())
+}
+
 /// `true` once nothing can ever happen again: the bus has drained and no
-/// pending script entry targets the idle bus.
-fn settled<V: Variant>(sim: &LinkSim<V>) -> bool {
-    let drained = sim
-        .nodes()
-        .all(|n| (n.is_idle() && n.pending() == 0) || n.is_crashed());
-    if !drained {
+/// pending script entry targets a position still being reported (an idle
+/// node tags `Idle` forever; a crashed node tags `Crashed` forever, so a
+/// pending entry on either field would still fire — and change the
+/// unfired count — on the drained bus).
+pub(crate) fn settled<V: Variant>(sim: &LinkSim<V>) -> bool {
+    if !drained(sim) {
         return false;
     }
     match sim.channel() {
-        BusChannel::Scripted(s) => !s.targets_field(Field::Idle),
+        BusChannel::Scripted(s) => {
+            !s.targets_field(Field::Idle) && !s.targets_field(Field::Crashed)
+        }
         _ => false,
     }
 }
 
 /// Steps until the (absolute) bit budget elapses or the cluster settles.
-fn run_to_quiescence<V: Variant>(sim: &mut LinkSim<V>, budget: u64) {
+pub(crate) fn run_to_quiescence<V: Variant>(sim: &mut LinkSim<V>, budget: u64) {
     while sim.now() < budget {
         sim.step();
         if settled(sim) {
@@ -158,15 +169,24 @@ fn run_to_quiescence<V: Variant>(sim: &mut LinkSim<V>, budget: u64) {
     }
 }
 
-fn outcome_of<V: Variant>(sim: &LinkSim<V>, n_nodes: usize) -> Outcome {
+/// `true` when the run that just ended was cut by the bit budget rather
+/// than by quiescence — mirrors the `!is_drained()` check in the scalar
+/// `Testbed::run_schedule` exactly, so batch and scalar classifications
+/// stay bit-identical. (A run that settled before the budget is drained
+/// by construction; a drained-at-budget run is complete either way.)
+pub(crate) fn truncated<V: Variant>(sim: &LinkSim<V>, budget: u64) -> bool {
+    sim.now() >= budget && !drained(sim)
+}
+
+pub(crate) fn outcome_of<V: Variant>(sim: &LinkSim<V>, n_nodes: usize, budget: u64) -> Outcome {
     let verdict = trace_from_can_events(sim.events(), n_nodes)
         .check()
         .verdict();
-    classify(verdict, sim.channel().unfired_len())
+    classify(verdict, sim.channel().unfired_len()).truncate_if(truncated(sim, budget))
 }
 
 /// One scalar evaluation (quiescence-truncated `run_schedule`).
-fn run_one<V: Variant>(
+pub(crate) fn run_one<V: Variant>(
     sim: &mut LinkSim<V>,
     n_nodes: usize,
     budget: u64,
@@ -174,7 +194,7 @@ fn run_one<V: Variant>(
 ) -> Outcome {
     load(sim, schedule);
     run_to_quiescence(sim, budget);
-    outcome_of(sim, n_nodes)
+    outcome_of(sim, n_nodes, budget)
 }
 
 /// `true` when any node's bit-in-flight could match a tail entry — the
@@ -230,13 +250,18 @@ fn run_group<V: Variant>(
     if !tripped {
         // No tail entry could ever have fired within the budget: every
         // member is bit-identical to the trunk with its tail unfired.
+        // A trunk cut by the budget rather than by quiescence demotes
+        // every member to `Truncated` — before this distinction existed,
+        // a budget-exhausted trunk silently classified the whole group
+        // as clean.
         let verdict = trace_from_can_events(sim.events(), n_nodes)
             .check()
             .verdict();
         let unfired = sim.channel().unfired_len();
+        let cut = truncated(sim, budget);
         for &k in group {
             let tail_len = schedules[k].len() - prefix_len;
-            outcomes[k] = Some(classify(verdict, unfired + tail_len));
+            outcomes[k] = Some(classify(verdict, unfired + tail_len).truncate_if(cut));
         }
         return;
     }
@@ -249,6 +274,6 @@ fn run_group<V: Variant>(
             _ => unreachable!("the trunk loaded a scripted channel"),
         }
         run_to_quiescence(sim, budget);
-        outcomes[k] = Some(outcome_of(sim, n_nodes));
+        outcomes[k] = Some(outcome_of(sim, n_nodes, budget));
     }
 }

@@ -153,6 +153,18 @@ impl ChannelModel<WirePos> for BusChannel {
             BusChannel::Attack(c) => c.disturb(bit, node, tag, wire),
         }
     }
+
+    fn quiet_until(&self, now: u64) -> u64 {
+        match self {
+            BusChannel::NoFaults => u64::MAX,
+            BusChannel::Scripted(c) => ChannelModel::<WirePos>::quiet_until(c, now),
+            BusChannel::Bursts(c) => ChannelModel::<WirePos>::quiet_until(c, now),
+            // The per-call-rng models and the stateful attacker make no
+            // skippability promise.
+            BusChannel::IndepFull(_) | BusChannel::IndepEof(_) | BusChannel::GlobalEof(_) => now,
+            BusChannel::Attack(_) => now,
+        }
+    }
 }
 
 #[cfg(test)]

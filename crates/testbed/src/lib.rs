@@ -34,6 +34,8 @@ mod batch;
 pub mod batchbench;
 mod channel;
 pub mod hotpath;
+mod lanes;
+pub mod lanesbench;
 mod outcome;
 mod scenario_run;
 mod testbed;

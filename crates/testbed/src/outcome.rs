@@ -19,6 +19,14 @@ pub enum Outcome {
         /// Number of scripted disturbances that never fired.
         unfired: usize,
     },
+    /// The bit budget ran out while the bus was still active (a frame in
+    /// flight, a retransmission pending, or a bus-off recovery underway),
+    /// so the clean verdict computed from the partial trace cannot be
+    /// trusted — the run tested a prefix, not the schedule.
+    Truncated {
+        /// Number of scripted disturbances that never fired.
+        unfired: usize,
+    },
     /// A broken Atomic Broadcast property (never
     /// [`Verdict::Consistent`]).
     Violation(Verdict),
@@ -28,21 +36,39 @@ pub enum Outcome {
 
 impl Outcome {
     /// Stable token for counters and corpus files: `consistent`,
-    /// `vacuous`, the checker's verdict tokens (`double` / `omission` /
-    /// `validity`), or `panic`.
+    /// `vacuous`, `truncated`, the checker's verdict tokens (`double` /
+    /// `omission` / `validity`), or `panic`.
     pub fn token(&self) -> &'static str {
         match self {
             Outcome::Consistent => "consistent",
             Outcome::Vacuous { .. } => "vacuous",
+            Outcome::Truncated { .. } => "truncated",
             Outcome::Violation(v) => v.token(),
             Outcome::CheckerPanic(_) => "panic",
         }
     }
 
     /// `true` for the outcomes the falsifier hunts: property violations
-    /// and checker panics.
+    /// and checker panics. A truncated run is *not* a finding — it is an
+    /// inconclusive run whose budget was too small.
     pub fn is_finding(&self) -> bool {
         matches!(self, Outcome::Violation(_) | Outcome::CheckerPanic(_))
+    }
+
+    /// Demotes a clean classification to [`Outcome::Truncated`] when the
+    /// run hit its bit budget before the bus drained. Violations stay
+    /// violations (they were observed on the executed prefix and cannot be
+    /// undone by more bus time); only the *absence* of a violation is
+    /// untrustworthy on a truncated trace.
+    pub fn truncate_if(self, truncated: bool) -> Outcome {
+        if !truncated {
+            return self;
+        }
+        match self {
+            Outcome::Consistent => Outcome::Truncated { unfired: 0 },
+            Outcome::Vacuous { unfired } => Outcome::Truncated { unfired },
+            other => other,
+        }
     }
 }
 
@@ -73,9 +99,28 @@ mod tests {
         );
         assert_eq!(Outcome::Consistent.token(), "consistent");
         assert_eq!(Outcome::Vacuous { unfired: 1 }.token(), "vacuous");
+        assert_eq!(Outcome::Truncated { unfired: 0 }.token(), "truncated");
         assert_eq!(Outcome::CheckerPanic("boom".into()).token(), "panic");
         assert!(!Outcome::Consistent.is_finding());
+        assert!(!Outcome::Truncated { unfired: 0 }.is_finding());
         assert!(Outcome::Violation(Verdict::DoubleReception).is_finding());
         assert!(Outcome::CheckerPanic(String::new()).is_finding());
+    }
+
+    #[test]
+    fn truncation_demotes_only_clean_outcomes() {
+        assert_eq!(
+            Outcome::Consistent.truncate_if(true),
+            Outcome::Truncated { unfired: 0 }
+        );
+        assert_eq!(
+            Outcome::Vacuous { unfired: 3 }.truncate_if(true),
+            Outcome::Truncated { unfired: 3 }
+        );
+        assert_eq!(
+            Outcome::Violation(Verdict::Omission).truncate_if(true),
+            Outcome::Violation(Verdict::Omission)
+        );
+        assert_eq!(Outcome::Consistent.truncate_if(false), Outcome::Consistent);
     }
 }

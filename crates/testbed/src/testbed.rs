@@ -635,16 +635,24 @@ impl Testbed {
     /// [`scenario_frame`] on a link cluster, or broadcasts
     /// [`HLP_PROBE_PAYLOAD`] on an HLP cluster), runs the configured
     /// budget without trace recording and classifies the run.
+    ///
+    /// On a link cluster, a run whose budget elapses while the bus is
+    /// still active (not [`Testbed::is_drained`]) classifies as
+    /// [`Outcome::Truncated`] instead of a clean verdict: the trace is a
+    /// prefix, and "no violation on a prefix" is not "no violation".
     pub fn run_schedule(&mut self, schedule: &[Disturbance]) -> Outcome {
         self.set_record_trace(false);
         self.load_script(schedule);
         if self.protocol.is_hlp() {
             self.broadcast(0, HLP_PROBE_PAYLOAD);
+            self.run(self.budget);
+            self.outcome()
         } else {
             self.enqueue(0, scenario_frame());
+            self.run(self.budget);
+            let truncated = !self.is_drained();
+            self.outcome().truncate_if(truncated)
         }
-        self.run(self.budget);
-        self.outcome()
     }
 
     /// Evaluates a whole batch of scripted schedules, returning one
@@ -669,6 +677,34 @@ impl Testbed {
             }
             Cluster::Major(sim) => {
                 crate::batch::run_batch_link(sim, self.n_nodes, self.budget, schedules)
+            }
+            _ => schedules.iter().map(|s| self.run_schedule(s)).collect(),
+        }
+    }
+
+    /// Evaluates a whole batch of scripted schedules through the 64-lane
+    /// engine (`crate::lanes`), returning one [`Outcome`] per schedule in
+    /// input order — each identical to what [`Testbed::run_schedule`]
+    /// would return for it on this testbed.
+    ///
+    /// Unlike [`Testbed::run_batch`], which only merges schedules sharing
+    /// a disturbance *prefix*, the lane engine packs up to 64 arbitrary
+    /// (prefix-free) schedules into one cohort run: while no lane's script
+    /// has fired, every lane is bit-identical to the fault-free run, so
+    /// one simulator carries all of them behind a `u64` activity mask.
+    /// A lane is peeled off to the scalar path at the first bit where its
+    /// script could fire. Higher-level-protocol clusters fall back to
+    /// per-schedule [`Testbed::run_schedule`] calls.
+    pub fn run_lanes(&mut self, schedules: &[&[Disturbance]]) -> Vec<Outcome> {
+        match &mut self.cluster {
+            Cluster::Can(sim) => {
+                crate::lanes::run_lanes_link(sim, self.n_nodes, self.budget, schedules)
+            }
+            Cluster::Minor(sim) => {
+                crate::lanes::run_lanes_link(sim, self.n_nodes, self.budget, schedules)
+            }
+            Cluster::Major(sim) => {
+                crate::lanes::run_lanes_link(sim, self.n_nodes, self.budget, schedules)
             }
             _ => schedules.iter().map(|s| self.run_schedule(s)).collect(),
         }

@@ -1,0 +1,183 @@
+//! The lane engine's correctness gate: 64-lane cohort execution
+//! ([`Testbed::run_lanes`]) must classify every schedule exactly like the
+//! scalar hot loop ([`Testbed::run_schedule`]) on the same reused
+//! testbed, across every protocol variant — the mirror of
+//! `batch_equivalence.rs` for the prefix-free workload the lane engine
+//! exists for.
+//!
+//! The schedule generator deliberately covers the awkward cases: empty
+//! schedules, duplicate schedules, occurrence-2 and stuff-bit entries,
+//! and fields on the no-fork blacklist (`Idle`, `Sof`, `BusOff`,
+//! `Crashed`), which must peel to the scalar path before the cohort even
+//! starts. Dedicated tests cover multi-block packing (> 64 schedules)
+//! and a testbed left with an armed attacker channel.
+
+use majorcan_campaign::ProtocolSpec;
+use majorcan_can::Field;
+use majorcan_faults::{AttackAction, Disturbance};
+use majorcan_testbed::lanesbench::prefix_free_pool;
+use majorcan_testbed::{Outcome, Testbed};
+use proptest::prelude::*;
+
+const ALL_PROTOCOLS: [ProtocolSpec; 6] = [
+    ProtocolSpec::StandardCan,
+    ProtocolSpec::MinorCan,
+    ProtocolSpec::MajorCan { m: 5 },
+    ProtocolSpec::EdCan,
+    ProtocolSpec::RelCan,
+    ProtocolSpec::TotCan,
+];
+
+const LINK_PROTOCOLS: [ProtocolSpec; 3] = [
+    ProtocolSpec::StandardCan,
+    ProtocolSpec::MinorCan,
+    ProtocolSpec::MajorCan { m: 5 },
+];
+
+/// Every field class the falsifier's generator reaches, plus the no-fork
+/// blacklist members (`Idle`, `Sof`, `BusOff`, `Crashed`) whose lanes
+/// must peel to the scalar path at bit zero.
+const FIELDS: [Field; 14] = [
+    Field::Idle,
+    Field::Sof,
+    Field::Id,
+    Field::Data,
+    Field::Crc,
+    Field::CrcDelim,
+    Field::AckSlot,
+    Field::AckDelim,
+    Field::Eof,
+    Field::Intermission,
+    Field::ErrorFlag,
+    Field::AgreementHold,
+    Field::BusOff,
+    Field::Crashed,
+];
+
+fn arb_disturbance() -> impl Strategy<Value = Disturbance> {
+    (0usize..3, 0usize..FIELDS.len(), 0u16..16, 0u32..20).prop_map(|(node, field, index, salt)| {
+        let mut d = if salt % 7 == 0 {
+            Disturbance::stuff_bit(node, FIELDS[field], index)
+        } else {
+            Disturbance::first(node, FIELDS[field], index)
+        };
+        if salt % 5 == 0 {
+            d.occurrence = 2;
+        }
+        d
+    })
+}
+
+/// Independent draws — no familyization: the lane engine's workload is
+/// prefix-free by construction.
+fn arb_schedules() -> impl Strategy<Value = Vec<Vec<Disturbance>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_disturbance(), 0..5), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The tentpole gate: laned outcomes equal scalar outcomes, schedule
+    // by schedule, on every protocol variant (HLP targets exercise the
+    // per-schedule fallback dispatch).
+    #[test]
+    fn lanes_classify_every_schedule_like_the_scalar_loop(
+        schedules in arb_schedules()
+    ) {
+        let refs: Vec<&[Disturbance]> = schedules.iter().map(Vec::as_slice).collect();
+        for protocol in ALL_PROTOCOLS {
+            let mut tb = Testbed::builder(protocol).nodes(3).build();
+            let scalar: Vec<Outcome> =
+                schedules.iter().map(|s| tb.run_schedule(s)).collect();
+            let laned = tb.run_lanes(&refs);
+            prop_assert_eq!(&laned, &scalar, "{}", protocol);
+            // A second pass on the same (now warm) testbed must agree too.
+            let again = tb.run_lanes(&refs);
+            prop_assert_eq!(&again, &scalar, "{} (warm)", protocol);
+        }
+    }
+
+    // Lane and batch engines agree with each other as well (both are
+    // gated against scalar; this closes the triangle cheaply on the
+    // link protocols, where both have dedicated paths).
+    #[test]
+    fn lanes_and_batch_agree(schedules in arb_schedules()) {
+        let refs: Vec<&[Disturbance]> = schedules.iter().map(Vec::as_slice).collect();
+        for protocol in LINK_PROTOCOLS {
+            let mut tb = Testbed::builder(protocol).nodes(3).build();
+            let laned = tb.run_lanes(&refs);
+            let batch = tb.run_batch(&refs);
+            prop_assert_eq!(&laned, &batch, "{}", protocol);
+        }
+    }
+}
+
+/// More schedules than one cohort can hold: the chunker must split into
+/// full 64-lane blocks plus a partial final block, with outcomes still
+/// in input order and scalar-identical.
+#[test]
+fn multi_block_packing_matches_scalar() {
+    let pool = prefix_free_pool(0xB10C5, 64 + 64 + 17);
+    let refs: Vec<&[Disturbance]> = pool.iter().map(Vec::as_slice).collect();
+    for protocol in LINK_PROTOCOLS {
+        let mut tb = Testbed::builder(protocol).nodes(3).build();
+        let scalar: Vec<Outcome> = pool.iter().map(|s| tb.run_schedule(s)).collect();
+        let laned = tb.run_lanes(&refs);
+        assert_eq!(laned, scalar, "{protocol}");
+    }
+}
+
+/// Schedules that drive a node to bus-off (or target the bus-off /
+/// crashed fields directly) must classify identically: the field
+/// targets peel to scalar at bit zero, and a cohort survivor's verdict
+/// is untouched by another lane's bus-off replay.
+#[test]
+fn bus_off_and_crash_lanes_peel_to_scalar() {
+    // Hammering the ACK slot repeatedly walks the transmitter's error
+    // counter; occurrence-stacked error-flag hits do the same for
+    // receivers. Mix those heavy lanes with clean and light ones.
+    let mut heavy = Vec::new();
+    for occ in 1..=8u32 {
+        let mut d = Disturbance::first(0, Field::AckSlot, 0);
+        d.occurrence = occ;
+        heavy.push(d);
+    }
+    let schedules: Vec<Vec<Disturbance>> = vec![
+        heavy,
+        vec![Disturbance::first(1, Field::BusOff, 0)],
+        vec![Disturbance::first(2, Field::Crashed, 0)],
+        vec![],
+        vec![Disturbance::first(1, Field::Eof, 2)],
+        vec![Disturbance::first(0, Field::Idle, 0)],
+    ];
+    let refs: Vec<&[Disturbance]> = schedules.iter().map(Vec::as_slice).collect();
+    for protocol in LINK_PROTOCOLS {
+        let mut tb = Testbed::builder(protocol).nodes(3).build();
+        let scalar: Vec<Outcome> = schedules.iter().map(|s| tb.run_schedule(s)).collect();
+        let laned = tb.run_lanes(&refs);
+        assert_eq!(laned, scalar, "{protocol}");
+    }
+}
+
+/// A testbed left with an armed attacker channel must be rejected
+/// cleanly by the lane path: `run_lanes` installs its own scripted
+/// channel (exactly like `run_schedule`), never panics on the foreign
+/// channel, and still matches scalar outcomes.
+#[test]
+fn attacker_channel_testbed_is_rescripted_not_wedged() {
+    let actions = vec![AttackAction::Pulse {
+        node: 1,
+        field: Field::Eof,
+        index: 2,
+        occurrence: 1,
+    }];
+    let pool = prefix_free_pool(0xA77AC, 12);
+    let refs: Vec<&[Disturbance]> = pool.iter().map(Vec::as_slice).collect();
+    for protocol in LINK_PROTOCOLS {
+        let mut tb = Testbed::builder(protocol).nodes(3).build();
+        tb.load_attack(&actions, 8); // leave an armed attacker behind
+        let laned = tb.run_lanes(&refs);
+        let scalar: Vec<Outcome> = pool.iter().map(|s| tb.run_schedule(s)).collect();
+        assert_eq!(laned, scalar, "{protocol}");
+    }
+}

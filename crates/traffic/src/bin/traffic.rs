@@ -20,9 +20,13 @@
 //! `--bursts`.
 //!
 //! Exit codes: `0` — every cell's online verdict is `consistent`;
-//! `2` — bad arguments; `3` — some cell violated an Atomic Broadcast
-//! property (suppressed by `--allow-violations`, for impairment studies
-//! where violations are the measurement).
+//! `2` — bad arguments, or the configured `--window` was exceeded (a
+//! message recurred after retiring, so the online verdicts are not
+//! trustworthy — rerun with a larger window; never suppressed, since an
+//! inexact verdict is a measurement error, not a finding); `3` — some
+//! cell violated an Atomic Broadcast property (suppressed by
+//! `--allow-violations`, for impairment studies where violations are the
+//! measurement).
 //!
 //! With `--shard k/n --shard-dir d` the soak grid runs as one shard of a
 //! crash-tolerant fleet (see `docs/FLEET.md`); the fleet verdict gates on
@@ -193,6 +197,17 @@ fn main() {
         || (),
         |_, job| run_one(job),
         |totals| {
+            // Window exceedances invalidate the verdicts themselves, so
+            // they gate even under --allow-violations (exit 2, not 3 —
+            // the run's configuration was wrong, not the protocol).
+            let exceeded = totals.counters.get("window_exceeded");
+            if exceeded > 0 {
+                eprintln!(
+                    "error: the checker window was exceeded {exceeded} time(s) across the fleet; \
+                     the merged verdicts are unreliable — rerun with a larger --window"
+                );
+                std::process::exit(exit_code::USAGE);
+            }
             if allow_violations {
                 return None;
             }
@@ -240,11 +255,21 @@ fn main() {
         "busoff‰"
     );
     let mut violations: Vec<String> = Vec::new();
+    let mut exceedances: Vec<String> = Vec::new();
     for cell in &cells {
         let Some(r) = report.results.iter().find(|r| r.job_id == cell.job_id) else {
             continue;
         };
         let c = &r.counters;
+        if c.get("window_exceeded") > 0 {
+            exceedances.push(format!(
+                "{} at {}% load: {} recurrence(s) after retirement (max gap {})",
+                cell.protocol,
+                cell.load_pct,
+                c.get("window_exceeded"),
+                c.get("max_gap"),
+            ));
+        }
         let verdict = ["consistent", "double", "omission", "validity"]
             .iter()
             .find(|t| c.get(&format!("verdict/{t}")) > 0)
@@ -284,6 +309,18 @@ fn main() {
                 c.get("order"),
             ));
         }
+    }
+
+    if !exceedances.is_empty() {
+        eprintln!(
+            "error: the checker window ({window} bits) was exceeded in {} cell(s); \
+             those verdicts are unreliable — rerun with a larger --window:",
+            exceedances.len()
+        );
+        for x in &exceedances {
+            eprintln!("  {x}");
+        }
+        std::process::exit(exit_code::USAGE);
     }
 
     if !violations.is_empty() {

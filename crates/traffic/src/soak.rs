@@ -268,6 +268,7 @@ impl SoakOutcome {
             c.add("double", report.double_deliveries);
             c.add("spurious", report.spurious_deliveries);
             c.add("order", report.order_violated as u64);
+            c.add("window_exceeded", report.window_exceeded);
             c.add(&format!("verdict/{}", report.verdict().token()), 1);
         }
         r
@@ -468,6 +469,51 @@ mod tests {
         let a = run_soak(&spec, None).unwrap().to_result(&job);
         let b = run_soak(&spec, None).unwrap().to_result(&job);
         assert_eq!(a, b, "same spec, same counters");
+    }
+
+    #[test]
+    fn undersized_window_is_detected_not_trusted() {
+        // A window far below a frame's lifetime retires messages between
+        // their broadcast and their last delivery whenever another frame's
+        // events land in between (arbitration losses and retransmissions
+        // make such gaps routine under contention). The checker must not
+        // silently return a half-judged verdict: the revivals show up in
+        // `window_exceeded`, and the counter reaches the campaign artifact
+        // so the gate can refuse the run.
+        let mut spec = SoakSpec::new(ProtocolSpec::StandardCan, 5, 0.9, 120, 0xE7);
+        spec.sporadic_permille = 250;
+        spec.window = 10;
+        spec.burst = Some(BurstSpec {
+            period: 1_500,
+            len: 30,
+            ber_star: 0.5,
+        });
+        let out = run_soak(&spec, None).unwrap();
+        let report = out.report.as_ref().expect("checker was online");
+        assert!(
+            report.window_exceeded > 0,
+            "undersized window must be detected: {report:?}"
+        );
+        assert!(!report.exact());
+        assert!(
+            out.max_gap > spec.window,
+            "the proven gap exceeds the window"
+        );
+        let job = Job::new(
+            0,
+            0xE7,
+            ProtocolSpec::StandardCan,
+            FaultSpec::None,
+            WorkloadSpec::SustainedTraffic {
+                load: 0.9,
+                frames: 120,
+                sporadic_permille: 250,
+            },
+            5,
+            120,
+        );
+        let r = out.to_result(&job);
+        assert_eq!(r.counters.get("window_exceeded"), report.window_exceeded);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The `traffic` bin's exit-code contract, tested by spawning the real
 //! binary: exit 0 when every cell's online verdict is `consistent`,
 //! exit 3 when the incremental checker flags a violation (unless
-//! `--allow-violations`), exit 2 on bad arguments.
+//! `--allow-violations`), exit 2 on bad arguments — including an
+//! exceeded checker window, which invalidates the verdicts themselves
+//! and therefore gates even under `--allow-violations`.
 
 use majorcan_bench::cli::exit_code;
 use std::process::Command;
@@ -84,4 +86,36 @@ fn bad_arguments_exit_two() {
     assert_eq!(code, Some(exit_code::USAGE), "{stderr}");
     let (code, _, stderr) = run(&["--burst-ber", "1.5", "--bursts"]);
     assert_eq!(code, Some(exit_code::USAGE), "{stderr}");
+}
+
+#[test]
+fn exceeded_window_exits_two_even_with_allow_violations() {
+    // A 10-bit window is far below a frame's lifetime: under contention
+    // messages retire between broadcast and delivery and the checker's
+    // suspect map proves the recurrences. The verdicts are then
+    // half-judged, so the bin must refuse the *configuration* (exit 2),
+    // not report findings (exit 3) — and --allow-violations, which
+    // waives findings, must not waive a broken measurement.
+    let args = [
+        "60",
+        "5",
+        "--quiet",
+        "--jobs",
+        "1",
+        "--window",
+        "10",
+        "--loads",
+        "90",
+        "--allow-violations",
+    ];
+    let (code, stdout, stderr) = run(&args);
+    assert_eq!(
+        code,
+        Some(exit_code::USAGE),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("window") && stderr.contains("rerun with a larger"),
+        "diagnostics explain the fix:\n{stderr}"
+    );
 }

@@ -259,6 +259,13 @@ where
 
 /// Steps `sim` for `horizon` bits, queueing every due release of any
 /// [`ReleaseSource`] on its node. Returns the number of frames queued.
+///
+/// Clean stretches — every node quiescent, the channel quiet, no release
+/// due (see [`Simulator::quiet_horizon`]) — are skipped in one
+/// [`Simulator::leap`] instead of being stepped bit by bit, so a
+/// low-load soak costs time proportional to the *busy* bits, not the
+/// simulated span. The leap is bit-identical to stepping: state, events
+/// and timestamps are unchanged.
 pub fn drive_source<N, C, S>(sim: &mut Simulator<N, C>, source: &mut S, horizon: u64) -> usize
 where
     N: BitNode + FrameSink,
@@ -275,7 +282,15 @@ where
                 .enqueue_frame(release.frame);
             queued += 1;
         }
-        sim.step();
+        let stretch = sim
+            .quiet_horizon()
+            .min(source.next_at().unwrap_or(u64::MAX))
+            .min(end);
+        if stretch > now {
+            sim.leap(stretch);
+        } else {
+            sim.step();
+        }
     }
     queued
 }
@@ -398,6 +413,96 @@ mod tests {
     #[should_panic(expected = "load must be in (0,1]")]
     fn plan_rejects_silly_load() {
         plan_periodic_load(4, 1.5, 110);
+    }
+
+    /// The pre-leap driver, kept verbatim as the reference: step every
+    /// bit, queue due releases.
+    fn drive_stepped<N, C, S>(sim: &mut Simulator<N, C>, source: &mut S, horizon: u64) -> usize
+    where
+        N: BitNode + FrameSink,
+        C: ChannelModel<N::Tag>,
+        S: ReleaseSource + ?Sized,
+    {
+        let mut queued = 0;
+        let end = sim.now() + horizon;
+        while sim.now() < end {
+            let now = sim.now();
+            while source.next_at().is_some_and(|at| at <= now) {
+                let release = source.pop().expect("next_at announced a release");
+                sim.node_mut(NodeId(release.node))
+                    .enqueue_frame(release.frame);
+                queued += 1;
+            }
+            sim.step();
+        }
+        queued
+    }
+
+    fn cluster<C: ChannelModel<majorcan_can::WirePos>>(
+        channel: C,
+    ) -> Simulator<Controller<StandardCan>, C> {
+        let mut sim = Simulator::new(channel);
+        for _ in 0..3 {
+            sim.attach(Controller::new(StandardCan));
+        }
+        sim
+    }
+
+    /// The clean-stretch leap is bit-identical to stepping: a low-load
+    /// workload (long idle gaps between frames) driven in soak-sized
+    /// chunks produces the same events at the same timestamps either way.
+    #[test]
+    fn leap_fast_path_matches_bit_stepping() {
+        let sources = plan_periodic_load(3, 0.08, 110);
+        let mut releases = Vec::new();
+        for s in &sources {
+            releases.extend(s.releases(30_000));
+        }
+        let mut fast_w = Workload::new(releases.clone());
+        let mut slow_w = Workload::new(releases);
+        let mut fast = cluster(NoFaults);
+        let mut slow = cluster(NoFaults);
+        let (mut fq, mut sq) = (0, 0);
+        for _ in 0..20 {
+            fq += drive_source(&mut fast, &mut fast_w, 2_000);
+            sq += drive_stepped(&mut slow, &mut slow_w, 2_000);
+            assert_eq!(fast.now(), slow.now());
+        }
+        assert_eq!(fq, sq, "same releases queued");
+        assert!(fq > 0, "the workload released frames");
+        assert_eq!(fast.events(), slow.events(), "identical timed event logs");
+        assert_eq!(
+            fast.quiet_horizon(),
+            u64::MAX,
+            "the drained clean bus is leapable without bound"
+        );
+    }
+
+    /// Same equivalence under a bursty channel: `quiet_until` bounds the
+    /// leap at the next burst window, so disturbed bits (and the rng
+    /// stream behind them) land exactly as in a stepped run.
+    #[test]
+    fn leap_respects_burst_windows() {
+        use majorcan_faults::BurstErrors;
+        let sources = plan_periodic_load(3, 0.1, 110);
+        let mut releases = Vec::new();
+        for s in &sources {
+            releases.extend(s.releases(20_000));
+        }
+        let mut fast_w = Workload::new(releases.clone());
+        let mut slow_w = Workload::new(releases);
+        let mut fast = cluster(BurstErrors::new(1_700, 25, 0.4, 0xB5));
+        let mut slow = cluster(BurstErrors::new(1_700, 25, 0.4, 0xB5));
+        drive_source(&mut fast, &mut fast_w, 30_000);
+        drive_stepped(&mut slow, &mut slow_w, 30_000);
+        assert_eq!(fast.now(), slow.now());
+        assert_eq!(fast.events(), slow.events(), "identical under bursts");
+        assert!(
+            fast.events()
+                .iter()
+                .any(|e| matches!(e.event, CanEvent::ErrorDetected { .. })),
+            "the bursts actually disturbed traffic"
+        );
     }
 
     #[test]
